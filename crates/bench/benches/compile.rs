@@ -1,0 +1,77 @@
+//! Compile-time benchmarks: bounds, proof sequences, PANDA-C, GHDs.
+//!
+//! These measure the *query compiler* (data-independent, runs once per
+//! query/constraint set), corresponding to the log-space uniform
+//! generation step of Theorems 3–5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qec_core::{compile_fcq, OutputSensitive};
+use qec_entropy::{polymatroid_bound, prove_bound};
+use qec_query::{k_cycle, k_path, triangle, Cq};
+use qec_relation::{DcSet, DegreeConstraint, Var, VarSet};
+
+fn uniform_dc(cq: &Cq, n: u64) -> DcSet {
+    DcSet::from_vec(cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect())
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bounds");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, q) in [("triangle", triangle()), ("cycle4", k_cycle(4)), ("cycle5", k_cycle(5))] {
+        let dc = uniform_dc(&q, 1 << 10);
+        g.bench_function(format!("polymatroid/{name}"), |b| {
+            b.iter(|| polymatroid_bound(q.num_vars(), &dc, q.all_vars()).unwrap())
+        });
+        g.bench_function(format!("proofseq/{name}"), |b| {
+            b.iter(|| prove_bound(q.num_vars(), &dc, q.all_vars(), None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_panda_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("panda_compile");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for e in [6u32, 10] {
+        let q = triangle();
+        let dc = uniform_dc(&q, 1 << e);
+        g.bench_function(format!("triangle/N=2^{e}"), |b| {
+            b.iter(|| compile_fcq(&q, &dc).unwrap())
+        });
+    }
+    let q = triangle();
+    let mut dc = uniform_dc(&q, 1 << 10);
+    dc.add(DegreeConstraint::degree(
+        VarSet::singleton(Var(1)),
+        [Var(1), Var(2)].into_iter().collect(),
+        16,
+    ));
+    g.bench_function("triangle+deg/N=2^10", |b| b.iter(|| compile_fcq(&q, &dc).unwrap()));
+    g.finish();
+}
+
+fn bench_output_sensitive_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yannakakis_compile");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let q0 = k_path(3);
+    let q = Cq { free: [Var(0), Var(3)].into_iter().collect(), ..q0 };
+    let dc = uniform_dc(&q, 1 << 8);
+    g.bench_function("build+count+query/path3_proj", |b| {
+        b.iter(|| {
+            let os = OutputSensitive::build(&q, &dc, 2_000).unwrap();
+            let count = os.count_circuit().unwrap();
+            let query = os.query_circuit(64).unwrap();
+            (count.nodes.len(), query.nodes.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds, bench_panda_compile, bench_output_sensitive_compile);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the experiment tables of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p qec-bench --release --bin report            # all experiments
+//! cargo run -p qec-bench --release --bin report -- x2 x7   # a subset
+//! ```
+
+use qec_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let experiments = all_experiments();
+    let selected: Vec<_> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments
+    } else {
+        let sel: Vec<_> =
+            experiments.into_iter().filter(|(id, _)| args.iter().any(|a| a == id)).collect();
+        if sel.is_empty() {
+            eprintln!("unknown experiment id(s); valid: x1..x14 or `all`");
+            std::process::exit(2);
+        }
+        sel
+    };
+    for (id, run) in selected {
+        let start = std::time::Instant::now();
+        let table = run();
+        println!("{table}");
+        println!("[{id} completed in {:.1?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,73 @@
+//! Aligned-text experiment tables.
+
+use std::fmt;
+
+/// A titled table of strings (headers + rows), printed with aligned
+/// columns.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id and description.
+    pub title: String,
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict comparing measured shape against the paper's
+    /// claim.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Sets the verdict line.
+    pub fn verdict(&mut self, v: impl Into<String>) {
+        self.verdict = v.into();
+    }
+
+    /// Reads a numeric cell back (test helper).
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col].parse().expect("numeric cell")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:>width$}  ", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "→ {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,39 @@
+//! Regression tests on the headline *shapes* of the experiment tables:
+//! who wins, whether certificates are tight, whether worst cases fill the
+//! bound. (The fast experiments only — scaling sweeps run via `report`.)
+
+use qec_bench::{x14_bound_tightness, x2_panda_triangle, x3_proof_sequences, x4_panda_cost};
+
+#[test]
+fn x2_speedup_grows_superlinearly() {
+    let t = x2_panda_triangle();
+    let first = t.cell_f64(0, 5);
+    let last = t.cell_f64(t.rows.len() - 1, 5);
+    assert!(last > 100.0 * first, "speedup must explode: {first} → {last}");
+}
+
+#[test]
+fn x3_certificates_are_tight_everywhere() {
+    let t = x3_proof_sequences();
+    for row in &t.rows {
+        assert_eq!(row[4], "true", "{} not tight", row[0]);
+    }
+}
+
+#[test]
+fn x4_ratio_stays_polylog() {
+    let t = x4_panda_cost();
+    for row in &t.rows {
+        let ratio: f64 = row[5].parse().unwrap();
+        assert!(ratio < 150.0, "{}: ratio {ratio} too large", row[0]);
+    }
+}
+
+#[test]
+fn x14_worst_cases_fill_the_bound() {
+    let t = x14_bound_tightness();
+    for row in &t.rows {
+        assert_eq!(row[4], "100%", "{} does not fill DAPB", row[0]);
+        assert_eq!(row[5], "true");
+    }
+}

@@ -1,0 +1,613 @@
+//! Sign-magnitude arbitrary-precision integer.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+/// An arbitrary-precision signed integer.
+///
+/// Invariants:
+/// * `limbs` is little-endian base-2^64 with no trailing zero limb;
+/// * zero is `limbs == []` and `negative == false`.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Int {
+    negative: bool,
+    limbs: Vec<u64>,
+}
+
+impl Int {
+    /// The integer zero.
+    pub fn zero() -> Self {
+        Int::default()
+    }
+
+    /// The integer one.
+    pub fn one() -> Self {
+        Int { negative: false, limbs: vec![1] }
+    }
+
+    /// Returns `true` iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` iff `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Returns `true` iff `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        !self.negative && !self.is_zero()
+    }
+
+    /// Sign as `-1`, `0`, or `1`.
+    pub fn signum(&self) -> i32 {
+        if self.is_zero() {
+            0
+        } else if self.negative {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int { negative: false, limbs: self.limbs.clone() }
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        if self.limbs.is_empty() {
+            self.negative = false;
+        }
+    }
+
+    fn from_limbs(negative: bool, limbs: Vec<u64>) -> Int {
+        let mut v = Int { negative, limbs };
+        v.trim();
+        v
+    }
+
+    /// Compare magnitudes, ignoring sign.
+    fn cmp_abs(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_abs(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let x = long[i];
+            let y = if i < short.len() { short[i] } else { 0 };
+            let (s1, c1) = x.overflowing_add(y);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// `a - b`, requires `|a| >= |b|`.
+    fn sub_abs(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Int::cmp_abs(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let y = if i < b.len() { b[i] } else { 0 };
+            let (d1, b1) = a[i].overflowing_sub(y);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_abs(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Schoolbook division of magnitudes: returns `(quotient, remainder)`.
+    ///
+    /// Uses the classical shift-and-subtract algorithm on bits for
+    /// simplicity; values in this workspace are small (LP tableaus over a
+    /// handful of limbs), where this is plenty fast and easy to audit.
+    fn divmod_abs(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Int::cmp_abs(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        // Fast path: single-limb divisor.
+        if b.len() == 1 {
+            let d = b[0] as u128;
+            let mut q = vec![0u64; a.len()];
+            let mut rem: u128 = 0;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 64) | a[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            return (q, r);
+        }
+        let bits = a.len() * 64;
+        let mut q = vec![0u64; a.len()];
+        let mut rem: Vec<u64> = Vec::with_capacity(b.len() + 1);
+        for bit in (0..bits).rev() {
+            // rem = rem << 1 | a.bit(bit)
+            let mut carry = (a[bit / 64] >> (bit % 64)) & 1;
+            for limb in rem.iter_mut() {
+                let new_carry = *limb >> 63;
+                *limb = (*limb << 1) | carry;
+                carry = new_carry;
+            }
+            if carry != 0 {
+                rem.push(carry);
+            }
+            if Int::cmp_abs(&rem, b) != Ordering::Less {
+                rem = Int::sub_abs(&rem, b);
+                q[bit / 64] |= 1u64 << (bit % 64);
+            }
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem)
+    }
+
+    /// Truncated division with remainder: `self = q * rhs + r` with
+    /// `|r| < |rhs|` and `r` carrying the sign of `self` (like Rust's `/`).
+    ///
+    /// # Panics
+    /// Panics if `rhs == 0`.
+    pub fn divmod(&self, rhs: &Int) -> (Int, Int) {
+        let (q, r) = Int::divmod_abs(&self.limbs, &rhs.limbs);
+        let q = Int::from_limbs(self.negative != rhs.negative, q);
+        let r = Int::from_limbs(self.negative, r);
+        (q, r)
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, rhs: &Int) -> Int {
+        let mut a = self.abs();
+        let mut b = rhs.abs();
+        while !b.is_zero() {
+            let (_, r) = a.divmod(&b);
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// `2^exp`.
+    pub fn pow2(exp: u32) -> Int {
+        let limb = (exp / 64) as usize;
+        let mut limbs = vec![0u64; limb + 1];
+        limbs[limb] = 1u64 << (exp % 64);
+        Int::from_limbs(false, limbs)
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> Int {
+        let mut base = self.clone();
+        let mut acc = Int::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Number of bits in the magnitude (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u64) * 64 - u64::from(top.leading_zeros()),
+        }
+    }
+
+    /// Lossy conversion to `f64` (for reporting only, never for planning).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            v = v * 2f64.powi(64) + limb as f64;
+        }
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Exact conversion to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => {
+                let m = self.limbs[0];
+                if self.negative {
+                    if m <= 1u64 << 63 {
+                        Some((m as i128).wrapping_neg() as i64)
+                    } else {
+                        None
+                    }
+                } else {
+                    i64::try_from(m).ok()
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Exact conversion to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.negative {
+            return None;
+        }
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        let negative = v < 0;
+        let mag = v.unsigned_abs();
+        Int::from_limbs(negative, vec![mag])
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        Int::from_limbs(false, vec![v])
+    }
+}
+
+impl From<i32> for Int {
+    fn from(v: i32) -> Self {
+        Int::from(v as i64)
+    }
+}
+
+impl From<usize> for Int {
+    fn from(v: usize) -> Self {
+        Int::from(v as u64)
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => Int::cmp_abs(&self.limbs, &other.limbs),
+            (true, true) => Int::cmp_abs(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(mut self) -> Int {
+        if !self.is_zero() {
+            self.negative = !self.negative;
+        }
+        self
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -self.clone()
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        if self.negative == rhs.negative {
+            Int::from_limbs(self.negative, Int::add_abs(&self.limbs, &rhs.limbs))
+        } else {
+            match Int::cmp_abs(&self.limbs, &rhs.limbs) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => {
+                    Int::from_limbs(self.negative, Int::sub_abs(&self.limbs, &rhs.limbs))
+                }
+                Ordering::Less => {
+                    Int::from_limbs(rhs.negative, Int::sub_abs(&rhs.limbs, &self.limbs))
+                }
+            }
+        }
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        Int::from_limbs(self.negative != rhs.negative, Int::mul_abs(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Div for &Int {
+    type Output = Int;
+    fn div(self, rhs: &Int) -> Int {
+        self.divmod(rhs).0
+    }
+}
+
+impl Rem for &Int {
+    type Output = Int;
+    fn rem(self, rhs: &Int) -> Int {
+        self.divmod(rhs).1
+    }
+}
+
+macro_rules! forward_owned {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                $trait::$method(self, &rhs)
+            }
+        }
+    )*};
+}
+
+forward_owned!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, rhs: &Int) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in a u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut digits: Vec<String> = Vec::new();
+        let mut cur = self.limbs.clone();
+        let chunk = [CHUNK];
+        while !cur.is_empty() {
+            let (q, r) = Int::divmod_abs(&cur, &chunk);
+            let rem = r.first().copied().unwrap_or(0);
+            cur = q;
+            if cur.is_empty() {
+                digits.push(format!("{rem}"));
+            } else {
+                digits.push(format!("{rem:019}"));
+            }
+        }
+        if self.negative {
+            write!(f, "-")?;
+        }
+        for d in digits.iter().rev() {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::str::FromStr for Int {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (negative, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("invalid integer literal: {s:?}"));
+        }
+        let ten = Int::from(10i64);
+        let mut acc = Int::zero();
+        for b in digits.bytes() {
+            acc = &(&acc * &ten) + &Int::from(i64::from(b - b'0'));
+        }
+        if negative {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(&i(2) + &i(3), i(5));
+        assert_eq!(&i(2) - &i(3), i(-1));
+        assert_eq!(&i(-2) * &i(3), i(-6));
+        assert_eq!(&i(7) / &i(2), i(3));
+        assert_eq!(&i(7) % &i(2), i(1));
+        assert_eq!(&i(-7) / &i(2), i(-3));
+        assert_eq!(&i(-7) % &i(2), i(-1));
+        assert_eq!(&i(0) + &i(0), Int::zero());
+    }
+
+    #[test]
+    fn multi_limb_carry_chain() {
+        let big = Int::pow2(200);
+        let one = Int::one();
+        let less = &big - &one;
+        assert_eq!(&less + &one, big);
+        assert_eq!(less.bits(), 200);
+        assert_eq!(big.bits(), 201);
+    }
+
+    #[test]
+    fn multiplication_matches_pow() {
+        let mut acc = Int::one();
+        let three = i(3);
+        for _ in 0..40 {
+            acc = &acc * &three;
+        }
+        assert_eq!(acc, three.pow(40));
+        assert_eq!(acc.to_string(), "12157665459056928801");
+    }
+
+    #[test]
+    fn divmod_roundtrip_multi_limb() {
+        let a = Int::pow2(150) + i(12345);
+        let b = Int::pow2(70) + i(99);
+        let (q, r) = a.divmod(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(i(12).gcd(&i(18)), i(6));
+        assert_eq!(i(-12).gcd(&i(18)), i(6));
+        assert_eq!(i(0).gcd(&i(5)), i(5));
+        assert_eq!(i(5).gcd(&i(0)), i(5));
+        assert_eq!(Int::pow2(100).gcd(&Int::pow2(64)), Int::pow2(64));
+    }
+
+    #[test]
+    fn ordering_with_signs() {
+        assert!(i(-5) < i(-4));
+        assert!(i(-1) < i(0));
+        assert!(i(0) < i(1));
+        assert!(Int::pow2(100) > Int::pow2(99));
+        assert!(-Int::pow2(100) < -Int::pow2(99));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "-1", "18446744073709551616", "-340282366920938463463374607431768211456"] {
+            let v: Int = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(i(42).to_i64(), Some(42));
+        assert_eq!(i(-42).to_i64(), Some(-42));
+        assert_eq!(Int::from(u64::MAX).to_i64(), None);
+        assert_eq!(Int::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(i(-1).to_u64(), None);
+        assert_eq!(i(i64::MIN).to_i64(), Some(i64::MIN));
+        assert!((Int::pow2(70).to_f64() - 2f64.powi(70)).abs() < 1e6);
+    }
+
+    #[test]
+    fn pow2_limb_boundaries() {
+        assert_eq!(Int::pow2(0), i(1));
+        assert_eq!(Int::pow2(63), Int::from(1u64 << 63));
+        assert_eq!(Int::pow2(64).to_string(), "18446744073709551616");
+        assert_eq!(&Int::pow2(64) % &Int::from(u64::MAX), i(1));
+    }
+}

@@ -1,0 +1,32 @@
+//! Arbitrary-precision signed integers ([`Int`]) and exact rationals
+//! ([`Rat`]).
+//!
+//! The query planner computes polymatroid bounds, fractional edge covers,
+//! hypertree widths, and Shannon-flow proof-sequence weights by exact linear
+//! programming. Floating point is unacceptable there: a bound that is off by
+//! one ulp can mis-rank generalized hypertree decompositions or make a proof
+//! sequence appear (in)feasible. This crate provides the minimal exact
+//! arithmetic those computations need, implemented from scratch so the
+//! workspace stays dependency-free.
+//!
+//! Design notes:
+//! * [`Int`] is sign-magnitude over base-2^64 limbs, little-endian, with the
+//!   invariant that the limb vector never has trailing zero limbs and zero is
+//!   represented as an empty limb vector with positive sign.
+//! * [`Rat`] is a normalized fraction (`gcd(num, den) = 1`, `den > 0`).
+//! * Operations are allocation-conscious but tuned for the small values (a
+//!   few limbs) that dominate LP pivoting, not for cryptographic sizes.
+
+mod int;
+mod rat;
+
+pub use int::Int;
+pub use rat::Rat;
+
+/// Convenience constructor for the rational `p / q`.
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn rat(p: i64, q: i64) -> Rat {
+    Rat::new(Int::from(p), Int::from(q))
+}

@@ -1,0 +1,388 @@
+//! Exact rational numbers over [`Int`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::Int;
+
+/// An exact rational number.
+///
+/// Invariants: `den > 0` and `gcd(num, den) == 1` (with `0` stored as `0/1`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Int,
+    den: Int,
+}
+
+impl Rat {
+    /// Builds `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: Int, den: Int) -> Rat {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        let g = num.gcd(&den);
+        if g > Int::one() {
+            num = &num / &g;
+            den = &den / &g;
+        }
+        if num.is_zero() {
+            den = Int::one();
+        }
+        Rat { num, den }
+    }
+
+    /// The rational zero.
+    pub fn zero() -> Rat {
+        Rat { num: Int::zero(), den: Int::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> Rat {
+        Rat { num: Int::one(), den: Int::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &Int {
+        &self.den
+    }
+
+    /// Returns `true` iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` iff `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` iff `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == Int::one()
+    }
+
+    /// Sign as `-1`, `0`, or `1`.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self == 0`.
+    pub fn recip(&self) -> Rat {
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Floor of the rational value as an [`Int`].
+    pub fn floor(&self) -> Int {
+        let (q, r) = self.num.divmod(&self.den);
+        if r.is_negative() {
+            &q - &Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling of the rational value as an [`Int`].
+    pub fn ceil(&self) -> Int {
+        -((-self).floor())
+    }
+
+    /// Lossy conversion to `f64` (for display/reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// `self^exp` for a (possibly negative) integer exponent.
+    ///
+    /// # Panics
+    /// Panics if `self == 0` and `exp < 0`.
+    pub fn pow(&self, exp: i32) -> Rat {
+        if exp >= 0 {
+            Rat { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// Exact conversion to `i64` if the value is an integer that fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.is_integer() {
+            self.num.to_i64()
+        } else {
+            None
+        }
+    }
+
+    /// The smaller of two rationals.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two rationals.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat { num: Int::from(v), den: Int::one() }
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(v: Int) -> Self {
+        Rat { num: v, den: Int::one() }
+    }
+}
+
+impl From<u64> for Rat {
+    fn from(v: u64) -> Self {
+        Rat { num: Int::from(v), den: Int::one() }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  <=>  a*d vs c*b   (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        -self.clone()
+    }
+}
+
+impl Add for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        Rat::new(&(&self.num * &rhs.den) + &(&rhs.num * &self.den), &self.den * &rhs.den)
+    }
+}
+
+impl Sub for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        Rat::new(&(&self.num * &rhs.den) - &(&rhs.num * &self.den), &self.den * &rhs.den)
+    }
+}
+
+impl Mul for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        Rat::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &Rat) -> Rat {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        Rat::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned_rat {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                $trait::$method(self, &rhs)
+            }
+        }
+    )*};
+}
+
+forward_owned_rat!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::str::FromStr for Rat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((p, q)) => {
+                let num: Int = p.trim().parse()?;
+                let den: Int = q.trim().parse()?;
+                if den.is_zero() {
+                    return Err(format!("zero denominator in {s:?}"));
+                }
+                Ok(Rat::new(num, den))
+            }
+            None => Ok(Rat::from(s.trim().parse::<Int>()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 7), Rat::zero());
+        assert_eq!(rat(0, 7).denom(), &Int::one());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&rat(1, 2) + &rat(1, 3), rat(5, 6));
+        assert_eq!(&rat(1, 2) - &rat(1, 3), rat(1, 6));
+        assert_eq!(&rat(2, 3) * &rat(3, 4), rat(1, 2));
+        assert_eq!(&rat(2, 3) / &rat(4, 3), rat(1, 2));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(7, 7) == Rat::one());
+        assert_eq!(rat(3, 2).max(rat(5, 4)), rat(3, 2));
+        assert_eq!(rat(3, 2).min(rat(5, 4)), rat(5, 4));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), Int::from(3i64));
+        assert_eq!(rat(7, 2).ceil(), Int::from(4i64));
+        assert_eq!(rat(-7, 2).floor(), Int::from(-4i64));
+        assert_eq!(rat(-7, 2).ceil(), Int::from(-3i64));
+        assert_eq!(rat(6, 2).floor(), Int::from(3i64));
+        assert_eq!(rat(6, 2).ceil(), Int::from(3i64));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(rat(2, 3).pow(3), rat(8, 27));
+        assert_eq!(rat(2, 3).pow(-2), rat(9, 4));
+        assert_eq!(rat(2, 3).recip(), rat(3, 2));
+        assert_eq!(rat(-2, 3).recip(), rat(-3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(Int::one(), Int::zero());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "5", "-5", "1/2", "-7/3"] {
+            let v: Rat = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("4/8".parse::<Rat>().unwrap(), rat(1, 2));
+        assert!("1/0".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn to_i64_only_for_integers() {
+        assert_eq!(rat(6, 2).to_i64(), Some(3));
+        assert_eq!(rat(1, 2).to_i64(), None);
+    }
+}

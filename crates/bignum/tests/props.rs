@@ -1,0 +1,108 @@
+//! Property-based tests: `Int`/`Rat` must satisfy the usual ring/field laws
+//! and agree with `i128` arithmetic on values that fit.
+
+use proptest::prelude::*;
+use qec_bignum::{Int, Rat};
+
+fn int_of(v: i128) -> Int {
+    let s = v.to_string();
+    s.parse().expect("decimal parse")
+}
+
+proptest! {
+    #[test]
+    fn int_matches_i128_add_sub_mul(a in any::<i64>(), b in any::<i64>()) {
+        let (ia, ib) = (Int::from(a), Int::from(b));
+        prop_assert_eq!(&ia + &ib, int_of(a as i128 + b as i128));
+        prop_assert_eq!(&ia - &ib, int_of(a as i128 - b as i128));
+        prop_assert_eq!(&ia * &ib, int_of(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn int_divmod_matches_i128(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+        let (q, r) = Int::from(a).divmod(&Int::from(b));
+        prop_assert_eq!(q, int_of(a as i128 / b as i128));
+        prop_assert_eq!(r, int_of(a as i128 % b as i128));
+    }
+
+    #[test]
+    fn int_divmod_roundtrip_large(a in any::<[u64; 4]>(), b in any::<[u64; 2]>().prop_filter("nonzero", |v| v.iter().any(|&x| x != 0))) {
+        // Build multi-limb values deterministically from random limbs.
+        let mut big_a = Int::zero();
+        for &limb in &a {
+            big_a = &(&big_a * &Int::pow2(64)) + &Int::from(limb);
+        }
+        let mut big_b = Int::zero();
+        for &limb in &b {
+            big_b = &(&big_b * &Int::pow2(64)) + &Int::from(limb);
+        }
+        let (q, r) = big_a.divmod(&big_b);
+        prop_assert_eq!(&(&q * &big_b) + &r, big_a);
+        prop_assert!(r.abs() < big_b.abs());
+    }
+
+    #[test]
+    fn int_gcd_divides_both(a in any::<i64>(), b in any::<i64>()) {
+        let g = Int::from(a).gcd(&Int::from(b));
+        if !g.is_zero() {
+            prop_assert!((&Int::from(a) % &g).is_zero());
+            prop_assert!((&Int::from(b) % &g).is_zero());
+        } else {
+            prop_assert_eq!(a, 0);
+            prop_assert_eq!(b, 0);
+        }
+    }
+
+    #[test]
+    fn int_display_parse_roundtrip(a in any::<[u64; 3]>(), neg in any::<bool>()) {
+        let mut v = Int::zero();
+        for &limb in &a {
+            v = &(&v * &Int::pow2(64)) + &Int::from(limb);
+        }
+        if neg { v = -v; }
+        let s = v.to_string();
+        prop_assert_eq!(s.parse::<Int>().unwrap(), v);
+    }
+
+    #[test]
+    fn rat_field_laws(p1 in -1000i64..1000, q1 in 1i64..1000, p2 in -1000i64..1000, q2 in 1i64..1000, p3 in -1000i64..1000, q3 in 1i64..1000) {
+        let a = Rat::new(Int::from(p1), Int::from(q1));
+        let b = Rat::new(Int::from(p2), Int::from(q2));
+        let c = Rat::new(Int::from(p3), Int::from(q3));
+        // commutativity + associativity + distributivity
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // inverses
+        prop_assert_eq!(&a - &a, Rat::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a / &a, Rat::one());
+            prop_assert_eq!(&a * &a.recip(), Rat::one());
+        }
+    }
+
+    #[test]
+    fn rat_ordering_consistent_with_f64(p1 in -10000i64..10000, q1 in 1i64..10000, p2 in -10000i64..10000, q2 in 1i64..10000) {
+        let a = Rat::new(Int::from(p1), Int::from(q1));
+        let b = Rat::new(Int::from(p2), Int::from(q2));
+        let fa = p1 as f64 / q1 as f64;
+        let fb = p2 as f64 / q2 as f64;
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(p in -100000i64..100000, q in 1i64..1000) {
+        let a = Rat::new(Int::from(p), Int::from(q));
+        let fl = Rat::from(a.floor());
+        let ce = Rat::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rat::one());
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Bit-level lowering: word circuits → AND/XOR/NOT circuits.
+//!
+//! The paper treats Boolean and arithmetic circuits interchangeably up to
+//! `poly(log u)` factors (Sec. 4.1). This module makes the translation
+//! concrete: every word wire becomes `width` bit wires; word gates expand
+//! to textbook Boolean blocks (ripple-carry adders, comparators,
+//! multiplexers). The result is exactly what garbled-circuit or GMW-style
+//! protocols consume — XOR gates are "free" in both, so [`BitCircuit`]
+//! reports AND count and AND depth separately.
+
+use crate::{Circuit, Gate, WireId};
+
+/// A bit-level gate over GF(2) with NOT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BGate {
+    /// The `i`-th input bit.
+    Input(usize),
+    /// A constant bit.
+    Const(bool),
+    /// XOR (free in GMW/garbling).
+    Xor(u32, u32),
+    /// AND (the expensive gate).
+    And(u32, u32),
+    /// NOT (free).
+    Not(u32),
+    /// Assertion: the bit must be 0 at evaluation time.
+    AssertFalse(u32),
+}
+
+/// A lowered Boolean circuit.
+pub struct BitCircuit {
+    /// Gates in topological order.
+    pub gates: Vec<BGate>,
+    /// Output bit wires (the word outputs, `width` bits each, LSB first).
+    pub outputs: Vec<u32>,
+    /// Number of input bits.
+    pub num_inputs: usize,
+    /// Word width used by the lowering.
+    pub width: u32,
+}
+
+impl BitCircuit {
+    /// Number of AND gates (the MPC/garbling cost driver).
+    pub fn and_count(&self) -> u64 {
+        self.gates.iter().filter(|g| matches!(g, BGate::And(..))).count() as u64
+    }
+
+    /// Total gate count (excluding inputs and constants).
+    pub fn gate_count(&self) -> u64 {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g, BGate::Input(_) | BGate::Const(_)))
+            .count() as u64
+    }
+
+    /// Multiplicative (AND) depth — the round count of a GMW evaluation.
+    pub fn and_depth(&self) -> u32 {
+        let mut depth = vec![0u32; self.gates.len()];
+        let mut max = 0;
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[i] = match *g {
+                BGate::Input(_) | BGate::Const(_) => 0,
+                BGate::Xor(a, b) => depth[a as usize].max(depth[b as usize]),
+                BGate::Not(a) | BGate::AssertFalse(a) => depth[a as usize],
+                BGate::And(a, b) => depth[a as usize].max(depth[b as usize]) + 1,
+            };
+            max = max.max(depth[i]);
+        }
+        max
+    }
+
+    /// Plaintext evaluation (reference for the MPC protocols).
+    pub fn evaluate(&self, inputs: &[bool]) -> Result<Vec<bool>, crate::EvalError> {
+        if inputs.len() != self.num_inputs {
+            return Err(crate::EvalError::InputArity {
+                expected: self.num_inputs,
+                got: inputs.len(),
+            });
+        }
+        let mut vals = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            vals[i] = match *g {
+                BGate::Input(idx) => inputs[idx],
+                BGate::Const(v) => v,
+                BGate::Xor(a, b) => vals[a as usize] ^ vals[b as usize],
+                BGate::And(a, b) => vals[a as usize] & vals[b as usize],
+                BGate::Not(a) => !vals[a as usize],
+                BGate::AssertFalse(a) => {
+                    if vals[a as usize] {
+                        return Err(crate::EvalError::AssertionFailed { gate: i, value: 1 });
+                    }
+                    false
+                }
+            };
+        }
+        Ok(self.outputs.iter().map(|&w| vals[w as usize]).collect())
+    }
+
+    /// Packs word inputs into the bit layout the lowering expects
+    /// (LSB-first per word).
+    pub fn pack_inputs(&self, words: &[u64]) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(words.len() * self.width as usize);
+        for &w in words {
+            for i in 0..self.width {
+                bits.push((w >> i) & 1 == 1);
+            }
+        }
+        bits
+    }
+
+    /// Unpacks output bits back into words.
+    pub fn unpack_outputs(&self, bits: &[bool]) -> Vec<u64> {
+        bits.chunks(self.width as usize)
+            .map(|chunk| {
+                chunk.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+            })
+            .collect()
+    }
+}
+
+struct Lowerer {
+    gates: Vec<BGate>,
+    zero: u32,
+    one: u32,
+}
+
+impl Lowerer {
+    fn push(&mut self, g: BGate) -> u32 {
+        self.gates.push(g);
+        (self.gates.len() - 1) as u32
+    }
+
+    fn xor(&mut self, a: u32, b: u32) -> u32 {
+        self.push(BGate::Xor(a, b))
+    }
+
+    fn and(&mut self, a: u32, b: u32) -> u32 {
+        self.push(BGate::And(a, b))
+    }
+
+    fn not(&mut self, a: u32) -> u32 {
+        self.push(BGate::Not(a))
+    }
+
+    fn or(&mut self, a: u32, b: u32) -> u32 {
+        // a | b = (a ^ b) ^ (a & b)
+        let x = self.xor(a, b);
+        let n = self.and(a, b);
+        self.xor(x, n)
+    }
+
+    fn mux_bit(&mut self, s: u32, a: u32, b: u32) -> u32 {
+        // b ^ (s & (a ^ b)) — one AND per bit
+        let d = self.xor(a, b);
+        let m = self.and(s, d);
+        self.xor(b, m)
+    }
+
+    /// OR-reduction: "is any bit set" (word truthiness).
+    fn truthy(&mut self, bits: &[u32]) -> u32 {
+        let mut acc = self.zero;
+        for &b in bits {
+            acc = self.or(acc, b);
+        }
+        acc
+    }
+
+    fn add_words(&mut self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut carry = self.zero;
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let xy = self.xor(x, y);
+            let s = self.xor(xy, carry);
+            // carry' = (x & y) ^ (carry & (x ^ y))
+            let g = self.and(x, y);
+            let p = self.and(carry, xy);
+            carry = self.xor(g, p);
+            out.push(s);
+        }
+        out
+    }
+
+    fn neg_words(&mut self, a: &[u32]) -> Vec<u32> {
+        // two's complement: ~a + 1
+        let inv: Vec<u32> = a.iter().map(|&x| self.not(x)).collect();
+        let mut one_word = vec![self.zero; a.len()];
+        one_word[0] = self.one;
+        self.add_words(&inv, &one_word)
+    }
+
+    fn eq_words(&mut self, a: &[u32], b: &[u32]) -> u32 {
+        let mut acc = self.one;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let d = self.xor(x, y);
+            let same = self.not(d);
+            acc = self.and(acc, same);
+        }
+        acc
+    }
+
+    fn lt_words(&mut self, a: &[u32], b: &[u32]) -> u32 {
+        // ripple from LSB: lt = (!a & b) | (!(a^b) & lt_prev)
+        let mut lt = self.zero;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let nx = self.not(x);
+            let here = self.and(nx, y);
+            let d = self.xor(x, y);
+            let same = self.not(d);
+            let keep = self.and(same, lt);
+            lt = self.or(here, keep);
+        }
+        lt
+    }
+
+    fn mul_words(&mut self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let w = a.len();
+        let mut acc = vec![self.zero; w];
+        for (i, &bi) in b.iter().enumerate() {
+            // partial product: (a << i) & bi, truncated to w bits
+            let mut pp = vec![self.zero; w];
+            for j in 0..w - i {
+                pp[i + j] = self.and(a[j], bi);
+            }
+            acc = self.add_words(&acc, &pp);
+        }
+        acc
+    }
+}
+
+/// Lowers a word circuit to bits. Every word input becomes `width` input
+/// bits (LSB first); word values must fit in `width` bits for the
+/// semantics to agree with the word evaluator (checked by tests over the
+/// operating domain).
+///
+/// Width contract: choose `width` so that every domain value is
+/// `< 2^width − 1`. The all-ones word is the image of the reserved `?`
+/// sentinel (`QMARK = u64::MAX`, Sec. 5.3), which truncates consistently:
+/// order and equality comparisons against domain values behave as at word
+/// level, but a domain value equal to `2^width − 1` would collide with it.
+///
+/// # Panics
+/// Panics if the circuit was built in count-only mode.
+pub fn lower(c: &Circuit, width: u32) -> BitCircuit {
+    assert!(c.is_evaluable(), "cannot lower a count-only circuit");
+    let w = width as usize;
+    let mut lw = Lowerer { gates: vec![BGate::Const(false), BGate::Const(true)], zero: 0, one: 1 };
+    let mut word_bits: Vec<Vec<u32>> = Vec::with_capacity(c.num_wires());
+    let mut num_input_bits = 0usize;
+
+    for (i, g) in c.gates().iter().enumerate() {
+        let bits: Vec<u32> = match *g {
+            Gate::Input(idx) => {
+                num_input_bits = num_input_bits.max((idx + 1) * w);
+                (0..w).map(|k| lw.push(BGate::Input(idx * w + k))).collect()
+            }
+            Gate::Const(v) => (0..w)
+                .map(|k| if (v >> k) & 1 == 1 { lw.one } else { lw.zero })
+                .collect(),
+            Gate::Add(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                lw.add_words(&a, &b)
+            }
+            Gate::Sub(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                let nb = lw.neg_words(&b);
+                lw.add_words(&a, &nb)
+            }
+            Gate::Mul(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                lw.mul_words(&a, &b)
+            }
+            Gate::Eq(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                let e = lw.eq_words(&a, &b);
+                let mut out = vec![lw.zero; w];
+                out[0] = e;
+                out
+            }
+            Gate::Lt(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                let l = lw.lt_words(&a, &b);
+                let mut out = vec![lw.zero; w];
+                out[0] = l;
+                out
+            }
+            Gate::And(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                let (ta, tb) = (lw.truthy(&a), lw.truthy(&b));
+                let r = lw.and(ta, tb);
+                let mut out = vec![lw.zero; w];
+                out[0] = r;
+                out
+            }
+            Gate::Or(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                let (ta, tb) = (lw.truthy(&a), lw.truthy(&b));
+                let r = lw.or(ta, tb);
+                let mut out = vec![lw.zero; w];
+                out[0] = r;
+                out
+            }
+            Gate::Xor(a, b) => {
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                let (ta, tb) = (lw.truthy(&a), lw.truthy(&b));
+                let r = lw.xor(ta, tb);
+                let mut out = vec![lw.zero; w];
+                out[0] = r;
+                out
+            }
+            Gate::Not(a) => {
+                let a = word_bits[a as usize].clone();
+                let ta = lw.truthy(&a);
+                let r = lw.not(ta);
+                let mut out = vec![lw.zero; w];
+                out[0] = r;
+                out
+            }
+            Gate::Mux(s, a, b) => {
+                let s_bits = word_bits[s as usize].clone();
+                let ts = lw.truthy(&s_bits);
+                let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
+                a.iter().zip(b.iter()).map(|(&x, &y)| lw.mux_bit(ts, x, y)).collect()
+            }
+            Gate::AssertZero(a) => {
+                let a = word_bits[a as usize].clone();
+                let ta = lw.truthy(&a);
+                lw.push(BGate::AssertFalse(ta));
+                vec![lw.zero; w]
+            }
+        };
+        debug_assert_eq!(i, word_bits.len());
+        word_bits.push(bits);
+    }
+
+    let outputs = c
+        .outputs()
+        .iter()
+        .flat_map(|&w_id: &WireId| word_bits[w_id as usize].clone())
+        .collect();
+    BitCircuit { gates: lw.gates, outputs, num_inputs: num_input_bits, width }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Builder, Mode};
+
+    fn check_against_words(build: impl Fn(&mut Builder) -> Vec<WireId>, inputs: &[u64], width: u32) {
+        let mut b = Builder::new(Mode::Build);
+        let outs = build(&mut b);
+        let c = b.finish(outs);
+        let word_result = c.evaluate(inputs).unwrap();
+        let bc = lower(&c, width);
+        let bit_result = bc.unpack_outputs(&bc.evaluate(&bc.pack_inputs(inputs)).unwrap());
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let masked: Vec<u64> = word_result.iter().map(|&v| v & mask).collect();
+        assert_eq!(bit_result, masked, "inputs {inputs:?}");
+    }
+
+    #[test]
+    fn arithmetic_gates_agree_with_word_semantics() {
+        let build = |b: &mut Builder| {
+            let x = b.input();
+            let y = b.input();
+            vec![b.add(x, y), b.sub(x, y), b.mul(x, y)]
+        };
+        for (x, y) in [(3u64, 5u64), (200, 55), (255, 255), (0, 0), (17, 4)] {
+            check_against_words(build, &[x, y], 16);
+        }
+    }
+
+    #[test]
+    fn comparison_and_logic_agree() {
+        let build = |b: &mut Builder| {
+            let x = b.input();
+            let y = b.input();
+            let e = b.eq(x, y);
+            let l = b.lt(x, y);
+            let a = b.and(x, y);
+            let o = b.or(x, y);
+            let n = b.not(x);
+            let xo = b.xor(x, y);
+            vec![e, l, a, o, n, xo]
+        };
+        for (x, y) in [(3u64, 5u64), (5, 3), (7, 7), (0, 9), (0, 0)] {
+            check_against_words(build, &[x, y], 12);
+        }
+    }
+
+    #[test]
+    fn mux_agrees() {
+        let build = |b: &mut Builder| {
+            let s = b.input();
+            let x = b.input();
+            let y = b.input();
+            vec![b.mux(s, x, y)]
+        };
+        for (s, x, y) in [(0u64, 11u64, 22u64), (1, 11, 22), (9, 11, 22)] {
+            check_against_words(build, &[s, x, y], 8);
+        }
+    }
+
+    #[test]
+    fn assertion_lowering_fires() {
+        let mut b = Builder::new(Mode::Build);
+        let x = b.input();
+        b.assert_zero(x);
+        let c = b.finish(vec![]);
+        let bc = lower(&c, 8);
+        assert!(bc.evaluate(&bc.pack_inputs(&[0])).is_ok());
+        assert!(bc.evaluate(&bc.pack_inputs(&[4])).is_err());
+    }
+
+    #[test]
+    fn and_metrics() {
+        let mut b = Builder::new(Mode::Build);
+        let x = b.input();
+        let y = b.input();
+        let s = b.add(x, y);
+        let c = b.finish(vec![s]);
+        let bc = lower(&c, 16);
+        // ripple-carry: 2 ANDs per bit (generate + propagate)
+        assert_eq!(bc.and_count(), 32);
+        assert!(bc.and_depth() >= 15, "carry chain depth");
+        assert!(bc.gate_count() > bc.and_count());
+    }
+
+    #[test]
+    fn wrapping_matches_width() {
+        let build = |b: &mut Builder| {
+            let x = b.input();
+            let y = b.input();
+            vec![b.add(x, y)]
+        };
+        // 250 + 10 wraps mod 2^8 = 4
+        check_against_words(build, &[250, 10], 8);
+    }
+}

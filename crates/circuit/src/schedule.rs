@@ -1,0 +1,253 @@
+//! Brent's theorem, operationally (Sec. 1): a circuit of size `W` and
+//! depth `D` runs on a `P`-processor PRAM in `O(W/P + D)` steps by
+//! executing it level by level.
+
+use crate::{Circuit, EvalError, Gate};
+
+/// Evaluates a materialized circuit with a levelized multi-threaded
+/// schedule: gates of equal depth are independent by construction, so
+/// each level is split across `threads` workers with a barrier between
+/// levels — the PRAM schedule behind Brent's theorem, realized with OS
+/// threads.
+///
+/// Produces exactly the same outputs (and assertion failures) as
+/// [`Circuit::evaluate`]; the test suite checks this. Worthwhile only for
+/// large circuits — for small ones thread coordination dominates.
+pub fn evaluate_levelized(
+    c: &Circuit,
+    inputs: &[u64],
+    threads: usize,
+) -> Result<Vec<u64>, EvalError> {
+    assert!(threads >= 1);
+    if c.gates().is_empty() {
+        return c.evaluate(inputs); // count-only or trivial: delegate
+    }
+    if inputs.len() != c.num_inputs() {
+        return Err(EvalError::InputArity { expected: c.num_inputs(), got: inputs.len() });
+    }
+    // Bucket gate indices by depth. Depth-0 gates (inputs/constants) are
+    // filled sequentially; the rest level by level.
+    let depths = c.wire_depths();
+    let max_depth = c.depth() as usize;
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
+    for (i, &d) in depths.iter().enumerate() {
+        levels[d as usize].push(i);
+    }
+
+    let mut values = vec![0u64; c.gates().len()];
+    for &i in &levels[0] {
+        values[i] = match c.gates()[i] {
+            Gate::Input(idx) => inputs[idx],
+            Gate::Const(v) => v,
+            _ => unreachable!("only inputs/constants have depth 0"),
+        };
+    }
+
+    let as_bool = |v: u64| -> u64 { u64::from(v != 0) };
+    let eval_gate = |g: &Gate, values: &[u64]| -> Result<u64, usize> {
+        Ok(match *g {
+            Gate::Input(_) | Gate::Const(_) => unreachable!("depth ≥ 1"),
+            Gate::Add(a, b) => values[a as usize].wrapping_add(values[b as usize]),
+            Gate::Sub(a, b) => values[a as usize].wrapping_sub(values[b as usize]),
+            Gate::Mul(a, b) => values[a as usize].wrapping_mul(values[b as usize]),
+            Gate::Eq(a, b) => u64::from(values[a as usize] == values[b as usize]),
+            Gate::Lt(a, b) => u64::from(values[a as usize] < values[b as usize]),
+            Gate::And(a, b) => as_bool(values[a as usize]) & as_bool(values[b as usize]),
+            Gate::Or(a, b) => as_bool(values[a as usize]) | as_bool(values[b as usize]),
+            Gate::Xor(a, b) => as_bool(values[a as usize]) ^ as_bool(values[b as usize]),
+            Gate::Not(a) => u64::from(values[a as usize] == 0),
+            Gate::Mux(s, a, b) => {
+                if values[s as usize] != 0 {
+                    values[a as usize]
+                } else {
+                    values[b as usize]
+                }
+            }
+            Gate::AssertZero(a) => {
+                if values[a as usize] != 0 {
+                    return Err(values[a as usize] as usize);
+                }
+                0
+            }
+        })
+    };
+
+    struct ValuesPtr(*mut u64);
+    // SAFETY token: within one level every gate writes only its own slot
+    // and reads only strictly-lower-depth slots, so per-level chunks are
+    // disjoint writers over `values`.
+    unsafe impl Sync for ValuesPtr {}
+
+    if threads == 1 {
+        for level in levels.iter().skip(1) {
+            for &i in level {
+                match eval_gate(&c.gates()[i], &values) {
+                    Ok(v) => values[i] = v,
+                    Err(value) => {
+                        return Err(EvalError::AssertionFailed { gate: i, value: value as u64 })
+                    }
+                }
+            }
+        }
+        return Ok(c.outputs().iter().map(|&w| values[w as usize]).collect());
+    }
+
+    // Persistent workers: one barrier round per level (the PRAM step),
+    // not one thread spawn per level.
+    let len = values.len();
+    let ptr = ValuesPtr(values.as_mut_ptr());
+    let barrier = std::sync::Barrier::new(threads);
+    let failure = std::sync::Mutex::new(None::<(usize, u64)>);
+    // One stop flag *per level*: a fast worker that fails in level L+1
+    // must not make slow workers (still sampling level L's flag after the
+    // barrier) exit early and strand everyone else at the next barrier.
+    let failed: Vec<std::sync::atomic::AtomicBool> =
+        levels.iter().map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let ptr = &ptr;
+            let barrier = &barrier;
+            let failure = &failure;
+            let failed = &failed;
+            let levels = &levels;
+            let gates = c.gates();
+            scope.spawn(move || {
+                let values_ref: &[u64] = unsafe { std::slice::from_raw_parts(ptr.0, len) };
+                for (li, level) in levels.iter().enumerate().skip(1) {
+                    let chunk = level.len().div_ceil(threads);
+                    let lo = (worker * chunk).min(level.len());
+                    let hi = ((worker + 1) * chunk).min(level.len());
+                    for &i in &level[lo..hi] {
+                        match eval_gate(&gates[i], values_ref) {
+                            // SAFETY: slot `i` belongs to this level and this
+                            // worker's chunk; no other thread touches it
+                            // during this level.
+                            Ok(v) => unsafe { *ptr.0.add(i) = v },
+                            Err(value) => {
+                                *failure.lock().expect("poison-free") = Some((i, value as u64));
+                                failed[li].store(true, std::sync::atomic::Ordering::SeqCst);
+                                break;
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    if failed[li].load(std::sync::atomic::Ordering::SeqCst) {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some((gate, value)) = failure.into_inner().expect("poison-free") {
+        return Err(EvalError::AssertionFailed { gate, value });
+    }
+    Ok(c.outputs().iter().map(|&w| values[w as usize]).collect())
+}
+
+/// Number of logic gates at each depth level `1..=depth` (level `d` holds
+/// gates whose longest input path is `d`).
+pub fn level_widths(c: &Circuit) -> Vec<u64> {
+    let depth = c.depth() as usize;
+    let mut widths = vec![0u64; depth];
+    for &d in c.wire_depths() {
+        if d >= 1 {
+            widths[d as usize - 1] += 1;
+        }
+    }
+    widths
+}
+
+/// PRAM steps for a levelized schedule on `p` processors:
+/// `Σ_levels ⌈width/p⌉`. Equals the circuit depth when `p = ∞` and the
+/// size when `p = 1`; Brent's bound `W/P + D` in between.
+pub fn brent_steps(c: &Circuit, p: u64) -> u64 {
+    assert!(p >= 1, "at least one processor");
+    level_widths(c).iter().map(|&w| w.div_ceil(p)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Builder, Mode};
+
+    fn sample_circuit() -> Circuit {
+        let mut b = Builder::new(Mode::Count);
+        let xs: Vec<_> = (0..64).map(|_| b.input()).collect();
+        // balanced reduction tree: 63 gates, depth 6
+        let mut layer = xs;
+        while layer.len() > 1 {
+            layer = layer.chunks(2).map(|ch| b.add(ch[0], ch[1])).collect();
+        }
+        b.finish(vec![layer[0]])
+    }
+
+    #[test]
+    fn one_processor_costs_size() {
+        let c = sample_circuit();
+        assert_eq!(brent_steps(&c, 1), c.size());
+    }
+
+    #[test]
+    fn unlimited_processors_cost_depth() {
+        let c = sample_circuit();
+        assert_eq!(brent_steps(&c, 1 << 40), u64::from(c.depth()));
+    }
+
+    #[test]
+    fn brent_bound_holds() {
+        let c = sample_circuit();
+        for p in [1u64, 2, 3, 4, 8, 16, 64] {
+            let steps = brent_steps(&c, p);
+            let bound = c.size() / p + u64::from(c.depth());
+            assert!(steps <= bound, "p = {p}: {steps} > {bound}");
+            assert!(steps >= (c.size() / p).max(u64::from(c.depth())));
+        }
+    }
+
+    #[test]
+    fn levelized_evaluation_matches_sequential() {
+        use crate::rel::{encode_relation, relation_to_values};
+        use crate::sort::{sort_slots, SortKey};
+        use qec_relation::{Relation, Var};
+        let mut b = Builder::new(Mode::Build);
+        let w = encode_relation(&mut b, vec![Var(0), Var(1)], 32);
+        let s = sort_slots(&mut b, &w, &SortKey::Columns(vec![Var(0)]));
+        let c = b.finish(s.flatten());
+        let r = Relation::from_rows(
+            vec![Var(0), Var(1)],
+            (0..30u64).map(|i| vec![97 - 3 * i, i]).collect(),
+        );
+        let inputs = relation_to_values(&r, 32).unwrap();
+        let seq = c.evaluate(&inputs).unwrap();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(evaluate_levelized(&c, &inputs, threads).unwrap(), seq, "{threads}");
+        }
+    }
+
+    #[test]
+    fn levelized_assertions_fire() {
+        let mut b = Builder::new(Mode::Build);
+        let xs: Vec<_> = (0..64).map(|_| b.input()).collect();
+        // wide level of asserts so the parallel path actually engages
+        for &x in &xs {
+            let y = b.not(x);
+            b.assert_zero(y); // fires when x == 0
+        }
+        let c = b.finish(vec![]);
+        let ones = vec![1u64; 64];
+        assert!(evaluate_levelized(&c, &ones, 4).is_ok());
+        let mut bad = ones.clone();
+        bad[17] = 0;
+        assert!(matches!(
+            evaluate_levelized(&c, &bad, 4),
+            Err(EvalError::AssertionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn level_widths_sum_to_size() {
+        let c = sample_circuit();
+        assert_eq!(level_widths(&c).iter().sum::<u64>(), c.size());
+        assert_eq!(level_widths(&c), vec![32, 16, 8, 4, 2, 1]);
+    }
+}

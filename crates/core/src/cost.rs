@@ -1,0 +1,67 @@
+//! The relational-gate cost model of Sec. 4.3.
+
+use qec_bignum::Int;
+
+use crate::{RcOp, RelationalCircuit};
+
+/// Total cost of a relational circuit under the paper's model:
+///
+/// * selection / projection / aggregation / sorting / truncation / map
+///   gates cost their input capacity `N`;
+/// * a union gate costs `M + N`;
+/// * a primary-key join or semijoin costs `M + N'`;
+/// * a degree-bounded join costs `M·N + N'`;
+/// * an output-bounded join costs `M + N + OUT`;
+/// * each decomposition part costs its input capacity (the whole
+///   decomposition is `Õ(N)` — Alg. 2).
+///
+/// The lowered word circuit's gate count is this cost times a polylog
+/// factor; experiment X4 measures the ratio.
+pub fn paper_cost(rc: &RelationalCircuit) -> Int {
+    let mut total = Int::zero();
+    let cap = |id: usize| Int::from(rc.nodes[id].capacity);
+    for n in &rc.nodes {
+        let c = match &n.op {
+            RcOp::Input { .. } => Int::zero(),
+            RcOp::Select { input, .. }
+            | RcOp::Project { input, .. }
+            | RcOp::Aggregate { input, .. }
+            | RcOp::Order { input, .. }
+            | RcOp::Decompose { input, .. }
+            | RcOp::Truncate { input, .. }
+            | RcOp::AttachConst { input, .. }
+            | RcOp::MapMul { input, .. } => cap(*input),
+            RcOp::Union { a, b } | RcOp::JoinPk { a, b } | RcOp::Semijoin { a, b } => {
+                &cap(*a) + &cap(*b)
+            }
+            RcOp::JoinDegree { a, b, deg } => {
+                &(&cap(*a) * &Int::from(*deg)) + &cap(*b)
+            }
+            RcOp::JoinOutput { a, b, out_bound } => {
+                &(&cap(*a) + &cap(*b)) + &Int::from(*out_bound)
+            }
+        };
+        total = &total + &c;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_relation::{Var, VarSet};
+
+    #[test]
+    fn cost_matches_hand_count() {
+        let mut rc = RelationalCircuit::new();
+        let vs = |bits: &[u32]| -> VarSet { bits.iter().map(|&i| Var(i)).collect() };
+        let r = rc.input("R", vs(&[0, 1]), 10); // 0
+        let s = rc.input("S", vs(&[1, 2]), 20); // 0
+        let p = rc.project(r, vs(&[1])); // 10
+        let j = rc.join_degree(p, s, 3); // 10·3 + 20 = 50
+        let u = rc.union(j, j); // 30 + 30 = 60
+        let t = rc.truncate(u, 5); // 60
+        rc.mark_output(t);
+        assert_eq!(paper_cost(&rc), qec_bignum::Int::from(180u64));
+    }
+}

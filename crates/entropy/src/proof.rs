@@ -1,0 +1,411 @@
+//! Proof sequences for Shannon-flow inequalities (Sec. 3.4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qec_bignum::Rat;
+use qec_relation::{Var, VarSet};
+
+/// A (possibly conditional) entropy term `h(Y|X)` with `X ⊂ Y`;
+/// unconditional terms have `X = ∅`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Term {
+    /// The conditioning set `X`.
+    pub on: VarSet,
+    /// The conditioned set `Y`.
+    pub of: VarSet,
+}
+
+impl Term {
+    /// Unconditional term `h(Y)`.
+    pub fn plain(of: VarSet) -> Term {
+        Term { on: VarSet::EMPTY, of }
+    }
+
+    /// Conditional term `h(Y|X)`.
+    ///
+    /// # Panics
+    /// Panics unless `X ⊂ Y`.
+    pub fn cond(on: VarSet, of: VarSet) -> Term {
+        assert!(on.is_subset(of) && on != of, "term requires X ⊂ Y");
+        Term { on, of }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.on.is_empty() {
+            write!(f, "h({})", self.of)
+        } else {
+            write!(f, "h({}|{})", self.of, self.on)
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// One proof step (the four rules of Sec. 3.4).
+///
+/// Each step is a "rule vector": it consumes some terms and produces
+/// others; an inequality-rule step is sound because the consumed terms
+/// dominate the produced ones for every polymatroid `h`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// `s_{I,J}`: submodularity `h(I|I∩J) ≥ h(I∪J|J)` — consumes
+    /// `(I∩J, I)`, produces `(J, I∪J)`.
+    Sub {
+        /// The set `I`.
+        i: VarSet,
+        /// The set `J`.
+        j: VarSet,
+    },
+    /// `m_{X,Y}`: monotonicity `h(Y) ≥ h(X)` for `X ⊆ Y` — consumes
+    /// `(∅, Y)`, produces `(∅, X)`.
+    Mono {
+        /// The smaller set `X`.
+        x: VarSet,
+        /// The larger set `Y`.
+        y: VarSet,
+    },
+    /// `c_{X,Y}`: composition `h(X) + h(Y|X) ≥ h(Y)` — consumes `(∅, X)`
+    /// and `(X, Y)`, produces `(∅, Y)`.
+    Comp {
+        /// The prefix set `X`.
+        x: VarSet,
+        /// The full set `Y`.
+        y: VarSet,
+    },
+    /// `d_{Y,X}`: decomposition `h(Y) ≥ h(X) + h(Y|X)` — consumes `(∅, Y)`,
+    /// produces `(∅, X)` and `(X, Y)`.
+    Decomp {
+        /// The set being decomposed `Y`.
+        y: VarSet,
+        /// The split point `X`.
+        x: VarSet,
+    },
+}
+
+impl ProofStep {
+    /// Terms consumed (coefficient decreases).
+    pub fn consumes(&self) -> Vec<Term> {
+        match *self {
+            ProofStep::Sub { i, j } => vec![Term { on: i.intersect(j), of: i }],
+            ProofStep::Mono { y, .. } => vec![Term::plain(y)],
+            ProofStep::Comp { x, y } => vec![Term::plain(x), Term { on: x, of: y }],
+            ProofStep::Decomp { y, .. } => vec![Term::plain(y)],
+        }
+    }
+
+    /// Terms produced (coefficient increases).
+    pub fn produces(&self) -> Vec<Term> {
+        match *self {
+            ProofStep::Sub { i, j } => vec![Term { on: j, of: i.union(j) }],
+            ProofStep::Mono { x, .. } => vec![Term::plain(x)],
+            ProofStep::Comp { y, .. } => vec![Term::plain(y)],
+            ProofStep::Decomp { y, x } => vec![Term::plain(x), Term { on: x, of: y }],
+        }
+    }
+
+    /// Structural validity of the rule instance itself.
+    pub fn well_formed(&self) -> bool {
+        match *self {
+            ProofStep::Sub { i, j } => {
+                let meet = i.intersect(j);
+                // consumed (I∩J, I) and produced (J, I∪J) must be proper
+                meet != i && j != i.union(j)
+            }
+            ProofStep::Mono { x, y } => x.is_subset(y) && x != y,
+            ProofStep::Comp { x, y } => !x.is_empty() && x.is_subset(y) && x != y,
+            ProofStep::Decomp { y, x } => !x.is_empty() && x.is_subset(y) && x != y,
+        }
+    }
+}
+
+impl fmt::Display for ProofStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProofStep::Sub { i, j } => write!(f, "s[{i};{j}]"),
+            ProofStep::Mono { x, y } => write!(f, "m[{x}≤{y}]"),
+            ProofStep::Comp { x, y } => write!(f, "c[{x}→{y}]"),
+            ProofStep::Decomp { y, x } => write!(f, "d[{y}→{x}]"),
+        }
+    }
+}
+
+/// A weighted proof step `w·f`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedStep {
+    /// The rule applied.
+    pub step: ProofStep,
+    /// Its weight `w > 0`.
+    pub weight: Rat,
+}
+
+/// A Shannon-flow inequality `⟨δ, h⟩ ≥ λ·h(target)` together with a proof
+/// sequence and the variable order the chain construction used.
+#[derive(Clone, Debug)]
+pub struct ShannonFlowProof {
+    /// Number of query variables.
+    pub num_vars: u32,
+    /// Target set `B` (the RHS is `λ·h(B)`).
+    pub target: VarSet,
+    /// RHS weight `λ` (`1` after normalization).
+    pub lambda: Rat,
+    /// The starting coefficient vector `δ` (LHS), as sparse `(term, w)`.
+    pub delta: Vec<(Term, Rat)>,
+    /// The proof steps, in application order.
+    pub steps: Vec<WeightedStep>,
+    /// Variable order used by the chain construction (diagnostics and
+    /// PANDA-C's deterministic replay).
+    pub order: Vec<Var>,
+    /// `Σ δ_{Y|X}·n_{Y|X}` for the degree bounds the proof was built from —
+    /// the log of the cost bound this certificate yields.
+    pub log_cost: Rat,
+}
+
+impl std::fmt::Display for ShannonFlowProof {
+    /// Paper-style rendering: the Shannon-flow inequality, then the step
+    /// list with weights (compare Sec. 3.4's worked derivation of
+    /// inequality (2) and sequence (3)).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (t, w) in &self.delta {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if *w == Rat::one() {
+                write!(f, "{t}")?;
+            } else {
+                write!(f, "{w}·{t}")?;
+            }
+        }
+        writeln!(f, "  ≥  {}·h({})", self.lambda, self.target)?;
+        for (i, ws) in self.steps.iter().enumerate() {
+            let kind = match ws.step {
+                ProofStep::Sub { .. } => "submodularity",
+                ProofStep::Mono { .. } => "monotonicity",
+                ProofStep::Comp { .. } => "composition",
+                ProofStep::Decomp { .. } => "decomposition",
+            };
+            writeln!(f, "  {:>2}. {}  ×{}   ({kind})", i + 1, ws.step, ws.weight)?;
+        }
+        Ok(())
+    }
+}
+
+/// Validation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// A step is not a well-formed rule instance.
+    MalformedStep(usize),
+    /// A step has non-positive weight.
+    NonPositiveWeight(usize),
+    /// Applying step `index` would drive `term`'s coefficient negative.
+    NegativeCoefficient {
+        /// Index of the offending step.
+        index: usize,
+        /// The term whose coefficient would go negative.
+        term: Term,
+    },
+    /// The final vector does not dominate `λ·(∅, target)`.
+    TargetNotReached,
+    /// A starting coefficient is negative.
+    NegativeDelta(Term),
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::MalformedStep(i) => write!(f, "step {i} is not a valid rule instance"),
+            ProofError::NonPositiveWeight(i) => write!(f, "step {i} has non-positive weight"),
+            ProofError::NegativeCoefficient { index, term } => {
+                write!(f, "step {index} drives the coefficient of {term} negative")
+            }
+            ProofError::TargetNotReached => write!(f, "final vector does not cover the target"),
+            ProofError::NegativeDelta(t) => write!(f, "starting coefficient of {t} is negative"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// Independently validates a proof sequence: every step is a well-formed
+/// rule with positive weight, every intermediate coefficient vector is
+/// non-negative, and the final vector dominates `λ` at the target (the
+/// three conditions of Sec. 3.4).
+pub fn validate(proof: &ShannonFlowProof) -> Result<(), ProofError> {
+    let mut coeff: BTreeMap<Term, Rat> = BTreeMap::new();
+    for (t, w) in &proof.delta {
+        if w.is_negative() {
+            return Err(ProofError::NegativeDelta(*t));
+        }
+        let e = coeff.entry(*t).or_insert_with(Rat::zero);
+        *e = &*e + w;
+    }
+    for (idx, ws) in proof.steps.iter().enumerate() {
+        if !ws.step.well_formed() {
+            return Err(ProofError::MalformedStep(idx));
+        }
+        if !ws.weight.is_positive() {
+            return Err(ProofError::NonPositiveWeight(idx));
+        }
+        for t in ws.step.consumes() {
+            let e = coeff.entry(t).or_insert_with(Rat::zero);
+            *e = &*e - &ws.weight;
+            if e.is_negative() {
+                return Err(ProofError::NegativeCoefficient { index: idx, term: t });
+            }
+        }
+        for t in ws.step.produces() {
+            let e = coeff.entry(t).or_insert_with(Rat::zero);
+            *e = &*e + &ws.weight;
+        }
+    }
+    let got = coeff.get(&Term::plain(proof.target)).cloned().unwrap_or_else(Rat::zero);
+    if got < proof.lambda {
+        return Err(ProofError::TargetNotReached);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_bignum::rat;
+
+    fn vs(bits: &[u32]) -> VarSet {
+        bits.iter().map(|&i| Var(i)).collect()
+    }
+
+    /// The paper's proof of inequality (2), sequence (3):
+    /// `(s_{AB,C}, d_{BC,C}, s_{BC,AC}, c_{C,ABC}, c_{AC,ABC})`,
+    /// normalized to `λ = 1` (all weights 1/2).
+    fn paper_triangle_proof() -> ShannonFlowProof {
+        let (a, b, c) = (0u32, 1u32, 2u32);
+        let h = rat(1, 2);
+        ShannonFlowProof {
+            num_vars: 3,
+            target: vs(&[a, b, c]),
+            lambda: Rat::one(),
+            delta: vec![
+                (Term::plain(vs(&[a, b])), h.clone()),
+                (Term::plain(vs(&[b, c])), h.clone()),
+                (Term::plain(vs(&[a, c])), h.clone()),
+            ],
+            steps: vec![
+                // s_{AB,C}: consumes h(AB|∅), produces h(ABC|C)
+                WeightedStep { step: ProofStep::Sub { i: vs(&[a, b]), j: vs(&[c]) }, weight: h.clone() },
+                // d_{BC,C}: h(BC) → h(C) + h(BC|C)
+                WeightedStep {
+                    step: ProofStep::Decomp { y: vs(&[b, c]), x: vs(&[c]) },
+                    weight: h.clone(),
+                },
+                // s_{BC,AC}: consumes h(BC|C), produces h(ABC|AC)
+                WeightedStep {
+                    step: ProofStep::Sub { i: vs(&[b, c]), j: vs(&[a, c]) },
+                    weight: h.clone(),
+                },
+                // c_{C,ABC}: h(C) + h(ABC|C) → h(ABC)
+                WeightedStep {
+                    step: ProofStep::Comp { x: vs(&[c]), y: vs(&[a, b, c]) },
+                    weight: h.clone(),
+                },
+                // c_{AC,ABC}: h(AC) + h(ABC|AC) → h(ABC)
+                WeightedStep {
+                    step: ProofStep::Comp { x: vs(&[a, c]), y: vs(&[a, b, c]) },
+                    weight: h,
+                },
+            ],
+            order: vec![Var(0), Var(1), Var(2)],
+            log_cost: Rat::zero(),
+        }
+    }
+
+    #[test]
+    fn paper_example_sequence_validates() {
+        // Golden test: the exact proof sequence (3) from the paper.
+        validate(&paper_triangle_proof()).unwrap();
+    }
+
+    #[test]
+    fn lambda_two_without_scaling_fails() {
+        // With λ = 2 but δ weights of 1/2 the proof produces only 1 unit.
+        let mut p = paper_triangle_proof();
+        p.lambda = rat(2, 1);
+        assert_eq!(validate(&p), Err(ProofError::TargetNotReached));
+    }
+
+    #[test]
+    fn negative_intermediate_detected() {
+        let mut p = paper_triangle_proof();
+        // bump the first step's weight beyond the available 1/2
+        p.steps[0].weight = rat(2, 3);
+        let err = validate(&p).unwrap_err();
+        assert!(matches!(err, ProofError::NegativeCoefficient { index: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_steps_detected() {
+        let mut p = paper_triangle_proof();
+        p.steps[1].step = ProofStep::Mono { x: vs(&[0, 1]), y: vs(&[0]) }; // X ⊄ Y
+        assert_eq!(validate(&p), Err(ProofError::MalformedStep(1)));
+
+        let mut p2 = paper_triangle_proof();
+        p2.steps[0].weight = Rat::zero();
+        assert_eq!(validate(&p2), Err(ProofError::NonPositiveWeight(0)));
+    }
+
+    #[test]
+    fn step_vectors_match_paper_semantics() {
+        // d_{Y,X}: -1 at (∅,Y), +1 at (∅,X) and (X,Y) — the example given
+        // below Eq. (3) in the paper.
+        let d = ProofStep::Decomp { y: vs(&[1, 2]), x: vs(&[2]) };
+        assert_eq!(d.consumes(), vec![Term::plain(vs(&[1, 2]))]);
+        assert_eq!(
+            d.produces(),
+            vec![Term::plain(vs(&[2])), Term::cond(vs(&[2]), vs(&[1, 2]))]
+        );
+        let s = ProofStep::Sub { i: vs(&[0, 1]), j: vs(&[2]) };
+        assert_eq!(s.consumes(), vec![Term::plain(vs(&[0, 1]))]);
+        assert_eq!(s.produces(), vec![Term::cond(vs(&[2]), vs(&[0, 1, 2]))]);
+    }
+
+    #[test]
+    fn mono_step_roundtrip() {
+        // h(ABC) ≥ h(A): a one-step proof of a trivial inequality.
+        let p = ShannonFlowProof {
+            num_vars: 3,
+            target: vs(&[0]),
+            lambda: Rat::one(),
+            delta: vec![(Term::plain(vs(&[0, 1, 2])), Rat::one())],
+            steps: vec![WeightedStep {
+                step: ProofStep::Mono { x: vs(&[0]), y: vs(&[0, 1, 2]) },
+                weight: Rat::one(),
+            }],
+            order: vec![Var(0)],
+            log_cost: Rat::zero(),
+        };
+        validate(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_sequence_needs_delta_at_target() {
+        let p = ShannonFlowProof {
+            num_vars: 2,
+            target: vs(&[0, 1]),
+            lambda: Rat::one(),
+            delta: vec![(Term::plain(vs(&[0, 1])), Rat::one())],
+            steps: vec![],
+            order: vec![],
+            log_cost: Rat::zero(),
+        };
+        validate(&p).unwrap();
+        let p2 = ShannonFlowProof { delta: vec![], ..p };
+        assert_eq!(validate(&p2), Err(ProofError::TargetNotReached));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the bound/proof layer: on random constraint sets,
+//! every constructed proof sequence must validate, its cost must dominate
+//! the polymatroid bound (weak duality for certificates), and for
+//! cardinality-only constraints it must *equal* the bound (the chain
+//! construction subsumes the weighted AGM certificate).
+
+use proptest::prelude::*;
+use qec_bignum::Rat;
+use qec_entropy::{polymatroid_bound, prove_bound, validate, BoundError, ChainProofError};
+use qec_relation::{DcSet, DegreeConstraint, Var, VarSet};
+
+fn vs(mask: u64) -> VarSet {
+    VarSet(mask)
+}
+
+/// Random cardinality constraints over 3–4 variables with power-of-two
+/// bounds; always includes a constraint covering each variable so the
+/// bound is finite.
+fn card_dc(n: u32) -> impl Strategy<Value = DcSet> {
+    let full = (1u64 << n) - 1;
+    let edges = prop::collection::vec(
+        (1..=full, 1u32..10),
+        1..5,
+    );
+    edges.prop_map(move |es| {
+        let mut v: Vec<DegreeConstraint> = es
+            .into_iter()
+            .map(|(mask, exp)| DegreeConstraint::cardinality(vs(mask & full), 1u64 << exp))
+            .collect();
+        // guarantee coverage: one constraint per variable
+        for i in 0..n {
+            v.push(DegreeConstraint::cardinality(VarSet::singleton(Var(i)), 1 << 5));
+        }
+        DcSet::from_vec(v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cardinality_only_chains_attain_the_bound(n in 3u32..5, dc in card_dc(4)) {
+        let n = n.min(4);
+        let target = VarSet::full(n);
+        // restrict constraints to the first n variables
+        let dc = DcSet::from_vec(
+            dc.iter().filter(|c| c.of.is_subset(target)).copied().collect(),
+        );
+        if dc.is_empty() {
+            return Ok(());
+        }
+        let bound = match polymatroid_bound(n, &dc, target) {
+            Ok(b) => b,
+            Err(BoundError::Unbounded) => return Ok(()),
+            Err(e) => panic!("{e}"),
+        };
+        let proof = prove_bound(n, &dc, target, None).expect("cardinality chains always exist");
+        validate(&proof).expect("constructed proofs validate");
+        prop_assert_eq!(proof.log_cost, bound.log_value);
+    }
+
+    #[test]
+    fn degree_constrained_proofs_validate_and_dominate(
+        card_exp in 3u32..8,
+        deg_exp in 0u32..6,
+        on_a in any::<bool>(),
+    ) {
+        // triangle with a random degree constraint on one edge
+        let ab = vs(0b011);
+        let bc = vs(0b110);
+        let ac = vs(0b101);
+        let n_card = 1u64 << card_exp;
+        let mut v = vec![
+            DegreeConstraint::cardinality(ab, n_card),
+            DegreeConstraint::cardinality(bc, n_card),
+            DegreeConstraint::cardinality(ac, n_card),
+        ];
+        let on = if on_a { vs(0b010) } else { vs(0b100) };
+        v.push(DegreeConstraint::degree(on, bc, 1u64 << deg_exp));
+        let dc = DcSet::from_vec(v);
+        let target = VarSet::full(3);
+        let bound = polymatroid_bound(3, &dc, target).expect("finite");
+        let proof = prove_bound(3, &dc, target, None).expect("chain exists");
+        validate(&proof).expect("validates");
+        // weak duality: any valid certificate costs at least the bound
+        prop_assert!(proof.log_cost >= bound.log_value);
+        // and on this family the chain is actually tight
+        prop_assert_eq!(proof.log_cost, bound.log_value);
+    }
+
+    #[test]
+    fn bag_targets_are_monotone(dc in card_dc(4)) {
+        // h is monotone, so LOGDAPB over a subset target is ≤ over a superset
+        let small = vs(0b0011);
+        let large = vs(0b0111);
+        let b_small = polymatroid_bound(4, &dc, small);
+        let b_large = polymatroid_bound(4, &dc, large);
+        if let (Ok(s), Ok(l)) = (b_small, b_large) {
+            prop_assert!(s.log_value <= l.log_value);
+        }
+    }
+
+    #[test]
+    fn witness_attains_the_bound(dc in card_dc(3)) {
+        let target = VarSet::full(3);
+        if let Ok(b) = polymatroid_bound(3, &dc, target) {
+            // the witness is a feasible polymatroid attaining the optimum
+            prop_assert_eq!(b.h(target), b.log_value.clone());
+            for c in dc.iter() {
+                let used = &b.h(c.of) - &b.h(c.on);
+                let cap = Rat::from(i64::from(qec_entropy::ceil_log2(c.bound)));
+                prop_assert!(used <= cap, "constraint {c} violated by witness");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_target_always_trivial(dc in card_dc(3)) {
+        let p = prove_bound(3, &dc, VarSet::EMPTY, None).expect("trivial");
+        prop_assert!(p.steps.is_empty());
+        prop_assert!(matches!(validate(&p), Ok(())));
+    }
+}
+
+#[test]
+fn uncovered_variable_is_unbounded_not_panicking() {
+    let dc = DcSet::from_vec(vec![DegreeConstraint::cardinality(vs(0b01), 8)]);
+    match prove_bound(2, &dc, VarSet::full(2), None) {
+        Err(ChainProofError::Bound(BoundError::Unbounded)) => {}
+        other => panic!("expected Unbounded, got {other:?}"),
+    }
+}

@@ -1,0 +1,77 @@
+//! Exact linear programming over rationals.
+//!
+//! A dense two-phase simplex solver used for every optimization problem in
+//! the planner: fractional edge covers (AGM bound), the degree-aware
+//! polymatroid bound `LOGDAPB` (Sec. 3.2 of the paper), generalized
+//! hypertree widths, and the step-weight LPs behind proof-sequence
+//! construction. All arithmetic is exact ([`qec_bignum::Rat`]), so bound
+//! comparisons and feasibility checks in the planner are decisions, not
+//! approximations.
+//!
+//! The solver returns **dual values** for every constraint at optimality;
+//! Theorem 1 of the paper (existence of a Shannon-flow inequality whose
+//! degree-constraint coefficients sum to `LOGDAPB`) is *constructive* here
+//! precisely because strong duality hands us the coefficient vector `δ`.
+//!
+//! Scale expectations: tens-to-hundreds of rows and up to a few thousand
+//! columns, solved at query-compile time. Pivoting uses Dantzig's rule with
+//! an automatic switch to Bland's rule (guaranteeing termination) once the
+//! pivot count suggests degeneracy.
+
+mod simplex;
+
+pub use simplex::{Constraint, Lp, LpError, LpOutcome, Relation, Sense, Solution};
+
+/// Builds an LP incrementally. See [`Lp`] for the solved form.
+#[derive(Clone, Debug)]
+pub struct LpBuilder {
+    num_vars: usize,
+    sense: Sense,
+    objective: Vec<(usize, qec_bignum::Rat)>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpBuilder {
+    /// Start a maximization problem over `num_vars` non-negative variables.
+    pub fn maximize(num_vars: usize) -> Self {
+        LpBuilder { num_vars, sense: Sense::Maximize, objective: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Start a minimization problem over `num_vars` non-negative variables.
+    pub fn minimize(num_vars: usize) -> Self {
+        LpBuilder { num_vars, sense: Sense::Minimize, objective: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn obj(&mut self, var: usize, coeff: qec_bignum::Rat) -> &mut Self {
+        assert!(var < self.num_vars, "objective variable out of range");
+        self.objective.push((var, coeff));
+        self
+    }
+
+    /// Adds a constraint `Σ coeffs ⋈ rhs`; returns its row index (for dual
+    /// lookup in [`Solution::dual`]).
+    pub fn constraint(
+        &mut self,
+        coeffs: Vec<(usize, qec_bignum::Rat)>,
+        rel: Relation,
+        rhs: qec_bignum::Rat,
+    ) -> usize {
+        for &(v, _) in &coeffs {
+            assert!(v < self.num_vars, "constraint variable out of range");
+        }
+        self.constraints.push(Constraint { coeffs, rel, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// Finalizes and solves the program.
+    pub fn solve(&self) -> Result<LpOutcome, LpError> {
+        let lp = Lp {
+            num_vars: self.num_vars,
+            sense: self.sense,
+            objective: self.objective.clone(),
+            constraints: self.constraints.clone(),
+        };
+        lp.solve()
+    }
+}

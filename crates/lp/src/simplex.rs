@@ -1,0 +1,810 @@
+//! Dense two-phase tableau simplex with exact rational arithmetic.
+
+use qec_bignum::Rat;
+
+/// Optimization direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Constraint relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ a_j x_j ≤ b`
+    Le,
+    /// `Σ a_j x_j ≥ b`
+    Ge,
+    /// `Σ a_j x_j = b`
+    Eq,
+}
+
+/// A single linear constraint in sparse form.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// `(variable, coefficient)` pairs; repeated variables are summed.
+    pub coeffs: Vec<(usize, Rat)>,
+    /// Relation between the linear form and `rhs`.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: Rat,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Clone, Debug)]
+pub struct Lp {
+    /// Number of decision variables (all constrained `≥ 0`).
+    pub num_vars: usize,
+    /// Optimization direction.
+    pub sense: Sense,
+    /// Sparse objective `(variable, coefficient)`.
+    pub objective: Vec<(usize, Rat)>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Optimal objective value (in the stated sense).
+    pub value: Rat,
+    /// Optimal variable assignment.
+    pub primal: Vec<Rat>,
+    /// One dual multiplier per constraint, in insertion order, satisfying
+    /// `Σ_i dual[i]·rhs[i] == value` (strong duality for the stated sense).
+    pub dual: Vec<Rat>,
+}
+
+/// Result of solving an [`Lp`].
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// An optimum exists; see [`Solution`].
+    Optimal(Solution),
+    /// No feasible point.
+    Infeasible,
+    /// The objective is unbounded in the stated sense.
+    Unbounded,
+}
+
+/// Solver failure (resource limits — never silent wrong answers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// Pivot limit exceeded (should not happen with Bland's rule; kept as a
+    /// hard backstop).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+struct Tableau {
+    /// `rows × (num_cols)` coefficient matrix (basis-reduced).
+    a: Vec<Vec<Rat>>,
+    /// Right-hand side per row (kept `≥ 0`).
+    rhs: Vec<Rat>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Reduced-cost row `r_j = c_j - z_j` for the current phase.
+    reduced: Vec<Rat>,
+    /// Current objective value for the current phase.
+    value: Rat,
+    /// Total number of columns.
+    num_cols: usize,
+    /// Columns `>= art_start` are artificial.
+    art_start: usize,
+}
+
+impl Tableau {
+    /// Recomputes the reduced-cost row `r = c - c_B B^{-1} A` and the value
+    /// `c_B B^{-1} b` for phase costs `c`.
+    fn price_out(&mut self, costs: &[Rat]) {
+        self.reduced = costs.to_vec();
+        self.value = Rat::zero();
+        for (row, &b) in self.basis.iter().enumerate() {
+            let cb = &costs[b];
+            if cb.is_zero() {
+                continue;
+            }
+            for j in 0..self.num_cols {
+                if !self.a[row][j].is_zero() {
+                    let delta = cb * &self.a[row][j];
+                    self.reduced[j] = &self.reduced[j] - &delta;
+                }
+            }
+            self.value = &self.value + &(cb * &self.rhs[row]);
+        }
+    }
+
+    /// Pivots on `(row, col)`: `col` enters the basis, the old basic of
+    /// `row` leaves.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.a[row][col].clone();
+        debug_assert!(!pivot.is_zero());
+        let inv = pivot.recip();
+        for j in 0..self.num_cols {
+            if !self.a[row][j].is_zero() {
+                self.a[row][j] = &self.a[row][j] * &inv;
+            }
+        }
+        self.rhs[row] = &self.rhs[row] * &inv;
+        for i in 0..self.a.len() {
+            if i == row || self.a[i][col].is_zero() {
+                continue;
+            }
+            let factor = self.a[i][col].clone();
+            for j in 0..self.num_cols {
+                if !self.a[row][j].is_zero() {
+                    let delta = &factor * &self.a[row][j];
+                    self.a[i][j] = &self.a[i][j] - &delta;
+                }
+            }
+            let delta = &factor * &self.rhs[row];
+            self.rhs[i] = &self.rhs[i] - &delta;
+        }
+        let rc = self.reduced[col].clone();
+        if !rc.is_zero() {
+            for j in 0..self.num_cols {
+                if !self.a[row][j].is_zero() {
+                    let delta = &rc * &self.a[row][j];
+                    self.reduced[j] = &self.reduced[j] - &delta;
+                }
+            }
+            self.value = &self.value + &(&rc * &self.rhs[row]);
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations for the current phase until optimal or
+    /// unbounded. Columns for which `allowed` is false may not enter.
+    ///
+    /// Returns `Ok(true)` at optimality, `Ok(false)` if unbounded.
+    fn optimize(&mut self, allowed: impl Fn(usize) -> bool) -> Result<bool, LpError> {
+        // Dantzig's rule is fast in practice; Bland's rule guarantees
+        // termination under degeneracy. Switch permanently once the pivot
+        // count exceeds a generous threshold.
+        let bland_after = 32 + 8 * (self.a.len() + self.num_cols);
+        let hard_limit = 1000 + 200 * (self.a.len() + self.num_cols);
+        for iter in 0..hard_limit {
+            let bland = iter >= bland_after;
+            let mut entering: Option<usize> = None;
+            let mut best = Rat::zero();
+            for j in 0..self.num_cols {
+                if !allowed(j) || !self.reduced[j].is_positive() {
+                    continue;
+                }
+                if bland {
+                    entering = Some(j);
+                    break;
+                }
+                if self.reduced[j] > best {
+                    best = self.reduced[j].clone();
+                    entering = Some(j);
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(true);
+            };
+            // Min-ratio test; ties broken by smallest basic column index
+            // (part of Bland's anti-cycling rule, harmless otherwise).
+            let mut leave: Option<(usize, Rat)> = None;
+            for i in 0..self.a.len() {
+                if !self.a[i][col].is_positive() {
+                    continue;
+                }
+                let ratio = &self.rhs[i] / &self.a[i][col];
+                match &leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Ok(false);
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+impl Lp {
+    /// Solves the program: a float-guided fast path with exact
+    /// verification, falling back to exact two-phase simplex pivoting.
+    pub fn solve(&self) -> Result<LpOutcome, LpError> {
+        self.solve_with(true)
+    }
+
+    /// Solves with exact pivoting only (no float guidance). Slower but
+    /// useful for paranoia and for testing that both paths agree.
+    pub fn solve_exact(&self) -> Result<LpOutcome, LpError> {
+        self.solve_with(false)
+    }
+
+    fn solve_with(&self, allow_f64: bool) -> Result<LpOutcome, LpError> {
+        let m = self.constraints.len();
+        let n = self.num_vars;
+
+        // Objective in max form (dense).
+        let mut obj = vec![Rat::zero(); n];
+        for (v, c) in &self.objective {
+            obj[*v] = &obj[*v] + c;
+        }
+        if self.sense == Sense::Minimize {
+            for c in obj.iter_mut() {
+                *c = -c.clone();
+            }
+        }
+
+        // Normalize rows to rhs >= 0, then lay out columns:
+        //   [0, n)            original variables
+        //   [n, n + m)        one slack/surplus column per row (0 for Eq)
+        //   [art_start, ...)  artificials for Ge/Eq rows
+        #[derive(Clone, Copy)]
+        struct RowMeta {
+            flipped: bool,
+            rel: Relation,
+            slack_col: Option<usize>,
+            art_col: Option<usize>,
+        }
+        let mut meta = Vec::with_capacity(m);
+        let mut dense_rows: Vec<Vec<Rat>> = Vec::with_capacity(m);
+        let mut rhs: Vec<Rat> = Vec::with_capacity(m);
+        for c in &self.constraints {
+            let mut row = vec![Rat::zero(); n];
+            for (v, coeff) in &c.coeffs {
+                row[*v] = &row[*v] + coeff;
+            }
+            let mut b = c.rhs.clone();
+            let mut rel = c.rel;
+            let flipped = b.is_negative();
+            if flipped {
+                for x in row.iter_mut() {
+                    *x = -x.clone();
+                }
+                b = -b;
+                rel = match rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            meta.push(RowMeta { flipped, rel, slack_col: None, art_col: None });
+            dense_rows.push(row);
+            rhs.push(b);
+        }
+
+        let mut next_col = n;
+        for (i, mt) in meta.iter_mut().enumerate() {
+            match mt.rel {
+                Relation::Le | Relation::Ge => {
+                    mt.slack_col = Some(next_col);
+                    next_col += 1;
+                }
+                Relation::Eq => {}
+            }
+            let _ = i;
+        }
+        let art_start = next_col;
+        for mt in meta.iter_mut() {
+            let needs_art = matches!(mt.rel, Relation::Ge | Relation::Eq);
+            if needs_art {
+                mt.art_col = Some(next_col);
+                next_col += 1;
+            }
+        }
+        let num_cols = next_col;
+
+        let mut a = vec![vec![Rat::zero(); num_cols]; m];
+        let mut basis = vec![usize::MAX; m];
+        for i in 0..m {
+            a[i][..n].clone_from_slice(&dense_rows[i]);
+            match meta[i].rel {
+                Relation::Le => {
+                    let s = meta[i].slack_col.expect("Le has slack");
+                    a[i][s] = Rat::one();
+                    basis[i] = s;
+                }
+                Relation::Ge => {
+                    let s = meta[i].slack_col.expect("Ge has surplus");
+                    a[i][s] = -Rat::one();
+                    let t = meta[i].art_col.expect("Ge has artificial");
+                    a[i][t] = Rat::one();
+                    basis[i] = t;
+                }
+                Relation::Eq => {
+                    let t = meta[i].art_col.expect("Eq has artificial");
+                    a[i][t] = Rat::one();
+                    basis[i] = t;
+                }
+            }
+        }
+
+        // Fast path: a floating-point simplex proposes an optimal basis;
+        // the solution is then reconstructed and *verified* in exact
+        // arithmetic (feasibility, optimality, artificial levels). Exact
+        // pivoting — immune to degenerate stalling but slow on big
+        // rationals — remains as the fallback, so results are always
+        // exact regardless of which path ran.
+        if allow_f64 {
+            if let Some((value, primal_full, y)) =
+                f64_guided(&a, &rhs, &obj, num_cols, art_start, n)
+            {
+                let mut dual = Vec::with_capacity(m);
+                for (i, mt) in meta.iter().enumerate() {
+                    let yi = y[i].clone();
+                    let yi = if mt.flipped { -yi } else { yi };
+                    dual.push(if self.sense == Sense::Minimize { -yi } else { yi });
+                }
+                let value = if self.sense == Sense::Minimize { -value } else { value };
+                return Ok(LpOutcome::Optimal(Solution { value, primal: primal_full, dual }));
+            }
+        }
+
+        let mut t = Tableau {
+            a,
+            rhs,
+            basis,
+            reduced: Vec::new(),
+            value: Rat::zero(),
+            num_cols,
+            art_start,
+        };
+
+        // Phase 1: maximize -(sum of artificials).
+        if art_start < num_cols {
+            let mut costs = vec![Rat::zero(); num_cols];
+            for c in costs.iter_mut().skip(art_start) {
+                *c = -Rat::one();
+            }
+            t.price_out(&costs);
+            let finished = t.optimize(|_| true)?;
+            debug_assert!(finished, "phase 1 is bounded by construction");
+            if t.value.is_negative() {
+                return Ok(LpOutcome::Infeasible);
+            }
+            // Drive artificials out of the basis where possible; rows where
+            // it is impossible are redundant and stay with a zero artificial.
+            for row in 0..m {
+                if t.basis[row] < art_start {
+                    continue;
+                }
+                if let Some(col) = (0..art_start).find(|&j| !t.a[row][j].is_zero()) {
+                    t.pivot(row, col);
+                }
+            }
+        }
+
+        // Phase 2: the real objective; artificial columns are barred.
+        let mut costs = vec![Rat::zero(); num_cols];
+        costs[..n].clone_from_slice(&obj);
+        t.price_out(&costs);
+        let art_start_local = t.art_start;
+        let optimal = t.optimize(|j| j < art_start_local)?;
+        if !optimal {
+            return Ok(LpOutcome::Unbounded);
+        }
+
+        let mut primal = vec![Rat::zero(); n];
+        for (row, &b) in t.basis.iter().enumerate() {
+            if b < n {
+                primal[b] = t.rhs[row].clone();
+            }
+        }
+
+        // Duals from reduced costs of the unit columns introduced per row:
+        //   Le slack  (+e_i, cost 0): r = -y_i
+        //   Ge surplus (-e_i, cost 0): r = +y_i
+        //   artificial (+e_i, cost 0 in phase 2): r = -y_i
+        let mut dual = Vec::with_capacity(m);
+        for mt in &meta {
+            let y = match mt.rel {
+                Relation::Le => -t.reduced[mt.slack_col.expect("slack")].clone(),
+                Relation::Ge => t.reduced[mt.slack_col.expect("surplus")].clone(),
+                Relation::Eq => -t.reduced[mt.art_col.expect("artificial")].clone(),
+            };
+            // Undo the row flip, then adjust for the stated sense.
+            let y = if mt.flipped { -y } else { y };
+            dual.push(if self.sense == Sense::Minimize { -y } else { y });
+        }
+
+        let value = if self.sense == Sense::Minimize { -t.value.clone() } else { t.value.clone() };
+        Ok(LpOutcome::Optimal(Solution { value, primal, dual }))
+    }
+}
+
+/// Runs a floating-point two-phase simplex on the standardized system and,
+/// if it terminates optimal, reconstructs the basic solution exactly and
+/// verifies primal feasibility, artificial levels, and dual optimality.
+/// Returns `(max-form value, primal over original vars, row duals y)` on
+/// success; `None` means "fall back to exact pivoting" (also used for
+/// claimed infeasible/unbounded outcomes, which the exact path re-derives
+/// trustworthily).
+#[allow(clippy::needless_range_loop)] // dense kernels index several arrays in lockstep
+fn f64_guided(
+    a: &[Vec<Rat>],
+    rhs: &[Rat],
+    obj: &[Rat],
+    num_cols: usize,
+    art_start: usize,
+    n: usize,
+) -> Option<(Rat, Vec<Rat>, Vec<Rat>)> {
+    const EPS: f64 = 1e-9;
+    let m = a.len();
+    if m == 0 {
+        // trivial: x = 0 is optimal iff no positive objective coefficient
+        if obj.iter().any(|c| c.is_positive()) {
+            return None; // unbounded; let the exact path report it
+        }
+        return Some((Rat::zero(), vec![Rat::zero(); n], Vec::new()));
+    }
+
+    // f64 copies.
+    let fa: Vec<Vec<f64>> = a.iter().map(|row| row.iter().map(Rat::to_f64).collect()).collect();
+    let frhs: Vec<f64> = rhs.iter().map(Rat::to_f64).collect();
+    let fobj: Vec<f64> = obj.iter().map(Rat::to_f64).collect();
+
+    // Dense f64 tableau mirroring the exact one.
+    let mut t = fa.clone();
+    let mut b = frhs.clone();
+    let mut basis: Vec<usize> = (0..m)
+        .map(|i| {
+            // initial basis: slack for Le rows, artificial otherwise —
+            // recover it from the standardized matrix (the unit column)
+            (n..num_cols)
+                .find(|&j| fa[i][j] > 0.5 && fa.iter().enumerate().all(|(k, r)| k == i || r[j].abs() < 0.5))
+                .expect("standardized rows carry a unit column")
+        })
+        .collect();
+
+    let run_phase = |t: &mut Vec<Vec<f64>>,
+                         b: &mut Vec<f64>,
+                         basis: &mut Vec<usize>,
+                         costs: &[f64],
+                         allowed: &dyn Fn(usize) -> bool|
+     -> Option<bool> {
+        // price out
+        let mut reduced: Vec<f64> = costs.to_vec();
+        let mut _value = 0.0;
+        for (row, &bi) in basis.iter().enumerate() {
+            let cb = costs[bi];
+            if cb != 0.0 {
+                for j in 0..num_cols {
+                    reduced[j] -= cb * t[row][j];
+                }
+                _value += cb * b[row];
+            }
+        }
+        let limit = 1000 + 60 * (m + num_cols);
+        for iter in 0..limit {
+            let bland = iter > 200 + 4 * (m + num_cols);
+            let mut entering = None;
+            let mut best = EPS;
+            for j in 0..num_cols {
+                if !allowed(j) || reduced[j] <= EPS {
+                    continue;
+                }
+                if bland {
+                    entering = Some(j);
+                    break;
+                }
+                if reduced[j] > best {
+                    best = reduced[j];
+                    entering = Some(j);
+                }
+            }
+            let Some(col) = entering else { return Some(true) };
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..m {
+                if t[i][col] > EPS {
+                    let ratio = b[i] / t[i][col];
+                    if leave.as_ref().is_none_or(|&(_, lr)| ratio < lr - EPS)
+                        || leave
+                            .as_ref()
+                            .is_some_and(|&(li, lr)| (ratio - lr).abs() <= EPS && basis[i] < basis[li])
+                    {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else { return Some(false) };
+            // pivot
+            let p = t[row][col];
+            for j in 0..num_cols {
+                t[row][j] /= p;
+            }
+            b[row] /= p;
+            for i in 0..m {
+                if i != row && t[i][col].abs() > 1e-12 {
+                    let f = t[i][col];
+                    for j in 0..num_cols {
+                        t[i][j] -= f * t[row][j];
+                    }
+                    b[i] -= f * b[row];
+                }
+            }
+            let rc = reduced[col];
+            if rc.abs() > 1e-12 {
+                for j in 0..num_cols {
+                    reduced[j] -= rc * t[row][j];
+                }
+            }
+            basis[row] = col;
+        }
+        None // iteration limit: bail to exact
+    };
+
+    // Phase 1.
+    if art_start < num_cols {
+        let mut costs = vec![0.0; num_cols];
+        for c in costs.iter_mut().skip(art_start) {
+            *c = -1.0;
+        }
+        run_phase(&mut t, &mut b, &mut basis, &costs, &|_| true)?;
+        // infeasible if an artificial stays at a meaningfully positive level
+        for (i, &bi) in basis.iter().enumerate() {
+            if bi >= art_start && b[i] > 1e-7 {
+                return None; // probably infeasible: let the exact path decide
+            }
+        }
+    }
+    // Phase 2.
+    let mut costs = vec![0.0; num_cols];
+    costs[..n].copy_from_slice(&fobj[..n]);
+    let optimal = run_phase(&mut t, &mut b, &mut basis, &costs, &|j| j < art_start)?;
+    if !optimal {
+        return None; // claimed unbounded: exact path confirms
+    }
+
+    // ---- exact reconstruction from the proposed basis ----
+    // B x_B = rhs  and  Bᵀ y = c_B, both solved in rationals.
+    let bmat: Vec<Vec<Rat>> =
+        (0..m).map(|i| basis.iter().map(|&c| a[i][c].clone()).collect()).collect();
+    let x_b = solve_linear(bmat.clone(), rhs.to_vec())?;
+    // feasibility + artificial levels
+    for (k, v) in x_b.iter().enumerate() {
+        if v.is_negative() {
+            return None;
+        }
+        if basis[k] >= art_start && !v.is_zero() {
+            return None;
+        }
+    }
+    let cost_of = |j: usize| -> Rat {
+        if j < n {
+            obj[j].clone()
+        } else {
+            Rat::zero()
+        }
+    };
+    let c_b: Vec<Rat> = basis.iter().map(|&j| cost_of(j)).collect();
+    let bt: Vec<Vec<Rat>> = (0..m).map(|i| (0..m).map(|k| bmat[k][i].clone()).collect()).collect();
+    let y = solve_linear(bt, c_b.clone())?;
+    // dual optimality: reduced cost of every admissible column ≤ 0
+    let in_basis: std::collections::HashSet<usize> = basis.iter().copied().collect();
+    for j in 0..art_start {
+        if in_basis.contains(&j) {
+            continue;
+        }
+        let mut z = Rat::zero();
+        for i in 0..m {
+            if !a[i][j].is_zero() {
+                z = &z + &(&y[i] * &a[i][j]);
+            }
+        }
+        if cost_of(j) > z {
+            return None; // not optimal: fall back
+        }
+    }
+    // assemble
+    let mut primal = vec![Rat::zero(); n];
+    for (k, &j) in basis.iter().enumerate() {
+        if j < n {
+            primal[j] = x_b[k].clone();
+        }
+    }
+    let mut value = Rat::zero();
+    for (k, v) in x_b.iter().enumerate() {
+        value = &value + &(&c_b[k] * v);
+    }
+    Some((value, primal, y))
+}
+
+/// Gaussian elimination with partial (first-nonzero) pivoting over exact
+/// rationals; returns `None` for singular systems.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination over a square matrix
+fn solve_linear(mut m: Vec<Vec<Rat>>, mut rhs: Vec<Rat>) -> Option<Vec<Rat>> {
+    let n = m.len();
+    for col in 0..n {
+        let pivot_row = (col..n).find(|&r| !m[r][col].is_zero())?;
+        m.swap(col, pivot_row);
+        rhs.swap(col, pivot_row);
+        let inv = m[col][col].recip();
+        for j in col..n {
+            if !m[col][j].is_zero() {
+                m[col][j] = &m[col][j] * &inv;
+            }
+        }
+        rhs[col] = &rhs[col] * &inv;
+        for r in 0..n {
+            if r != col && !m[r][col].is_zero() {
+                let f = m[r][col].clone();
+                for j in col..n {
+                    if !m[col][j].is_zero() {
+                        let d = &f * &m[col][j];
+                        m[r][j] = &m[r][j] - &d;
+                    }
+                }
+                let d = &f * &rhs[col];
+                rhs[r] = &rhs[r] - &d;
+            }
+        }
+    }
+    Some(rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LpBuilder;
+    use qec_bignum::rat;
+
+    fn must_opt(o: LpOutcome) -> Solution {
+        match o {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => 36 at (2, 6).
+        let mut b = LpBuilder::maximize(2);
+        b.obj(0, rat(3, 1)).obj(1, rat(5, 1));
+        b.constraint(vec![(0, rat(1, 1))], Relation::Le, rat(4, 1));
+        b.constraint(vec![(1, rat(2, 1))], Relation::Le, rat(12, 1));
+        b.constraint(vec![(0, rat(3, 1)), (1, rat(2, 1))], Relation::Le, rat(18, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(36, 1));
+        assert_eq!(s.primal, vec![rat(2, 1), rat(6, 1)]);
+        // strong duality
+        let dual_val = &(&s.dual[0] * &rat(4, 1))
+            + &(&(&s.dual[1] * &rat(12, 1)) + &(&s.dual[2] * &rat(18, 1)));
+        assert_eq!(dual_val, rat(36, 1));
+    }
+
+    #[test]
+    fn textbook_min_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2  => 20 + ... at (10, 0): 20.
+        let mut b = LpBuilder::minimize(2);
+        b.obj(0, rat(2, 1)).obj(1, rat(3, 1));
+        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Ge, rat(10, 1));
+        b.constraint(vec![(0, rat(1, 1))], Relation::Ge, rat(2, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(20, 1));
+        assert_eq!(s.primal[0], rat(10, 1));
+        // duality: y1*10 + y2*2 == 20
+        let dv = &(&s.dual[0] * &rat(10, 1)) + &(&s.dual[1] * &rat(2, 1));
+        assert_eq!(dv, rat(20, 1));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + 2y = 4, x - y = 1  => x = 2, y = 1, value 3.
+        let mut b = LpBuilder::maximize(2);
+        b.obj(0, rat(1, 1)).obj(1, rat(1, 1));
+        b.constraint(vec![(0, rat(1, 1)), (1, rat(2, 1))], Relation::Eq, rat(4, 1));
+        b.constraint(vec![(0, rat(1, 1)), (1, rat(-1, 1))], Relation::Eq, rat(1, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(3, 1));
+        assert_eq!(s.primal, vec![rat(2, 1), rat(1, 1)]);
+        let dv = &(&s.dual[0] * &rat(4, 1)) + &(&s.dual[1] * &rat(1, 1));
+        assert_eq!(dv, rat(3, 1));
+    }
+
+    #[test]
+    fn infeasible() {
+        let mut b = LpBuilder::maximize(1);
+        b.obj(0, rat(1, 1));
+        b.constraint(vec![(0, rat(1, 1))], Relation::Le, rat(1, 1));
+        b.constraint(vec![(0, rat(1, 1))], Relation::Ge, rat(2, 1));
+        assert!(matches!(b.solve().unwrap(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded() {
+        let mut b = LpBuilder::maximize(2);
+        b.obj(0, rat(1, 1));
+        b.constraint(vec![(1, rat(1, 1))], Relation::Le, rat(5, 1));
+        assert!(matches!(b.solve().unwrap(), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // max -x s.t. -x <= -3  (i.e. x >= 3)  => x = 3, value -3.
+        let mut b = LpBuilder::maximize(1);
+        b.obj(0, rat(-1, 1));
+        b.constraint(vec![(0, rat(-1, 1))], Relation::Le, rat(-3, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(-3, 1));
+        assert_eq!(s.primal[0], rat(3, 1));
+        let dv = &s.dual[0] * &rat(-3, 1);
+        assert_eq!(dv, rat(-3, 1));
+    }
+
+    #[test]
+    fn fractional_edge_cover_triangle() {
+        // min u1+u2+u3 s.t. each vertex covered: AB+AC >= 1, AB+BC >= 1,
+        // BC+AC >= 1  => 3/2 with u = (1/2, 1/2, 1/2).
+        let mut b = LpBuilder::minimize(3);
+        for v in 0..3 {
+            b.obj(v, rat(1, 1));
+        }
+        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Ge, rat(1, 1));
+        b.constraint(vec![(0, rat(1, 1)), (2, rat(1, 1))], Relation::Ge, rat(1, 1));
+        b.constraint(vec![(1, rat(1, 1)), (2, rat(1, 1))], Relation::Ge, rat(1, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(3, 2));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classically degenerate instance (Beale-like); Bland fallback
+        // must terminate with the right optimum.
+        let mut b = LpBuilder::maximize(4);
+        b.obj(0, rat(3, 4)).obj(1, rat(-150, 1)).obj(2, rat(1, 50)).obj(3, rat(-6, 1));
+        b.constraint(
+            vec![(0, rat(1, 4)), (1, rat(-60, 1)), (2, rat(-1, 25)), (3, rat(9, 1))],
+            Relation::Le,
+            rat(0, 1),
+        );
+        b.constraint(
+            vec![(0, rat(1, 2)), (1, rat(-90, 1)), (2, rat(-1, 50)), (3, rat(3, 1))],
+            Relation::Le,
+            rat(0, 1),
+        );
+        b.constraint(vec![(2, rat(1, 1))], Relation::Le, rat(1, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(1, 20));
+    }
+
+    #[test]
+    fn duplicate_variable_coefficients_are_summed() {
+        // max x with x/2 + x/2 <= 3.
+        let mut b = LpBuilder::maximize(1);
+        b.obj(0, rat(1, 1));
+        b.constraint(vec![(0, rat(1, 2)), (0, rat(1, 2))], Relation::Le, rat(3, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(3, 1));
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice; max x + 2y => (0,2) value 4.
+        let mut b = LpBuilder::maximize(2);
+        b.obj(0, rat(1, 1)).obj(1, rat(2, 1));
+        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Eq, rat(2, 1));
+        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Eq, rat(2, 1));
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(4, 1));
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let b = LpBuilder::maximize(0);
+        let s = must_opt(b.solve().unwrap());
+        assert_eq!(s.value, rat(0, 1));
+    }
+}

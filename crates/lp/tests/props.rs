@@ -1,0 +1,145 @@
+//! Property tests: on random bounded LPs the solver must return a feasible
+//! primal point whose value matches the dual value (strong duality), and the
+//! duals must have the sign dictated by the constraint relation.
+
+use proptest::prelude::*;
+use qec_bignum::{rat, Rat};
+use qec_lp::{LpBuilder, LpOutcome, Relation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn float_guided_and_exact_paths_agree(
+        n in 1usize..5,
+        objs in prop::collection::vec(-9i64..9, 1..5),
+        rows in prop::collection::vec(
+            (prop::collection::vec(-4i64..5, 1..5), -5i64..20, 0usize..3),
+            0..6,
+        ),
+    ) {
+        // mixed Le/Ge/Eq rows, possibly negative rhs
+        let mut b = LpBuilder::maximize(n);
+        for v in 0..n {
+            b.obj(v, rat(objs[v % objs.len()], 1));
+            b.constraint(vec![(v, rat(1, 1))], Relation::Le, rat(10, 1));
+        }
+        for (coeffs, rhs, rel_pick) in &rows {
+            let sparse: Vec<(usize, Rat)> =
+                coeffs.iter().enumerate().map(|(i, &c)| (i % n, rat(c, 1))).collect();
+            let rel = match rel_pick {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            b.constraint(sparse, rel, rat(*rhs, 1));
+        }
+        let lp = qec_lp::Lp {
+            num_vars: n,
+            sense: qec_lp::Sense::Maximize,
+            objective: (0..n).map(|v| (v, rat(objs[v % objs.len()], 1))).collect(),
+            constraints: {
+                let mut cs = Vec::new();
+                for v in 0..n {
+                    cs.push(qec_lp::Constraint {
+                        coeffs: vec![(v, rat(1, 1))],
+                        rel: Relation::Le,
+                        rhs: rat(10, 1),
+                    });
+                }
+                for (coeffs, rhs, rel_pick) in &rows {
+                    cs.push(qec_lp::Constraint {
+                        coeffs: coeffs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &c)| (i % n, rat(c, 1)))
+                            .collect(),
+                        rel: match rel_pick {
+                            0 => Relation::Le,
+                            1 => Relation::Ge,
+                            _ => Relation::Eq,
+                        },
+                        rhs: rat(*rhs, 1),
+                    });
+                }
+                cs
+            },
+        };
+        let fast = lp.solve().unwrap();
+        let exact = lp.solve_exact().unwrap();
+        match (&fast, &exact) {
+            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                // optimal value is unique; primal/dual points may differ
+                prop_assert_eq!(&a.value, &b.value);
+            }
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+            other => prop_assert!(false, "paths disagree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_box_lps_satisfy_duality(
+        n in 1usize..5,
+        objs in prop::collection::vec(-9i64..9, 1..5),
+        rows in prop::collection::vec(
+            (prop::collection::vec(-4i64..5, 1..5), 0i64..20),
+            0..6,
+        ),
+    ) {
+        let mut b = LpBuilder::maximize(n);
+        for v in 0..n {
+            b.obj(v, rat(objs[v % objs.len()], 1));
+            // box: x_v <= 10 keeps everything bounded
+            b.constraint(vec![(v, rat(1, 1))], Relation::Le, rat(10, 1));
+        }
+        let mut rhss = vec![rat(10, 1); n];
+        for (coeffs, rhs) in &rows {
+            let sparse: Vec<(usize, Rat)> =
+                coeffs.iter().enumerate().map(|(i, &c)| (i % n, rat(c, 1))).collect();
+            b.constraint(sparse, Relation::Le, rat(*rhs, 1));
+            rhss.push(rat(*rhs, 1));
+        }
+        match b.solve().unwrap() {
+            LpOutcome::Optimal(s) => {
+                // primal feasibility: x >= 0 and every constraint holds
+                for x in &s.primal {
+                    prop_assert!(!x.is_negative());
+                }
+                for v in 0..n {
+                    prop_assert!(s.primal[v] <= rat(10, 1));
+                }
+                for (k, (coeffs, rhs)) in rows.iter().enumerate() {
+                    let mut lhs = Rat::zero();
+                    for (i, &c) in coeffs.iter().enumerate() {
+                        lhs = &lhs + &(&rat(c, 1) * &s.primal[i % n]);
+                    }
+                    prop_assert!(lhs <= rat(*rhs, 1), "row {k} violated");
+                }
+                // dual signs for a max problem with Le rows: y >= 0
+                for y in &s.dual {
+                    prop_assert!(!y.is_negative());
+                }
+                // strong duality
+                let mut dv = Rat::zero();
+                for (y, b) in s.dual.iter().zip(rhss.iter()) {
+                    dv = &dv + &(y * b);
+                }
+                prop_assert_eq!(dv, s.value.clone());
+                // primal value consistency
+                let mut pv = Rat::zero();
+                for v in 0..n {
+                    pv = &pv + &(&rat(objs[v % objs.len()], 1) * &s.primal[v]);
+                }
+                prop_assert_eq!(pv, s.value);
+            }
+            LpOutcome::Infeasible => {
+                // x = 0 is feasible iff all rhs >= 0, which holds here.
+                prop_assert!(false, "box LP cannot be infeasible");
+            }
+            LpOutcome::Unbounded => {
+                prop_assert!(false, "box LP cannot be unbounded");
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! RAM baseline evaluators.
+//!
+//! These are the reference implementations every circuit in the workspace
+//! is validated against, and the comparison points for the experiment
+//! harness:
+//!
+//! * [`evaluate_pairwise`] — a textbook left-to-right binary join plan
+//!   (can suffer intermediate blow-up; always correct);
+//! * [`generic_join`] — a worst-case-optimal variable-at-a-time join in the
+//!   style of NPRR / LeapFrog TrieJoin (`Õ(N^{ρ*})` on cardinality
+//!   constraints);
+//! * [`yannakakis`] — the classical Yannakakis algorithm \[34\] on a join
+//!   tree of an α-acyclic query, with full semijoin reduction.
+
+use qec_relation::{Database, Relation, Var, VarSet};
+
+use crate::{Cq, CqError};
+
+/// Evaluates `Q(D)` with a left-to-right pairwise join plan followed by a
+/// projection onto the free variables.
+pub fn evaluate_pairwise(cq: &Cq, db: &Database) -> Result<Relation, CqError> {
+    let rels = cq.bind(db)?;
+    let mut acc = Relation::boolean(true);
+    for r in rels {
+        acc = acc.natural_join(r);
+    }
+    Ok(acc.project(cq.free))
+}
+
+/// Output size `|Q(D)|`.
+pub fn count_output(cq: &Cq, db: &Database) -> Result<usize, CqError> {
+    Ok(evaluate_pairwise(cq, db)?.len())
+}
+
+/// Worst-case-optimal generic join: binds variables one at a time, always
+/// intersecting the candidate sets of every atom containing the variable.
+pub fn generic_join(cq: &Cq, db: &Database) -> Result<Relation, CqError> {
+    let rels = cq.bind(db)?;
+    let atoms: Vec<(VarSet, Relation)> =
+        cq.atoms.iter().map(|a| a.vars).zip(rels.into_iter().cloned()).collect();
+    let order: Vec<Var> = cq.all_vars().to_vec();
+    let mut out_rows: Vec<Vec<u64>> = Vec::new();
+    let mut partial: Vec<u64> = Vec::new();
+    recurse(&atoms, &order, 0, &mut partial, &mut out_rows);
+    let full =
+        Relation::from_rows(order.clone(), out_rows);
+    return Ok(full.project(cq.free));
+
+    fn recurse(
+        atoms: &[(VarSet, Relation)],
+        order: &[Var],
+        depth: usize,
+        partial: &mut Vec<u64>,
+        out: &mut Vec<Vec<u64>>,
+    ) {
+        if depth == order.len() {
+            out.push(partial.clone());
+            return;
+        }
+        let v = order[depth];
+        // candidate values: intersection over atoms containing v, starting
+        // from the smallest candidate set
+        let mut candidate_sets: Vec<Vec<u64>> = Vec::new();
+        for (vars, rel) in atoms.iter().filter(|(vars, _)| vars.contains(v)) {
+            let col = rel.col(v).expect("atom schema");
+            let mut vals: Vec<u64> = rel.iter().map(|row| row[col]).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            candidate_sets.push(vals);
+            let _ = vars;
+        }
+        if candidate_sets.is_empty() {
+            // variable not covered (ruled out by Cq::new); nothing to bind
+            return;
+        }
+        candidate_sets.sort_by_key(Vec::len);
+        let mut candidates = candidate_sets[0].clone();
+        for s in &candidate_sets[1..] {
+            candidates.retain(|v| s.binary_search(v).is_ok());
+        }
+        for value in candidates {
+            // restrict every atom containing v to rows with v = value
+            let restricted: Vec<(VarSet, Relation)> = atoms
+                .iter()
+                .map(|(vars, rel)| {
+                    if vars.contains(v) {
+                        let col = rel.col(v).expect("atom schema");
+                        (*vars, rel.select(|row| row[col] == value))
+                    } else {
+                        (*vars, rel.clone())
+                    }
+                })
+                .collect();
+            if restricted.iter().any(|(_, r)| r.is_empty()) {
+                continue;
+            }
+            partial.push(value);
+            recurse(&restricted, order, depth + 1, partial, out);
+            partial.pop();
+        }
+    }
+}
+
+/// A join tree over the atoms of an α-acyclic query: `parent[i]` is the
+/// parent atom index (`None` for the root, index 0 of the returned order).
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    /// Parent per atom.
+    pub parent: Vec<Option<usize>>,
+    /// Atom indices, children always after parents.
+    pub top_down: Vec<usize>,
+}
+
+/// Builds a join tree by maximum-weight spanning tree on shared-variable
+/// counts — a join tree exists and is found this way iff the hypergraph is
+/// α-acyclic. Returns `None` for cyclic queries.
+#[allow(clippy::needless_range_loop)] // Prim over two parallel arrays
+pub fn join_tree(cq: &Cq) -> Option<JoinTree> {
+    let h = cq.hypergraph();
+    if !h.is_acyclic() {
+        return None;
+    }
+    let m = cq.atoms.len();
+    let mut parent = vec![None; m];
+    let mut in_tree = vec![false; m];
+    let mut top_down = vec![0usize];
+    in_tree[0] = true;
+    // Prim's algorithm maximizing |shared vars|
+    for _ in 1..m {
+        let mut best: Option<(usize, usize, u32)> = None; // (new, attach_to, weight)
+        for i in 0..m {
+            if in_tree[i] {
+                continue;
+            }
+            for j in 0..m {
+                if !in_tree[j] {
+                    continue;
+                }
+                let w = cq.atoms[i].vars.intersect(cq.atoms[j].vars).len();
+                if best.is_none_or(|(_, _, bw)| w > bw) {
+                    best = Some((i, j, w));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("m atoms need m-1 attachments");
+        parent[i] = Some(j);
+        in_tree[i] = true;
+        top_down.push(i);
+    }
+    Some(JoinTree { parent, top_down })
+}
+
+/// The Yannakakis algorithm \[34\] for α-acyclic queries: full semijoin
+/// reduction (bottom-up + top-down) followed by bottom-up joins with early
+/// projection onto variables still needed above.
+///
+/// Returns `None` if the query is cyclic.
+pub fn yannakakis(cq: &Cq, db: &Database) -> Result<Option<Relation>, CqError> {
+    let Some(tree) = join_tree(cq) else {
+        return Ok(None);
+    };
+    let rels = cq.bind(db)?;
+    let mut tables: Vec<Relation> = rels.into_iter().cloned().collect();
+
+    let bottom_up: Vec<usize> = tree.top_down.iter().rev().copied().collect();
+    // Phase 1: bottom-up semijoin
+    for &i in &bottom_up {
+        if let Some(p) = tree.parent[i] {
+            tables[p] = tables[p].semijoin(&tables[i]);
+        }
+    }
+    // Phase 2: top-down semijoin — after both passes no dangling tuples
+    // remain.
+    for &i in &tree.top_down {
+        if let Some(p) = tree.parent[i] {
+            tables[i] = tables[i].semijoin(&tables[p]);
+        }
+    }
+    // Phase 3: bottom-up joins. Project each intermediate onto free
+    // variables plus variables shared with anything still unjoined above.
+    let mut alive: Vec<VarSet> = cq.atoms.iter().map(|a| a.vars).collect();
+    for &i in &bottom_up {
+        if let Some(p) = tree.parent[i] {
+            let joined = tables[p].natural_join(&tables[i]);
+            // variables needed later: free, or occurring in atoms not yet
+            // merged into p
+            let mut needed = cq.free;
+            for (k, vars) in alive.iter().enumerate() {
+                if k != i && k != p {
+                    needed = needed.union(*vars);
+                }
+            }
+            let keep = joined.vars().intersect(needed);
+            tables[p] = joined.project(keep);
+            alive[p] = tables[p].vars();
+            alive[i] = VarSet::EMPTY;
+        }
+    }
+    let root = tree.top_down[0];
+    Ok(Some(tables[root].project(cq.free)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{k_path, parse_cq, snowflake, triangle};
+    use qec_relation::{random_relation, Relation};
+
+    fn triangle_db(n: usize, seed: u64) -> Database {
+        let mut db = Database::new();
+        db.insert("R", random_relation(vec![Var(0), Var(1)], n, seed));
+        db.insert("S", random_relation(vec![Var(1), Var(2)], n, seed + 1));
+        db.insert("T", random_relation(vec![Var(0), Var(2)], n, seed + 2));
+        db
+    }
+
+    #[test]
+    fn generic_join_matches_pairwise_on_triangle() {
+        let q = triangle();
+        for seed in 0..5 {
+            let db = triangle_db(60, seed);
+            let a = evaluate_pairwise(&q, &db).unwrap();
+            let b = generic_join(&q, &db).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generic_join_handles_projections() {
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)").unwrap();
+        let mut db = Database::new();
+        // R over (a=Var0, b=Var2), S over (b=Var2, c=Var1)
+        db.insert("R", random_relation(vec![Var(0), Var(2)], 50, 1));
+        db.insert("S", random_relation(vec![Var(2), Var(1)], 50, 2));
+        let a = evaluate_pairwise(&q, &db).unwrap();
+        let b = generic_join(&q, &db).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_tree_only_for_acyclic() {
+        assert!(join_tree(&triangle()).is_none());
+        assert!(join_tree(&k_path(4)).is_some());
+        let t = join_tree(&snowflake(3)).unwrap();
+        assert_eq!(t.top_down.len(), 4);
+        assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn yannakakis_matches_pairwise_on_acyclic_corpus() {
+        for (q, names) in [
+            (k_path(3), vec!["E0", "E1", "E2"]),
+            (snowflake(2), vec!["F", "P0", "P1"]),
+        ] {
+            for seed in 0..4 {
+                let mut db = Database::new();
+                for (i, a) in q.atoms.iter().enumerate() {
+                    let schema: Vec<Var> = a.vars.to_vec();
+                    db.insert(names[i], random_relation(schema, 40, seed * 10 + i as u64));
+                }
+                let expect = evaluate_pairwise(&q, &db).unwrap();
+                let got = yannakakis(&q, &db).unwrap().expect("acyclic");
+                assert_eq!(expect, got, "{q} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn yannakakis_with_projection() {
+        let q = parse_cq("Q(x0) :- E0(x0, x1), E1(x1, x2)").unwrap();
+        // note: parser indices: x0=0 (free), x1=1, x2=2
+        let mut db = Database::new();
+        db.insert("E0", random_relation(vec![Var(0), Var(1)], 40, 9));
+        db.insert("E1", random_relation(vec![Var(1), Var(2)], 40, 10));
+        let expect = evaluate_pairwise(&q, &db).unwrap();
+        let got = yannakakis(&q, &db).unwrap().expect("acyclic");
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn yannakakis_returns_none_for_cyclic() {
+        let db = triangle_db(10, 0);
+        assert!(yannakakis(&triangle(), &db).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let q = triangle();
+        let mut db = triangle_db(20, 3);
+        db.insert("S", Relation::empty(q.atoms[1].vars));
+        assert_eq!(generic_join(&q, &db).unwrap().len(), 0);
+        assert_eq!(evaluate_pairwise(&q, &db).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The query corpus used across tests, examples, and experiments.
+//!
+//! Each constructor returns a *full* CQ (every variable free); callers that
+//! need projections or Boolean versions adjust `free`.
+
+use qec_relation::{Var, VarSet};
+
+use crate::{Atom, Cq};
+
+fn vars(n: usize, prefix: &str) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}{i}")).collect()
+}
+
+fn atom(name: impl Into<String>, vs: &[u32]) -> Atom {
+    Atom { name: name.into(), vars: vs.iter().map(|&i| Var(i)).collect() }
+}
+
+/// The triangle query `Q(a,b,c) :- R(a,b), S(b,c), T(a,c)` — the paper's
+/// running example (Figures 1 and 2).
+pub fn triangle() -> Cq {
+    Cq::new(
+        vec!["a".into(), "b".into(), "c".into()],
+        vec![atom("R", &[0, 1]), atom("S", &[1, 2]), atom("T", &[0, 2])],
+        VarSet::full(3),
+    )
+    .expect("triangle is well-formed")
+}
+
+/// The `k`-cycle query over variables `x0..x_{k-1}` with edges
+/// `E_i(x_i, x_{i+1 mod k})`.
+///
+/// # Panics
+/// Panics if `k < 3`.
+pub fn k_cycle(k: usize) -> Cq {
+    assert!(k >= 3, "cycles need at least 3 vertices");
+    let atoms = (0..k)
+        .map(|i| atom(format!("E{i}"), &[i as u32, ((i + 1) % k) as u32]))
+        .collect();
+    Cq::new(vars(k, "x"), atoms, VarSet::full(k as u32)).expect("cycle is well-formed")
+}
+
+/// The `k`-edge path query `E0(x0,x1), …, E_{k-1}(x_{k-1}, x_k)`.
+///
+/// # Panics
+/// Panics if `k < 1`.
+pub fn k_path(k: usize) -> Cq {
+    assert!(k >= 1);
+    let atoms = (0..k).map(|i| atom(format!("E{i}"), &[i as u32, i as u32 + 1])).collect();
+    Cq::new(vars(k + 1, "x"), atoms, VarSet::full(k as u32 + 1)).expect("path is well-formed")
+}
+
+/// The `k`-leaf star query `E0(x0,x1), …, E_{k-1}(x0,x_k)` (centre `x0`).
+///
+/// # Panics
+/// Panics if `k < 1`.
+pub fn k_star(k: usize) -> Cq {
+    assert!(k >= 1);
+    let atoms = (0..k).map(|i| atom(format!("E{i}"), &[0, i as u32 + 1])).collect();
+    Cq::new(vars(k + 1, "x"), atoms, VarSet::full(k as u32 + 1)).expect("star is well-formed")
+}
+
+/// The bowtie: two triangles sharing vertex `x0` (5 variables, 6 edges).
+pub fn bowtie() -> Cq {
+    let atoms = vec![
+        atom("R0", &[0, 1]),
+        atom("R1", &[1, 2]),
+        atom("R2", &[0, 2]),
+        atom("S0", &[0, 3]),
+        atom("S1", &[3, 4]),
+        atom("S2", &[0, 4]),
+    ];
+    Cq::new(vars(5, "x"), atoms, VarSet::full(5)).expect("bowtie is well-formed")
+}
+
+/// The Loomis–Whitney query `LW(n)`: `n` atoms, each over all variables
+/// except one. `LW(3)` is the triangle.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn loomis_whitney(n: usize) -> Cq {
+    assert!(n >= 3);
+    let all: Vec<u32> = (0..n as u32).collect();
+    let atoms = (0..n)
+        .map(|skip| {
+            let vs: Vec<u32> = all.iter().copied().filter(|&v| v != skip as u32).collect();
+            atom(format!("R{skip}"), &vs)
+        })
+        .collect();
+    Cq::new(vars(n, "x"), atoms, VarSet::full(n as u32)).expect("LW is well-formed")
+}
+
+/// A star whose centre is an edge: `F(x0, x1)` plus `k` petals
+/// `P_i(x1, y_i)` — an acyclic "snowflake" used in the output-sensitive
+/// experiments (its free-connex structure is interesting when only
+/// `x0, x1` are free).
+pub fn snowflake(k: usize) -> Cq {
+    assert!(k >= 1);
+    let mut names = vec!["x0".to_string(), "x1".to_string()];
+    names.extend((0..k).map(|i| format!("y{i}")));
+    let mut atoms = vec![atom("F", &[0, 1])];
+    for i in 0..k {
+        atoms.push(atom(format!("P{i}"), &[1, i as u32 + 2]));
+    }
+    Cq::new(names, atoms, VarSet::full(k as u32 + 2)).expect("snowflake is well-formed")
+}
+
+/// A star with every petal relation also holding the centre pair:
+/// `R(x0, x1, x2)` covering edge plus binary petals — a query whose
+/// hypergraph is acyclic with a non-trivial join tree.
+pub fn full_star() -> Cq {
+    let atoms = vec![
+        atom("R", &[0, 1, 2]),
+        atom("S", &[1, 3]),
+        atom("T", &[2, 4]),
+    ];
+    Cq::new(vars(5, "x"), atoms, VarSet::full(5)).expect("full star is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_shapes() {
+        assert_eq!(triangle().atoms.len(), 3);
+        assert_eq!(k_cycle(5).atoms.len(), 5);
+        assert_eq!(k_cycle(5).num_vars(), 5);
+        assert_eq!(k_path(4).num_vars(), 5);
+        assert_eq!(k_star(6).atoms.len(), 6);
+        assert_eq!(bowtie().num_vars(), 5);
+        assert_eq!(loomis_whitney(4).atoms[0].vars.len(), 3);
+        assert_eq!(snowflake(3).num_vars(), 5);
+        assert!(k_path(3).hypergraph().is_acyclic());
+        assert!(k_star(3).hypergraph().is_acyclic());
+        assert!(snowflake(2).hypergraph().is_acyclic());
+        assert!(full_star().hypergraph().is_acyclic());
+        assert!(!k_cycle(4).hypergraph().is_acyclic());
+        assert!(!bowtie().hypergraph().is_acyclic());
+        assert!(!loomis_whitney(4).hypergraph().is_acyclic());
+    }
+
+    #[test]
+    fn lw3_is_triangle_shaped() {
+        let lw = loomis_whitney(3);
+        let t = triangle();
+        assert_eq!(
+            lw.hypergraph().edges.iter().collect::<std::collections::BTreeSet<_>>(),
+            t.hypergraph().edges.iter().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+}

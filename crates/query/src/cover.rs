@@ -1,0 +1,118 @@
+//! Fractional edge covers (the AGM bound's certificate).
+
+use qec_bignum::Rat;
+use qec_lp::{LpBuilder, LpOutcome, Relation as LpRel};
+use qec_relation::VarSet;
+
+use crate::Hypergraph;
+
+/// An optimal fractional edge cover.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeCover {
+    /// Weight `u_F` per hyperedge, aligned with `Hypergraph::edges`.
+    pub weights: Vec<Rat>,
+    /// The cover number `ρ* = Σ u_F`.
+    pub rho_star: Rat,
+}
+
+/// Minimum fractional edge cover of all variables of `h`.
+///
+/// Returns `None` if some variable is uncoverable (occurs in no edge).
+pub fn fractional_edge_cover(h: &Hypergraph) -> Option<EdgeCover> {
+    fractional_cover_of(h, h.all_vars())
+}
+
+/// Minimum fractional edge cover of the variable set `target` using the
+/// edges of `h` (each edge may be used fractionally; covering requirement
+/// `Σ_{F ∋ v} u_F ≥ 1` is imposed only for `v ∈ target`).
+///
+/// This is the bag-cost functional of the *fractional hypertree width*:
+/// `fhtw = min over GHDs of max over bags of ρ*(bag)`.
+pub fn fractional_cover_of(h: &Hypergraph, target: VarSet) -> Option<EdgeCover> {
+    let m = h.edges.len();
+    let mut lp = LpBuilder::minimize(m);
+    for (i, _) in h.edges.iter().enumerate() {
+        lp.obj(i, Rat::one());
+    }
+    for v in target.iter() {
+        let coeffs: Vec<(usize, Rat)> = h
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.contains(v))
+            .map(|(i, _)| (i, Rat::one()))
+            .collect();
+        if coeffs.is_empty() {
+            return None;
+        }
+        lp.constraint(coeffs, LpRel::Ge, Rat::one());
+    }
+    match lp.solve().expect("edge-cover LP within iteration budget") {
+        LpOutcome::Optimal(s) => Some(EdgeCover { weights: s.primal, rho_star: s.value }),
+        // Covering LPs with non-empty coefficient rows are always feasible
+        // and bounded below by 0.
+        _ => unreachable!("covering LP is feasible and bounded"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{k_cycle, k_path, k_star, loomis_whitney, triangle};
+    use qec_bignum::rat;
+    use qec_relation::Var;
+
+    #[test]
+    fn triangle_rho_star_is_three_halves() {
+        let c = fractional_edge_cover(&triangle().hypergraph()).unwrap();
+        assert_eq!(c.rho_star, rat(3, 2));
+        assert_eq!(c.weights, vec![rat(1, 2), rat(1, 2), rat(1, 2)]);
+    }
+
+    #[test]
+    fn even_cycle_rho_star() {
+        // ρ*(C_k) = k/2
+        for k in [4u32, 5, 6, 7] {
+            let c = fractional_edge_cover(&k_cycle(k as usize).hypergraph()).unwrap();
+            assert_eq!(c.rho_star, rat(k as i64, 2), "cycle length {k}");
+        }
+    }
+
+    #[test]
+    fn path_rho_star_is_ceil_half() {
+        // P_k with k edges over k+1 vars: ρ* = ⌈(k+1)/2⌉ via alternating edges
+        for k in [2usize, 3, 4, 5] {
+            let c = fractional_edge_cover(&k_path(k).hypergraph()).unwrap();
+            assert_eq!(c.rho_star, rat(((k + 2) / 2) as i64, 1), "path length {k}");
+        }
+    }
+
+    #[test]
+    fn star_rho_star_is_leaf_count() {
+        // star with k leaves: every leaf needs its own edge with weight 1
+        let c = fractional_edge_cover(&k_star(4).hypergraph()).unwrap();
+        assert_eq!(c.rho_star, rat(4, 1));
+    }
+
+    #[test]
+    fn loomis_whitney_rho_star() {
+        // LW(n): n edges, each of size n-1; ρ* = n/(n-1)
+        for n in [3usize, 4, 5] {
+            let c = fractional_edge_cover(&loomis_whitney(n).hypergraph()).unwrap();
+            assert_eq!(c.rho_star, rat(n as i64, (n - 1) as i64), "LW({n})");
+        }
+    }
+
+    #[test]
+    fn uncoverable_variable_yields_none() {
+        let h = Hypergraph { num_vars: 2, edges: vec![VarSet::singleton(Var(0))] };
+        assert!(fractional_edge_cover(&h).is_none());
+    }
+
+    #[test]
+    fn subset_cover_is_cheaper() {
+        let h = triangle().hypergraph();
+        let sub = fractional_cover_of(&h, VarSet::from(vec![Var(0), Var(1)])).unwrap();
+        assert_eq!(sub.rho_star, Rat::one()); // single edge covers {A,B}
+    }
+}

@@ -1,0 +1,333 @@
+//! Conjunctive query and hypergraph types.
+
+use std::fmt;
+
+use qec_relation::{Database, Relation, Var, VarSet};
+
+/// Errors raised by query construction and evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CqError {
+    /// An atom mentions no variables or repeats a variable.
+    MalformedAtom(String),
+    /// A free variable does not occur in any atom.
+    UnboundFreeVariable(String),
+    /// Evaluation could not find a relation for an atom.
+    MissingRelation(String),
+    /// A relation's schema does not match its atom.
+    SchemaMismatch { atom: String, expected: VarSet, got: VarSet },
+    /// Parse error with a human-readable message.
+    Parse(String),
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::MalformedAtom(a) => write!(f, "malformed atom: {a}"),
+            CqError::UnboundFreeVariable(v) => {
+                write!(f, "free variable {v} does not occur in any atom")
+            }
+            CqError::MissingRelation(a) => write!(f, "no relation bound to atom {a}"),
+            CqError::SchemaMismatch { atom, expected, got } => {
+                write!(f, "relation for {atom} has schema {got}, expected {expected}")
+            }
+            CqError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+/// A query hypergraph `H = ([n], E)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    /// Number of variables `n`.
+    pub num_vars: u32,
+    /// Hyperedges (each a non-empty subset of `[n]`).
+    pub edges: Vec<VarSet>,
+}
+
+impl Hypergraph {
+    /// All variables `[n]`.
+    pub fn all_vars(&self) -> VarSet {
+        VarSet::full(self.num_vars)
+    }
+
+    /// Variables adjacent to `v` in the primal graph (co-occurring in some
+    /// edge), excluding `v` itself.
+    pub fn neighbors(&self, v: Var) -> VarSet {
+        self.edges
+            .iter()
+            .filter(|e| e.contains(v))
+            .fold(VarSet::EMPTY, |acc, e| acc.union(*e))
+            .minus(VarSet::singleton(v))
+    }
+
+    /// GYO reduction: returns `true` iff the hypergraph is α-acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        let mut edges: Vec<VarSet> = self.edges.clone();
+        loop {
+            let mut changed = false;
+            // Remove ears: an edge contained in another edge.
+            let mut i = 0;
+            while i < edges.len() {
+                let contained = edges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, e)| j != i && edges[i].is_subset(*e));
+                if contained {
+                    edges.swap_remove(i);
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            // Remove isolated variables: occurring in exactly one edge.
+            for v in self.all_vars().iter() {
+                let occurrences: Vec<usize> = edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.contains(v))
+                    .map(|(i, _)| i)
+                    .collect();
+                if occurrences.len() == 1 {
+                    let i = occurrences[0];
+                    let reduced = edges[i].minus(VarSet::singleton(v));
+                    if reduced != edges[i] {
+                        edges[i] = reduced;
+                        changed = true;
+                    }
+                }
+            }
+            edges.retain(|e| !e.is_empty());
+            if edges.len() <= 1 {
+                return true;
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+}
+
+/// A relation atom `R(A_F)` in a query body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name, used to look up data in a [`Database`].
+    pub name: String,
+    /// The hyperedge `F` this atom covers.
+    pub vars: VarSet,
+}
+
+/// A conjunctive query (Sec. 3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cq {
+    /// Human-readable variable names; index `i` names `Var(i)`.
+    pub var_names: Vec<String>,
+    /// Body atoms.
+    pub atoms: Vec<Atom>,
+    /// Free (output) variables; the rest are existentially quantified.
+    pub free: VarSet,
+}
+
+impl Cq {
+    /// Builds a query, validating that atoms are non-empty and free
+    /// variables occur somewhere.
+    pub fn new(var_names: Vec<String>, atoms: Vec<Atom>, free: VarSet) -> Result<Cq, CqError> {
+        let mut covered = VarSet::EMPTY;
+        for a in &atoms {
+            if a.vars.is_empty() {
+                return Err(CqError::MalformedAtom(a.name.clone()));
+            }
+            covered = covered.union(a.vars);
+        }
+        for v in free.iter() {
+            if !covered.contains(v) {
+                return Err(CqError::UnboundFreeVariable(
+                    var_names.get(v.index()).cloned().unwrap_or_else(|| format!("{v}")),
+                ));
+            }
+        }
+        Ok(Cq { var_names, atoms, free })
+    }
+
+    /// Number of variables `n`.
+    pub fn num_vars(&self) -> u32 {
+        self.var_names.len() as u32
+    }
+
+    /// All variables `[n]`.
+    pub fn all_vars(&self) -> VarSet {
+        VarSet::full(self.num_vars())
+    }
+
+    /// Bound (existential) variables.
+    pub fn bound_vars(&self) -> VarSet {
+        self.all_vars().minus(self.free)
+    }
+
+    /// The query hypergraph.
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph {
+            num_vars: self.num_vars(),
+            edges: self.atoms.iter().map(|a| a.vars).collect(),
+        }
+    }
+
+    /// `true` iff every variable is free (an FCQ).
+    pub fn is_full(&self) -> bool {
+        self.free == self.all_vars()
+    }
+
+    /// `true` iff no variable is free (a BCQ).
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// The same query with all variables free (its *full* version).
+    pub fn to_full(&self) -> Cq {
+        Cq { var_names: self.var_names.clone(), atoms: self.atoms.clone(), free: self.all_vars() }
+    }
+
+    /// Looks up each atom's relation in `db`, checking schemas.
+    pub fn bind<'a>(&self, db: &'a Database) -> Result<Vec<&'a Relation>, CqError> {
+        self.atoms
+            .iter()
+            .map(|a| {
+                let rel =
+                    db.get(&a.name).ok_or_else(|| CqError::MissingRelation(a.name.clone()))?;
+                if rel.vars() != a.vars {
+                    return Err(CqError::SchemaMismatch {
+                        atom: a.name.clone(),
+                        expected: a.vars,
+                        got: rel.vars(),
+                    });
+                }
+                Ok(rel)
+            })
+            .collect()
+    }
+
+    /// Display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+}
+
+impl fmt::Display for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, v) in self.free.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_name(v))?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", a.name)?;
+            for (j, v) in a.vars.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.var_name(v))?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(bits: &[u32]) -> VarSet {
+        bits.iter().map(|&i| Var(i)).collect()
+    }
+
+    fn triangle() -> Cq {
+        Cq::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![
+                Atom { name: "R".into(), vars: vs(&[0, 1]) },
+                Atom { name: "S".into(), vars: vs(&[1, 2]) },
+                Atom { name: "T".into(), vars: vs(&[0, 2]) },
+            ],
+            vs(&[0, 1, 2]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_classification() {
+        let q = triangle();
+        assert!(q.is_full());
+        assert!(!q.is_boolean());
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.bound_vars(), VarSet::EMPTY);
+        assert_eq!(q.to_string(), "Q(a, b, c) :- R(a, b), S(b, c), T(a, c)");
+    }
+
+    #[test]
+    fn free_variable_validation() {
+        let err = Cq::new(
+            vec!["x".into(), "y".into()],
+            vec![Atom { name: "R".into(), vars: vs(&[0]) }],
+            vs(&[1]),
+        )
+        .unwrap_err();
+        assert_eq!(err, CqError::UnboundFreeVariable("y".into()));
+    }
+
+    #[test]
+    fn acyclicity() {
+        // path R(a,b), S(b,c) is acyclic
+        let path = Hypergraph { num_vars: 3, edges: vec![vs(&[0, 1]), vs(&[1, 2])] };
+        assert!(path.is_acyclic());
+        // triangle is cyclic
+        assert!(!triangle().hypergraph().is_acyclic());
+        // 4-cycle is cyclic
+        let c4 = Hypergraph {
+            num_vars: 4,
+            edges: vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[2, 3]), vs(&[0, 3])],
+        };
+        assert!(!c4.is_acyclic());
+        // triangle + covering edge is acyclic
+        let covered = Hypergraph {
+            num_vars: 3,
+            edges: vec![vs(&[0, 1]), vs(&[1, 2]), vs(&[0, 2]), vs(&[0, 1, 2])],
+        };
+        assert!(covered.is_acyclic());
+        // star is acyclic
+        let star = Hypergraph {
+            num_vars: 4,
+            edges: vec![vs(&[0, 1]), vs(&[0, 2]), vs(&[0, 3])],
+        };
+        assert!(star.is_acyclic());
+    }
+
+    #[test]
+    fn neighbors() {
+        let h = triangle().hypergraph();
+        assert_eq!(h.neighbors(Var(0)), vs(&[1, 2]));
+    }
+
+    #[test]
+    fn bind_checks_schema() {
+        use qec_relation::Relation;
+        let q = triangle();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 2]]));
+        db.insert("S", Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 3]]));
+        // T missing
+        assert!(matches!(q.bind(&db), Err(CqError::MissingRelation(_))));
+        // T with wrong schema
+        db.insert("T", Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 3]]));
+        assert!(matches!(q.bind(&db), Err(CqError::SchemaMismatch { .. })));
+        db.insert("T", Relation::from_rows(vec![Var(0), Var(2)], vec![vec![1, 3]]));
+        assert_eq!(q.bind(&db).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,393 @@
+//! Generalized hypertree decompositions (Def. 1 of the paper).
+
+use std::collections::BTreeSet;
+
+use qec_bignum::Rat;
+use qec_relation::{Var, VarSet};
+
+use crate::Hypergraph;
+
+/// One node of a GHD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GhdNode {
+    /// The bag `χ(t)`.
+    pub bag: VarSet,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node indices.
+    pub children: Vec<usize>,
+}
+
+/// A generalized hypertree decomposition `(T, χ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ghd {
+    /// Nodes; `nodes[root]` is the root.
+    pub nodes: Vec<GhdNode>,
+    /// Root node index.
+    pub root: usize,
+}
+
+impl Ghd {
+    /// Checks Def. 1: every hyperedge inside some bag, and for each
+    /// variable the nodes whose bags contain it form a connected subtree.
+    pub fn is_valid(&self, h: &Hypergraph) -> bool {
+        // edge coverage
+        for e in &h.edges {
+            if !self.nodes.iter().any(|n| e.is_subset(n.bag)) {
+                return false;
+            }
+        }
+        // running intersection: for each var, the occurrence set must be
+        // connected in T
+        for v in h.all_vars().iter() {
+            let occ: Vec<usize> = (0..self.nodes.len())
+                .filter(|&i| self.nodes[i].bag.contains(v))
+                .collect();
+            if occ.is_empty() {
+                continue;
+            }
+            // BFS within occurrence-induced subgraph
+            let inset: BTreeSet<usize> = occ.iter().copied().collect();
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![occ[0]];
+            while let Some(i) = stack.pop() {
+                if !seen.insert(i) {
+                    continue;
+                }
+                let n = &self.nodes[i];
+                let mut adj: Vec<usize> = n.children.clone();
+                if let Some(p) = n.parent {
+                    adj.push(p);
+                }
+                for j in adj {
+                    if inset.contains(&j) && !seen.contains(&j) {
+                        stack.push(j);
+                    }
+                }
+            }
+            if seen.len() != occ.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks free-connexity: some connected set of nodes has bag-union
+    /// exactly `free` (trivially true for `free = ∅`).
+    pub fn is_free_connex(&self, free: VarSet) -> bool {
+        if free.is_empty() {
+            return true;
+        }
+        // candidate nodes: bags entirely inside `free`
+        let cand: Vec<usize> =
+            (0..self.nodes.len()).filter(|&i| self.nodes[i].bag.is_subset(free)).collect();
+        if cand.is_empty() {
+            return false;
+        }
+        let inset: BTreeSet<usize> = cand.iter().copied().collect();
+        let mut remaining: BTreeSet<usize> = inset.clone();
+        while let Some(&start) = remaining.iter().next() {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![start];
+            let mut union = VarSet::EMPTY;
+            while let Some(i) = stack.pop() {
+                if !seen.insert(i) {
+                    continue;
+                }
+                union = union.union(self.nodes[i].bag);
+                let n = &self.nodes[i];
+                let mut adj: Vec<usize> = n.children.clone();
+                if let Some(p) = n.parent {
+                    adj.push(p);
+                }
+                for j in adj {
+                    if inset.contains(&j) && !seen.contains(&j) {
+                        stack.push(j);
+                    }
+                }
+            }
+            if union == free {
+                return true;
+            }
+            for i in &seen {
+                remaining.remove(i);
+            }
+        }
+        false
+    }
+
+    /// Max bag cost under a caller-supplied cost functional. With
+    /// `cost = ρ*(bag)` this is the fractional hypertree width of this
+    /// decomposition; with the degree-aware polymatroid bound it is the
+    /// `da-fhtw` functional of Eq. (6).
+    pub fn width_by(&self, mut cost: impl FnMut(VarSet) -> Rat) -> Rat {
+        let mut w = Rat::zero();
+        for n in &self.nodes {
+            w = w.max(cost(n.bag));
+        }
+        w
+    }
+
+    /// Node indices in bottom-up order (every node after all its children).
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        // iterative post-order from the root
+        let mut stack = vec![(self.root, false)];
+        while let Some((i, expanded)) = stack.pop() {
+            if expanded {
+                order.push(i);
+            } else {
+                stack.push((i, true));
+                for &c in &self.nodes[i].children {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// The distinct bags, sorted.
+    pub fn bags(&self) -> Vec<VarSet> {
+        let mut b: Vec<VarSet> = self.nodes.iter().map(|n| n.bag).collect();
+        b.sort();
+        b.dedup();
+        b
+    }
+
+    /// Canonical signature for deduplication: sorted bags plus sorted
+    /// parent-child bag pairs.
+    fn signature(&self) -> (Vec<VarSet>, Vec<(VarSet, VarSet)>) {
+        let bags = self.bags();
+        let mut edges: Vec<(VarSet, VarSet)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                n.parent.map(|p| {
+                    let (a, b) = (self.nodes[p].bag, self.nodes[i].bag);
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+            })
+            .collect();
+        edges.sort();
+        edges.dedup();
+        (bags, edges)
+    }
+
+    /// Builds a GHD from a variable elimination order (the classical
+    /// triangulation construction). Bags are the elimination cliques;
+    /// node `i` corresponds to `order[i]`, its parent is the node of the
+    /// earliest variable eliminated after it that appears in its bag.
+    pub fn from_elimination_order(h: &Hypergraph, order: &[Var]) -> Ghd {
+        assert_eq!(order.len() as u32, h.num_vars, "order must cover all variables");
+        let mut current: Vec<VarSet> = h.edges.clone();
+        if current.is_empty() {
+            current.push(VarSet::EMPTY);
+        }
+        let mut bags: Vec<VarSet> = Vec::with_capacity(order.len());
+        for &v in order {
+            let mut bag = VarSet::singleton(v);
+            let mut rest: Vec<VarSet> = Vec::with_capacity(current.len());
+            for e in current.drain(..) {
+                if e.contains(v) {
+                    bag = bag.union(e);
+                } else {
+                    rest.push(e);
+                }
+            }
+            let residual = bag.minus(VarSet::singleton(v));
+            if !residual.is_empty() {
+                rest.push(residual);
+            }
+            current = rest;
+            bags.push(bag);
+        }
+        // parent of node i = node of the earliest-later-eliminated variable
+        // in bag_i \ {order[i]}
+        let pos_of = |v: Var| order.iter().position(|&o| o == v).expect("var in order");
+        let mut nodes: Vec<GhdNode> = bags
+            .iter()
+            .map(|&bag| GhdNode { bag, parent: None, children: Vec::new() })
+            .collect();
+        let root = nodes.len() - 1;
+        for i in 0..nodes.len() {
+            let v = order[i];
+            let later = bags[i]
+                .minus(VarSet::singleton(v))
+                .iter()
+                .map(pos_of)
+                .filter(|&p| p > i)
+                .min();
+            if let Some(p) = later {
+                nodes[i].parent = Some(p);
+                nodes[p].children.push(i);
+            } else if i != root {
+                nodes[i].parent = Some(root);
+                nodes[root].children.push(i);
+            }
+        }
+        Ghd { nodes, root }
+    }
+}
+
+fn permutations<T: Copy>(items: &[T]) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        let mut rest: Vec<T> = items.to_vec();
+        let head = rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Enumerates distinct GHDs of `h` via elimination orders, restricted to
+/// orders that eliminate bound variables before free ones. Every returned
+/// GHD is valid and free-connex with respect to `free`.
+///
+/// `limit` caps the number of *orders tried* (the query size is a
+/// constant, but `n!` still deserves a seatbelt). Results are deduplicated
+/// by bag structure.
+pub fn enumerate_ghds(h: &Hypergraph, free: VarSet, limit: usize) -> Vec<Ghd> {
+    let bound: Vec<Var> = h.all_vars().minus(free).to_vec();
+    let free_vars: Vec<Var> = free.to_vec();
+    let mut out: Vec<Ghd> = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut tried = 0usize;
+    'outer: for bp in permutations(&bound) {
+        for fp in permutations(&free_vars) {
+            if tried >= limit {
+                break 'outer;
+            }
+            tried += 1;
+            let mut order = bp.clone();
+            order.extend(fp.iter().copied());
+            let g = Ghd::from_elimination_order(h, &order);
+            debug_assert!(g.is_valid(h), "elimination GHD must be valid");
+            debug_assert!(
+                g.is_free_connex(free),
+                "bound-first elimination GHD must be free-connex"
+            );
+            if seen.insert(g.signature()) {
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{k_cycle, k_path, snowflake, triangle};
+    use crate::fractional_cover_of;
+    use qec_bignum::rat;
+
+    fn vs(bits: &[u32]) -> VarSet {
+        bits.iter().map(|&i| Var(i)).collect()
+    }
+
+    #[test]
+    fn elimination_ghd_for_triangle_is_single_bag_tree() {
+        let h = triangle().hypergraph();
+        let g = Ghd::from_elimination_order(&h, &[Var(0), Var(1), Var(2)]);
+        assert!(g.is_valid(&h));
+        // eliminating A merges AB and AC into bag ABC
+        assert!(g.nodes.iter().any(|n| n.bag == VarSet::full(3)));
+    }
+
+    #[test]
+    fn path_ghd_has_width_one() {
+        let q = k_path(3);
+        let h = q.hypergraph();
+        let g = Ghd::from_elimination_order(&h, &[Var(0), Var(3), Var(1), Var(2)]);
+        assert!(g.is_valid(&h));
+        let w = g.width_by(|bag| fractional_cover_of(&h, bag).unwrap().rho_star);
+        assert_eq!(w, rat(1, 1));
+    }
+
+    #[test]
+    fn cycle4_fhtw_is_two_ish() {
+        // fhtw(C4) = 2 over elimination-order GHDs
+        let q = k_cycle(4);
+        let h = q.hypergraph();
+        let ghds = enumerate_ghds(&h, h.all_vars(), 10_000);
+        assert!(!ghds.is_empty());
+        let best = ghds
+            .iter()
+            .map(|g| g.width_by(|bag| fractional_cover_of(&h, bag).unwrap().rho_star))
+            .min()
+            .unwrap();
+        assert_eq!(best, rat(2, 1));
+    }
+
+    #[test]
+    fn bottom_up_respects_children() {
+        let h = k_path(4).hypergraph();
+        let g = Ghd::from_elimination_order(&h, &(0..5).map(Var).collect::<Vec<_>>());
+        let order = g.bottom_up();
+        assert_eq!(order.len(), g.nodes.len());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; order.len()];
+            for (rank, &i) in order.iter().enumerate() {
+                p[i] = rank;
+            }
+            p
+        };
+        for (i, n) in g.nodes.iter().enumerate() {
+            for &c in &n.children {
+                assert!(pos[c] < pos[i], "child {c} must precede parent {i}");
+            }
+        }
+        assert_eq!(*order.last().unwrap(), g.root);
+    }
+
+    #[test]
+    fn free_connex_detection() {
+        // Q(x0, x2) over path x0-x1-x2: eliminating bound x1 first gives a
+        // free-connex GHD; eliminating it last does not (bag {x0,x1,x2}
+        // never has a pure-free connected cover... it does not even have a
+        // node with bag ⊆ {x0, x2} covering both).
+        let h = k_path(2).hypergraph();
+        let free = vs(&[0, 2]);
+        let good = Ghd::from_elimination_order(&h, &[Var(1), Var(0), Var(2)]);
+        assert!(good.is_valid(&h));
+        assert!(good.is_free_connex(free));
+        let bad = Ghd::from_elimination_order(&h, &[Var(0), Var(2), Var(1)]);
+        assert!(bad.is_valid(&h));
+        assert!(!bad.is_free_connex(free));
+        // Boolean queries: trivially free-connex
+        assert!(bad.is_free_connex(VarSet::EMPTY));
+    }
+
+    #[test]
+    fn enumerate_ghds_are_valid_and_free_connex() {
+        let q = snowflake(3);
+        let h = q.hypergraph();
+        let free = vs(&[0, 1]);
+        let ghds = enumerate_ghds(&h, free, 5_000);
+        assert!(!ghds.is_empty());
+        for g in &ghds {
+            assert!(g.is_valid(&h));
+            assert!(g.is_free_connex(free));
+        }
+        // dedup actually dedups: far fewer GHDs than orders
+        assert!(ghds.len() < 5_000);
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let h = k_cycle(5).hypergraph();
+        let ghds = enumerate_ghds(&h, h.all_vars(), 7);
+        assert!(ghds.len() <= 7);
+    }
+}

@@ -1,0 +1,29 @@
+//! Conjunctive queries: hypergraphs, a small datalog-style parser,
+//! fractional edge covers, generalized hypertree decompositions (GHDs),
+//! free-connex GHDs, and RAM baseline evaluators.
+//!
+//! This crate models Sec. 3.1 and Sec. 6.1 of the paper:
+//!
+//! * a CQ `Q(A_1..A_k) ← ∃(A_{k+1}..A_n) ⋀_F R_F(A_F)` over a hypergraph
+//!   `H = ([n], E)` ([`Cq`], [`Hypergraph`]);
+//! * the fractional edge cover number `ρ*` behind the AGM bound
+//!   ([`fractional_edge_cover`]);
+//! * GHDs and free-connex GHDs with width functionals supplied by the
+//!   caller ([`Ghd`], [`enumerate_ghds`]) — the entropy crate plugs in the
+//!   degree-aware polymatroid bound to obtain `da-fhtw` (Eq. 6);
+//! * RAM baselines ([`baseline`]) the circuits are validated against:
+//!   pairwise join plans, a worst-case-optimal generic join, and the
+//!   textbook Yannakakis algorithm.
+
+pub mod baseline;
+mod corpus;
+mod cover;
+mod cq;
+mod ghd;
+mod parser;
+
+pub use corpus::{bowtie, full_star, k_cycle, k_path, k_star, loomis_whitney, snowflake, triangle};
+pub use cover::{fractional_cover_of, fractional_edge_cover, EdgeCover};
+pub use cq::{Atom, Cq, CqError, Hypergraph};
+pub use ghd::{enumerate_ghds, Ghd, GhdNode};
+pub use parser::parse_cq;

@@ -1,0 +1,267 @@
+//! A small datalog-style parser for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := head ":-" body "."?
+//! head   := ident "(" varlist? ")"
+//! body   := atom ("," atom)*
+//! atom   := ident "(" varlist ")"
+//! varlist:= ident ("," ident)*
+//! ```
+//!
+//! Example: `Q(a, c) :- R(a, b), S(b, c)` — `b` is existentially
+//! quantified because it does not appear in the head.
+
+use qec_relation::{Var, VarSet};
+
+use crate::{Atom, Cq, CqError};
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Dot,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn next(&mut self) -> Result<Tok, CqError> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(Tok::Eof);
+        }
+        let c = bytes[self.pos];
+        match c {
+            b'(' => {
+                self.pos += 1;
+                Ok(Tok::LParen)
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(Tok::RParen)
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(Tok::Comma)
+            }
+            b'.' => {
+                self.pos += 1;
+                Ok(Tok::Dot)
+            }
+            b':' => {
+                if bytes.get(self.pos + 1) == Some(&b'-') {
+                    self.pos += 2;
+                    Ok(Tok::Turnstile)
+                } else {
+                    Err(CqError::Parse(format!("expected ':-' at byte {}", self.pos)))
+                }
+            }
+            _ if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < bytes.len()
+                    && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(Tok::Ident(self.src[start..self.pos].to_string()))
+            }
+            _ => Err(CqError::Parse(format!(
+                "unexpected character {:?} at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<Tok>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&mut self) -> Result<&Tok, CqError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next()?);
+        }
+        Ok(self.peeked.as_ref().expect("just filled"))
+    }
+
+    fn bump(&mut self) -> Result<Tok, CqError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), CqError> {
+        let got = self.bump()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(CqError::Parse(format!("expected {want:?}, found {got:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CqError> {
+        match self.bump()? {
+            Tok::Ident(s) => Ok(s),
+            got => Err(CqError::Parse(format!("expected identifier, found {got:?}"))),
+        }
+    }
+
+    fn varlist(&mut self) -> Result<Vec<String>, CqError> {
+        let mut vars = Vec::new();
+        if self.peek()? == &Tok::RParen {
+            return Ok(vars);
+        }
+        loop {
+            vars.push(self.ident()?);
+            if self.peek()? == &Tok::Comma {
+                self.bump()?;
+            } else {
+                return Ok(vars);
+            }
+        }
+    }
+}
+
+/// Parses a conjunctive query from datalog-style syntax.
+///
+/// Variable indices are assigned in order of first occurrence, head first —
+/// so the head variables are `Var(0..k)`, matching the paper's convention
+/// that `A_1..A_k` are free.
+///
+/// ```
+/// use qec_query::parse_cq;
+/// let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)").unwrap();
+/// assert_eq!(q.num_vars(), 3);
+/// assert_eq!(q.free.len(), 2);
+/// assert!(!q.is_full());
+/// assert!(q.hypergraph().is_acyclic());
+/// ```
+pub fn parse_cq(src: &str) -> Result<Cq, CqError> {
+    let mut p = Parser { lexer: Lexer::new(src), peeked: None };
+
+    let _head_name = p.ident()?;
+    p.expect(Tok::LParen)?;
+    let head_vars = p.varlist()?;
+    p.expect(Tok::RParen)?;
+    p.expect(Tok::Turnstile)?;
+
+    let mut var_names: Vec<String> = Vec::new();
+    let var_of = |name: &str, var_names: &mut Vec<String>| -> Result<Var, CqError> {
+        if let Some(i) = var_names.iter().position(|n| n == name) {
+            return Ok(Var(i as u32));
+        }
+        if var_names.len() >= 60 {
+            // variables 60–63 are reserved for internal rank/count/
+            // annotation columns in the circuit compilers
+            return Err(CqError::Parse("more than 60 variables".into()));
+        }
+        var_names.push(name.to_string());
+        Ok(Var(var_names.len() as u32 - 1))
+    };
+
+    let mut free = VarSet::EMPTY;
+    let mut head_seen = std::collections::HashSet::new();
+    for name in &head_vars {
+        if !head_seen.insert(name.clone()) {
+            return Err(CqError::Parse(format!("repeated head variable {name}")));
+        }
+        free = free.with(var_of(name, &mut var_names)?);
+    }
+
+    let mut atoms = Vec::new();
+    loop {
+        let name = p.ident()?;
+        p.expect(Tok::LParen)?;
+        let vars = p.varlist()?;
+        p.expect(Tok::RParen)?;
+        if vars.is_empty() {
+            return Err(CqError::MalformedAtom(name));
+        }
+        let mut set = VarSet::EMPTY;
+        for v in &vars {
+            let var = var_of(v, &mut var_names)?;
+            if set.contains(var) {
+                return Err(CqError::MalformedAtom(format!("{name} repeats variable {v}")));
+            }
+            set = set.with(var);
+        }
+        atoms.push(Atom { name, vars: set });
+        match p.bump()? {
+            Tok::Comma => continue,
+            Tok::Dot => {
+                p.expect(Tok::Eof)?;
+                break;
+            }
+            Tok::Eof => break,
+            got => return Err(CqError::Parse(format!("expected ',' or end, found {got:?}"))),
+        }
+    }
+
+    Cq::new(var_names, atoms, free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_triangle() {
+        let q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c), T(a, c).").unwrap();
+        assert_eq!(q.num_vars(), 3);
+        assert!(q.is_full());
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.to_string(), "Q(a, b, c) :- R(a, b), S(b, c), T(a, c)");
+    }
+
+    #[test]
+    fn parse_projection_assigns_head_vars_first() {
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c)").unwrap();
+        // head vars first: a = Var(0), c = Var(1), then b = Var(2)
+        assert_eq!(q.var_names, vec!["a", "c", "b"]);
+        assert_eq!(q.free, VarSet::from(vec![Var(0), Var(1)]));
+        assert_eq!(q.bound_vars(), VarSet::singleton(Var(2)));
+    }
+
+    #[test]
+    fn parse_boolean_query() {
+        let q = parse_cq("Q() :- R(x, y), S(y, x)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.num_vars(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_cq("Q(a) :- ").is_err());
+        assert!(parse_cq("Q(a) :- R()").is_err());
+        assert!(parse_cq("Q(a, a) :- R(a)").is_err());
+        assert!(parse_cq("Q(a) :- R(a, a)").is_err());
+        assert!(parse_cq("Q(a) : R(a)").is_err());
+        assert!(parse_cq("Q(z) :- R(a)").is_err()); // unbound free var
+        assert!(parse_cq("Q(a) :- R(a) extra").is_err());
+        assert!(parse_cq("Q(a) :- R(a)!").is_err());
+    }
+
+    #[test]
+    fn parse_unicode_rejected_cleanly() {
+        assert!(parse_cq("Q(α) :- R(α)").is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Degree constraints (Sec. 3.1 of the paper).
+//!
+//! A degree constraint `(X, Y, N_{Y|X})` with `X ⊆ Y` asserts
+//! `deg(Y|X) = max_t |σ_{X=t}(R_Y)| ≤ N_{Y|X}` for the relation guarding it.
+//! Cardinality constraints are the special case `X = ∅`; functional
+//! dependencies the special case `N_{Y|X} = 1`.
+
+use std::fmt;
+
+use crate::{Relation, VarSet};
+
+/// A single degree constraint `(X, Y, N_{Y|X})`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DegreeConstraint {
+    /// The conditioning set `X`.
+    pub on: VarSet,
+    /// The constrained set `Y` (must satisfy `X ⊆ Y`).
+    pub of: VarSet,
+    /// The bound `N_{Y|X} ≥ 1`.
+    pub bound: u64,
+}
+
+impl DegreeConstraint {
+    /// A cardinality constraint `|R_Y| ≤ bound`.
+    pub fn cardinality(of: VarSet, bound: u64) -> Self {
+        DegreeConstraint { on: VarSet::EMPTY, of, bound }
+    }
+
+    /// A general degree constraint `deg(Y|X) ≤ bound`.
+    ///
+    /// # Panics
+    /// Panics unless `X ⊂ Y` and `bound ≥ 1`.
+    pub fn degree(on: VarSet, of: VarSet, bound: u64) -> Self {
+        assert!(on.is_subset(of) && on != of, "degree constraint requires X ⊂ Y");
+        assert!(bound >= 1, "degree bound must be positive");
+        DegreeConstraint { on, of, bound }
+    }
+
+    /// A functional dependency `X → Y` (i.e. `deg(Y|X) ≤ 1`).
+    pub fn fd(on: VarSet, of: VarSet) -> Self {
+        Self::degree(on, of, 1)
+    }
+
+    /// `true` iff this is a cardinality constraint (`X = ∅`).
+    pub fn is_cardinality(&self) -> bool {
+        self.on.is_empty()
+    }
+
+    /// Checks whether `rel` *guards* this constraint: its schema is exactly
+    /// `Y` and its realized degree respects the bound (Sec. 3.5, with the
+    /// paper's `Y = F` restriction).
+    pub fn guarded_by(&self, rel: &Relation) -> bool {
+        rel.vars() == self.of && rel.degree(self.on) as u64 <= self.bound
+    }
+}
+
+impl fmt::Display for DegreeConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_cardinality() {
+            write!(f, "|{}| ≤ {}", self.of, self.bound)
+        } else {
+            write!(f, "deg({}|{}) ≤ {}", self.of, self.on, self.bound)
+        }
+    }
+}
+
+impl fmt::Debug for DegreeConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A set of degree constraints (the paper's `DC`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DcSet {
+    constraints: Vec<DegreeConstraint>,
+}
+
+impl DcSet {
+    /// The empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a list, deduplicating and keeping, for each `(X, Y)`
+    /// pair, only the tightest bound.
+    pub fn from_vec(mut v: Vec<DegreeConstraint>) -> Self {
+        v.sort_by_key(|c| (c.on, c.of, c.bound));
+        v.dedup_by(|b, a| {
+            if a.on == b.on && a.of == b.of {
+                // keep the smaller bound (list is sorted, `a` has it)
+                true
+            } else {
+                false
+            }
+        });
+        DcSet { constraints: v }
+    }
+
+    /// Adds a constraint, tightening an existing `(X, Y)` entry if present.
+    pub fn add(&mut self, c: DegreeConstraint) {
+        for existing in &mut self.constraints {
+            if existing.on == c.on && existing.of == c.of {
+                existing.bound = existing.bound.min(c.bound);
+                return;
+            }
+        }
+        self.constraints.push(c);
+        self.constraints.sort_by_key(|c| (c.on, c.of, c.bound));
+    }
+
+    /// Iterates constraints in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &DegreeConstraint> {
+        self.constraints.iter()
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` when no constraints are present.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The bound for an exact `(X, Y)` pair, if stated.
+    pub fn bound(&self, on: VarSet, of: VarSet) -> Option<u64> {
+        self.constraints.iter().find(|c| c.on == on && c.of == of).map(|c| c.bound)
+    }
+
+    /// The cardinality bound `N_Y` for a set `Y`, if stated.
+    pub fn cardinality_of(&self, of: VarSet) -> Option<u64> {
+        self.bound(VarSet::EMPTY, of)
+    }
+
+    /// All variables mentioned by any constraint.
+    pub fn vars(&self) -> VarSet {
+        self.constraints.iter().fold(VarSet::EMPTY, |acc, c| acc.union(c.of))
+    }
+
+    /// Total of all cardinality bounds — the compile-time stand-in for the
+    /// input size `N` (the circuit must be sized for the worst case).
+    pub fn total_cardinality(&self) -> u64 {
+        self.constraints.iter().filter(|c| c.is_cardinality()).map(|c| c.bound).sum()
+    }
+
+    /// Verifies that every constraint is satisfied by the relations in
+    /// `guards` whose schema matches its `Y`. Returns the violated
+    /// constraints (empty = conforming).
+    pub fn violations<'a>(
+        &'a self,
+        guards: impl Iterator<Item = &'a Relation> + Clone,
+    ) -> Vec<DegreeConstraint> {
+        let mut out = Vec::new();
+        for c in &self.constraints {
+            for rel in guards.clone() {
+                if rel.vars() == c.of && rel.degree(c.on) as u64 > c.bound {
+                    out.push(*c);
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<DegreeConstraint> for DcSet {
+    fn from_iter<T: IntoIterator<Item = DegreeConstraint>>(iter: T) -> Self {
+        DcSet::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Relation, Var};
+
+    fn vs(bits: &[u32]) -> VarSet {
+        bits.iter().map(|&i| Var(i)).collect()
+    }
+
+    #[test]
+    fn constructors_and_kinds() {
+        let card = DegreeConstraint::cardinality(vs(&[0, 1]), 100);
+        assert!(card.is_cardinality());
+        let deg = DegreeConstraint::degree(vs(&[0]), vs(&[0, 1]), 5);
+        assert!(!deg.is_cardinality());
+        let fd = DegreeConstraint::fd(vs(&[0]), vs(&[0, 1]));
+        assert_eq!(fd.bound, 1);
+        assert_eq!(card.to_string(), "|AB| ≤ 100");
+        assert_eq!(deg.to_string(), "deg(AB|A) ≤ 5");
+    }
+
+    #[test]
+    #[should_panic(expected = "X ⊂ Y")]
+    fn degree_requires_proper_subset() {
+        let _ = DegreeConstraint::degree(vs(&[0, 1]), vs(&[0, 1]), 5);
+    }
+
+    #[test]
+    fn dcset_tightens_duplicates() {
+        let mut dc = DcSet::new();
+        dc.add(DegreeConstraint::cardinality(vs(&[0, 1]), 100));
+        dc.add(DegreeConstraint::cardinality(vs(&[0, 1]), 50));
+        dc.add(DegreeConstraint::cardinality(vs(&[0, 1]), 80));
+        assert_eq!(dc.len(), 1);
+        assert_eq!(dc.cardinality_of(vs(&[0, 1])), Some(50));
+
+        let dc2 = DcSet::from_vec(vec![
+            DegreeConstraint::cardinality(vs(&[0]), 10),
+            DegreeConstraint::cardinality(vs(&[0]), 3),
+        ]);
+        assert_eq!(dc2.cardinality_of(vs(&[0])), Some(3));
+    }
+
+    #[test]
+    fn guard_check_and_violations() {
+        let rel = Relation::from_rows(
+            vec![Var(0), Var(1)],
+            vec![vec![1, 1], vec![1, 2], vec![2, 1]],
+        );
+        let ok = DegreeConstraint::degree(vs(&[0]), vs(&[0, 1]), 2);
+        let bad = DegreeConstraint::degree(vs(&[0]), vs(&[0, 1]), 1);
+        assert!(ok.guarded_by(&rel));
+        assert!(!bad.guarded_by(&rel));
+
+        let dc = DcSet::from_vec(vec![ok, bad]);
+        // from_vec keeps the tightest per (X, Y): only `bad` (bound 1) stays
+        assert_eq!(dc.len(), 1);
+        let viol = dc.violations([&rel].into_iter());
+        assert_eq!(viol.len(), 1);
+        assert_eq!(viol[0].bound, 1);
+    }
+
+    #[test]
+    fn totals() {
+        let dc = DcSet::from_vec(vec![
+            DegreeConstraint::cardinality(vs(&[0, 1]), 100),
+            DegreeConstraint::cardinality(vs(&[1, 2]), 50),
+            DegreeConstraint::degree(vs(&[1]), vs(&[1, 2]), 5),
+        ]);
+        assert_eq!(dc.total_cardinality(), 150);
+        assert_eq!(dc.vars(), vs(&[0, 1, 2]));
+    }
+}

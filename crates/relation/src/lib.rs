@@ -1,0 +1,101 @@
+//! Relational substrate: variables, schemas, relations with set semantics,
+//! the standard RAM operators, degree constraints, and workload generators.
+//!
+//! This crate is the "ground truth" layer of the reproduction. Everything
+//! the circuits of the paper compute is cross-checked against the plain RAM
+//! operators implemented here (selection, projection, natural join, union,
+//! semijoin, group-by aggregation, ordering), whose costs match the cost
+//! model of Sec. 4.3 of the paper.
+//!
+//! Data model (Sec. 3.1 of the paper): a query has variables `A_0..A_{n-1}`
+//! drawn from an integer domain `[u]`; a relation `R_F` over a hyperedge `F`
+//! stores a *set* of tuples. We represent variables as [`Var`] indices,
+//! variable sets as the bitset [`VarSet`] (`n ≤ 64`), and relations as
+//! lexicographically sorted, deduplicated row blocks.
+
+mod constraints;
+mod generate;
+mod relation;
+mod varset;
+
+pub use constraints::{DcSet, DegreeConstraint};
+pub use generate::{
+    agm_worst_case_even_cycle, agm_worst_case_loomis_whitney, agm_worst_case_triangle,
+    powers_of_two, random_degree_bounded, random_relation, random_relation_with_domain,
+    zipf_relation,
+};
+pub use relation::{AggKind, Relation, Tuple};
+pub use varset::{Var, VarSet};
+
+/// A database instance: one relation per hyperedge, keyed by name.
+///
+/// Iteration order is insertion order, which keeps compiled circuits and
+/// reports deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Database {
+    names: Vec<String>,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) the relation stored under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
+        let name = name.into();
+        if let Some(i) = self.names.iter().position(|n| *n == name) {
+            self.relations[i] = relation;
+        } else {
+            self.names.push(name);
+            self.relations.push(relation);
+        }
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.names.iter().position(|n| n == name).map(|i| &self.relations[i])
+    }
+
+    /// Total number of tuples across all relations (the paper's `N`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Iterates over `(name, relation)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.names.iter().map(String::as_str).zip(self.relations.iter())
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Returns `true` if the database holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_insert_replace_lookup() {
+        let mut db = Database::new();
+        let r = Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 2], vec![3, 4]]);
+        db.insert("R", r.clone());
+        assert_eq!(db.get("R"), Some(&r));
+        assert_eq!(db.total_tuples(), 2);
+        let r2 = Relation::from_rows(vec![Var(0), Var(1)], vec![vec![9, 9]]);
+        db.insert("R", r2.clone());
+        assert_eq!(db.get("R"), Some(&r2));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.total_tuples(), 1);
+        assert!(db.get("S").is_none());
+    }
+}

@@ -1,0 +1,587 @@
+//! Relations with set semantics and the standard RAM operators.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Var, VarSet};
+
+/// A tuple of domain values, laid out in the owning relation's schema order.
+pub type Tuple = Vec<u64>;
+
+/// Group-by aggregate kinds supported by [`Relation::aggregate`] and, at the
+/// circuit level, by the aggregation circuit of Alg. 5 in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    /// Number of tuples per group (`Π_{F, count}` in the paper).
+    Count,
+    /// Sum of the named attribute per group.
+    Sum(Var),
+    /// Minimum of the named attribute per group.
+    Min(Var),
+    /// Maximum of the named attribute per group.
+    Max(Var),
+}
+
+/// A relation: a *set* of tuples over a fixed schema.
+///
+/// Invariants:
+/// * the schema is sorted by variable index and duplicate-free;
+/// * rows are lexicographically sorted (in schema order) and deduplicated.
+///
+/// The sorted-normalized representation makes equality of query results a
+/// plain `==`, which the test suite leans on heavily.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Vec<Var>,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `vars`.
+    pub fn empty(vars: VarSet) -> Relation {
+        Relation { schema: vars.to_vec(), rows: Vec::new() }
+    }
+
+    /// Creates a relation from rows given in the order of `schema`
+    /// (which need not be sorted); rows are reordered into sorted-schema
+    /// layout, sorted, and deduplicated.
+    ///
+    /// # Panics
+    /// Panics if `schema` contains duplicates or a row has the wrong arity.
+    pub fn from_rows(schema: Vec<Var>, rows: Vec<Tuple>) -> Relation {
+        let vars: VarSet = schema.iter().copied().collect();
+        assert_eq!(
+            vars.len() as usize,
+            schema.len(),
+            "schema contains duplicate variables: {schema:?}"
+        );
+        let sorted = vars.to_vec();
+        // Position of each sorted-schema column in the input schema.
+        let perm: Vec<usize> = sorted
+            .iter()
+            .map(|v| schema.iter().position(|s| s == v).expect("var present"))
+            .collect();
+        let mut out_rows: Vec<Tuple> = Vec::with_capacity(rows.len());
+        for row in rows {
+            assert_eq!(row.len(), schema.len(), "row arity mismatch");
+            out_rows.push(perm.iter().map(|&i| row[i]).collect());
+        }
+        let mut rel = Relation { schema: sorted, rows: out_rows };
+        rel.normalize();
+        rel
+    }
+
+    /// The Boolean relation `{()}` (true) or `{}` (false).
+    pub fn boolean(value: bool) -> Relation {
+        Relation { schema: Vec::new(), rows: if value { vec![Vec::new()] } else { Vec::new() } }
+    }
+
+    fn normalize(&mut self) {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+    }
+
+    /// Schema in sorted variable order.
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    /// Schema as a [`VarSet`].
+    pub fn vars(&self) -> VarSet {
+        self.schema.iter().copied().collect()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Returns the position of `v` in the schema, if present.
+    pub fn col(&self, v: Var) -> Option<usize> {
+        self.schema.binary_search(&v).ok()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[u64]) -> bool {
+        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+    }
+
+    /// Selection `σ_φ(R)`.
+    pub fn select(&self, predicate: impl Fn(&[u64]) -> bool) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| predicate(r)).cloned().collect(),
+        }
+    }
+
+    /// Projection `Π_X(R)` with duplicate elimination (set semantics).
+    ///
+    /// # Panics
+    /// Panics if `onto ⊄ schema`.
+    pub fn project(&self, onto: VarSet) -> Relation {
+        assert!(onto.is_subset(self.vars()), "projection onto non-attributes");
+        let cols: Vec<usize> = onto.iter().map(|v| self.col(v).expect("subset")).collect();
+        let mut rel = Relation {
+            schema: onto.to_vec(),
+            rows: self.rows.iter().map(|r| cols.iter().map(|&c| r[c]).collect()).collect(),
+        };
+        rel.normalize();
+        rel
+    }
+
+    /// Natural join `R ⋈ S` (cross product when schemas are disjoint).
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        let common = self.vars().intersect(other.vars());
+        let (build, probe) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let bkey: Vec<usize> = common.iter().map(|v| build.col(v).expect("common")).collect();
+        let pkey: Vec<usize> = common.iter().map(|v| probe.col(v).expect("common")).collect();
+
+        let mut table: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(build.len());
+        for (i, row) in build.rows.iter().enumerate() {
+            let key: Vec<u64> = bkey.iter().map(|&c| row[c]).collect();
+            table.entry(key).or_default().push(i);
+        }
+
+        let out_vars = self.vars().union(other.vars());
+        let out_schema = out_vars.to_vec();
+        // For each output column: take from probe if present, else build.
+        enum Src {
+            Probe(usize),
+            Build(usize),
+        }
+        let srcs: Vec<Src> = out_schema
+            .iter()
+            .map(|&v| match probe.col(v) {
+                Some(c) => Src::Probe(c),
+                None => Src::Build(build.col(v).expect("column present in one side")),
+            })
+            .collect();
+
+        let mut rows = Vec::new();
+        for prow in &probe.rows {
+            let key: Vec<u64> = pkey.iter().map(|&c| prow[c]).collect();
+            if let Some(matches) = table.get(&key) {
+                for &bi in matches {
+                    let brow = &build.rows[bi];
+                    rows.push(
+                        srcs.iter()
+                            .map(|s| match *s {
+                                Src::Probe(c) => prow[c],
+                                Src::Build(c) => brow[c],
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        let mut rel = Relation { schema: out_schema, rows };
+        rel.normalize();
+        rel
+    }
+
+    /// Semijoin `R ⋉ S`: tuples of `R` that join with at least one tuple of
+    /// `S`. Implemented as in the paper (Sec. 6.2): `R ⋈ Π_{R∩S}(S)`.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let common = self.vars().intersect(other.vars());
+        let keys = other.project(common);
+        let cols: Vec<usize> = common.iter().map(|v| self.col(v).expect("common")).collect();
+        self.select(|row| {
+            let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
+            keys.contains(&key)
+        })
+    }
+
+    /// Union `R ∪ S` (schemas must be identical).
+    ///
+    /// # Panics
+    /// Panics on schema mismatch.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.schema, other.schema, "union schema mismatch");
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        let mut rel = Relation { schema: self.schema.clone(), rows };
+        rel.normalize();
+        rel
+    }
+
+    /// Set difference `R \ S` (schemas must be identical).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.schema, other.schema, "difference schema mismatch");
+        self.select(|row| !other.contains(row))
+    }
+
+    /// Group-by aggregation `Π_{G, agg}(R)` (Sec. 4.3 of the paper). The
+    /// aggregate value is emitted in a fresh output column `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is already in the schema, `group ⊄ schema`, or a
+    /// `Sum/Min/Max` attribute is missing.
+    pub fn aggregate(&self, group: VarSet, agg: AggKind, out: Var) -> Relation {
+        assert!(group.is_subset(self.vars()), "group-by on non-attributes");
+        assert!(!self.vars().contains(out), "aggregate output column collides");
+        let gcols: Vec<usize> = group.iter().map(|v| self.col(v).expect("subset")).collect();
+        let acol = match agg {
+            AggKind::Count => None,
+            AggKind::Sum(v) | AggKind::Min(v) | AggKind::Max(v) => {
+                Some(self.col(v).expect("aggregated attribute present"))
+            }
+        };
+        let mut groups: HashMap<Vec<u64>, u64> = HashMap::new();
+        for row in &self.rows {
+            let key: Vec<u64> = gcols.iter().map(|&c| row[c]).collect();
+            let val = acol.map(|c| row[c]);
+            groups
+                .entry(key)
+                .and_modify(|acc| match agg {
+                    AggKind::Count => *acc += 1,
+                    AggKind::Sum(_) => *acc += val.expect("sum value"),
+                    AggKind::Min(_) => *acc = (*acc).min(val.expect("min value")),
+                    AggKind::Max(_) => *acc = (*acc).max(val.expect("max value")),
+                })
+                .or_insert(match agg {
+                    AggKind::Count => 1,
+                    _ => val.expect("agg value"),
+                });
+        }
+        // Output rows in sorted-schema layout: group vars ∪ {out}.
+        let out_vars = group.with(out);
+        let out_schema = out_vars.to_vec();
+        let gvars = group.to_vec();
+        let rows = groups
+            .into_iter()
+            .map(|(key, acc)| {
+                out_schema
+                    .iter()
+                    .map(|&v| {
+                        if v == out {
+                            acc
+                        } else {
+                            key[gvars.iter().position(|&g| g == v).expect("group var")]
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut rel = Relation { schema: out_schema, rows };
+        rel.normalize();
+        rel
+    }
+
+    /// The paper's ordering operator `τ_F(R)`: adds a fresh column `out`
+    /// holding each tuple's 1-based rank when `R` is sorted by the `by`
+    /// attributes (ties broken by the remaining attributes, then arbitrarily
+    /// — here, deterministically by full lexicographic order).
+    pub fn order_by(&self, by: VarSet, out: Var) -> Relation {
+        assert!(by.is_subset(self.vars()), "order-by on non-attributes");
+        assert!(!self.vars().contains(out), "order column collides");
+        let bycols: Vec<usize> = by.iter().map(|v| self.col(v).expect("subset")).collect();
+        let mut idx: Vec<usize> = (0..self.rows.len()).collect();
+        idx.sort_by(|&i, &j| {
+            let ki: Vec<u64> = bycols.iter().map(|&c| self.rows[i][c]).collect();
+            let kj: Vec<u64> = bycols.iter().map(|&c| self.rows[j][c]).collect();
+            ki.cmp(&kj).then_with(|| self.rows[i].cmp(&self.rows[j]))
+        });
+        let out_vars = self.vars().with(out);
+        let out_schema = out_vars.to_vec();
+        let out_pos = out_schema.iter().position(|&v| v == out).expect("out in schema");
+        let rows = idx
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ri)| {
+                let mut row: Vec<u64> = Vec::with_capacity(out_schema.len());
+                let mut src = 0usize;
+                for pos in 0..out_schema.len() {
+                    if pos == out_pos {
+                        row.push(rank as u64 + 1);
+                    } else {
+                        row.push(self.rows[ri][src]);
+                        src += 1;
+                    }
+                }
+                row
+            })
+            .collect();
+        let mut rel = Relation { schema: out_schema, rows };
+        rel.normalize();
+        rel
+    }
+
+    /// Maximum degree `deg_R(X) = max_t |σ_{X=t}(R)|` (Sec. 3.1). For
+    /// `X = ∅` this is `|R|`; an empty relation has degree 0.
+    pub fn degree(&self, x: VarSet) -> usize {
+        assert!(x.is_subset(self.vars()), "degree over non-attributes");
+        if self.rows.is_empty() {
+            return 0;
+        }
+        if x.is_empty() {
+            return self.len();
+        }
+        let cols: Vec<usize> = x.iter().map(|v| self.col(v).expect("subset")).collect();
+        let mut counts: HashMap<Vec<u64>, usize> = HashMap::new();
+        for row in &self.rows {
+            let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        counts.into_values().max().unwrap_or(0)
+    }
+
+    /// Splits into `(heavy, light)` by the degree of each tuple's `X`-value:
+    /// tuples whose `X`-group has more than `threshold` members go to
+    /// `heavy`. This is the classical heavy/light technique used by the
+    /// Figure 1 circuit.
+    pub fn split_by_degree(&self, x: VarSet, threshold: usize) -> (Relation, Relation) {
+        let cols: Vec<usize> = x.iter().map(|v| self.col(v).expect("subset")).collect();
+        let mut counts: HashMap<Vec<u64>, usize> = HashMap::new();
+        for row in &self.rows {
+            let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        let is_heavy = |row: &[u64]| {
+            let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
+            counts[&key] > threshold
+        };
+        (self.select(|r| is_heavy(r)), self.select(|r| !is_heavy(r)))
+    }
+
+    /// Renames attribute `from` to `to` (used by baseline plans).
+    ///
+    /// # Panics
+    /// Panics if `from` is absent or `to` is already present.
+    pub fn rename(&self, from: Var, to: Var) -> Relation {
+        let c = self.col(from).expect("rename source present");
+        assert!(!self.vars().contains(to), "rename target collides");
+        let mut schema = self.schema.clone();
+        schema[c] = to;
+        Relation::from_rows(schema, self.rows.clone())
+    }
+
+    /// Rows as owned vectors (test helper).
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Parses a relation from comma-separated text: one tuple per line,
+    /// `arity` unsigned integer columns, blank lines and `#` comments
+    /// ignored. Values must be `< u64::MAX` (the reserved `?`).
+    ///
+    /// # Errors
+    /// Returns a 1-based line number and message on malformed input.
+    pub fn from_csv(schema: Vec<Var>, text: &str) -> Result<Relation, (usize, String)> {
+        let arity = schema.len();
+        let mut rows = Vec::new();
+        for (ln0, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut row = Vec::with_capacity(arity);
+            for field in line.split(',') {
+                let v: u64 = field
+                    .trim()
+                    .parse()
+                    .map_err(|e| (ln0 + 1, format!("bad value {field:?}: {e}")))?;
+                if v == u64::MAX {
+                    return Err((ln0 + 1, "u64::MAX is reserved".to_string()));
+                }
+                row.push(v);
+            }
+            if row.len() != arity {
+                return Err((
+                    ln0 + 1,
+                    format!("expected {arity} columns, found {}", row.len()),
+                ));
+            }
+            rows.push(row);
+        }
+        Ok(Relation::from_rows(schema, rows))
+    }
+
+    /// Serializes the relation as CSV (schema order, one tuple per line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R(")?;
+        for (i, v) in self.schema.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")[{} rows]", self.rows.len())?;
+        if self.rows.len() <= 8 {
+            write!(f, " {:?}", self.rows)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(schema: &[u32], rows: &[&[u64]]) -> Relation {
+        Relation::from_rows(
+            schema.iter().map(|&i| Var(i)).collect(),
+            rows.iter().map(|r| r.to_vec()).collect(),
+        )
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        // schema given as (B, A): rows are reordered into (A, B)
+        let rel = Relation::from_rows(vec![Var(1), Var(0)], vec![vec![2, 1], vec![2, 1], vec![4, 3]]);
+        assert_eq!(rel.schema(), &[Var(0), Var(1)]);
+        assert_eq!(rel.rows(), &[vec![1, 2], vec![3, 4]]);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_schema_rejected() {
+        let _ = Relation::from_rows(vec![Var(0), Var(0)], vec![]);
+    }
+
+    #[test]
+    fn select_project() {
+        let rel = r(&[0, 1], &[&[1, 10], &[2, 20], &[3, 10]]);
+        let sel = rel.select(|row| row[1] == 10);
+        assert_eq!(sel.len(), 2);
+        let proj = rel.project(VarSet::singleton(Var(1)));
+        assert_eq!(proj.rows(), &[vec![10], vec![20]]);
+    }
+
+    #[test]
+    fn join_basic_and_cross() {
+        let ab = r(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let bc = r(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
+        let j = ab.natural_join(&bc);
+        assert_eq!(j.schema(), &[Var(0), Var(1), Var(2)]);
+        assert_eq!(j.rows(), &[vec![1, 2, 5], vec![1, 2, 6]]);
+
+        let d = r(&[5], &[&[7], &[8]]);
+        let cross = ab.natural_join(&d);
+        assert_eq!(cross.len(), 4);
+    }
+
+    #[test]
+    fn join_is_commutative() {
+        let ab = r(&[0, 1], &[&[1, 2], &[3, 4], &[5, 2]]);
+        let bc = r(&[1, 2], &[&[2, 5], &[4, 6]]);
+        assert_eq!(ab.natural_join(&bc), bc.natural_join(&ab));
+    }
+
+    #[test]
+    fn semijoin_and_difference() {
+        let ab = r(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6]]);
+        let b = r(&[1], &[&[2], &[6]]);
+        let sj = ab.semijoin(&b);
+        assert_eq!(sj.rows(), &[vec![1, 2], vec![5, 6]]);
+        let diff = ab.difference(&sj);
+        assert_eq!(diff.rows(), &[vec![3, 4]]);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let x = r(&[0], &[&[1], &[2]]);
+        let y = r(&[0], &[&[2], &[3]]);
+        assert_eq!(x.union(&y).rows(), &[vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let rel = r(&[0, 1], &[&[1, 10], &[1, 20], &[2, 5]]);
+        let cnt = rel.aggregate(VarSet::singleton(Var(0)), AggKind::Count, Var(9));
+        assert_eq!(cnt.rows(), &[vec![1, 2], vec![2, 1]]);
+        let sum = rel.aggregate(VarSet::singleton(Var(0)), AggKind::Sum(Var(1)), Var(9));
+        assert_eq!(sum.rows(), &[vec![1, 30], vec![2, 5]]);
+        let mn = rel.aggregate(VarSet::singleton(Var(0)), AggKind::Min(Var(1)), Var(9));
+        assert_eq!(mn.rows(), &[vec![1, 10], vec![2, 5]]);
+        let mx = rel.aggregate(VarSet::singleton(Var(0)), AggKind::Max(Var(1)), Var(9));
+        assert_eq!(mx.rows(), &[vec![1, 20], vec![2, 5]]);
+        // global aggregate (empty group)
+        let total = rel.aggregate(VarSet::EMPTY, AggKind::Count, Var(9));
+        assert_eq!(total.rows(), &[vec![3]]);
+    }
+
+    #[test]
+    fn order_by_ranks() {
+        let rel = r(&[0, 1], &[&[3, 1], &[1, 2], &[2, 3]]);
+        let ord = rel.order_by(VarSet::singleton(Var(0)), Var(9));
+        // ranks follow A order: (1,2)->1, (2,3)->2, (3,1)->3
+        let rank_col = ord.col(Var(9)).unwrap();
+        let a_col = ord.col(Var(0)).unwrap();
+        for row in ord.iter() {
+            assert_eq!(row[rank_col], row[a_col]); // A values 1,2,3 align with ranks
+        }
+    }
+
+    #[test]
+    fn degree_and_split() {
+        let rel = r(&[0, 1], &[&[1, 1], &[1, 2], &[1, 3], &[2, 1]]);
+        assert_eq!(rel.degree(VarSet::singleton(Var(0))), 3);
+        assert_eq!(rel.degree(VarSet::singleton(Var(1))), 2);
+        assert_eq!(rel.degree(VarSet::EMPTY), 4);
+        let (heavy, light) = rel.split_by_degree(VarSet::singleton(Var(0)), 2);
+        assert_eq!(heavy.len(), 3);
+        assert_eq!(light.len(), 1);
+        assert_eq!(heavy.union(&light), rel);
+    }
+
+    #[test]
+    fn boolean_relations() {
+        assert_eq!(Relation::boolean(true).len(), 1);
+        assert_eq!(Relation::boolean(false).len(), 0);
+        let t = Relation::boolean(true);
+        let ab = r(&[0, 1], &[&[1, 2]]);
+        // cross product with the unit relation is identity
+        assert_eq!(ab.natural_join(&t), ab);
+        assert_eq!(ab.natural_join(&Relation::boolean(false)).len(), 0);
+    }
+
+    #[test]
+    fn csv_roundtrip_and_errors() {
+        let rel = r(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let text = rel.to_csv();
+        let back = Relation::from_csv(vec![Var(0), Var(1)], &text).unwrap();
+        assert_eq!(back, rel);
+        // comments and blank lines
+        let with_noise = format!("# header\n\n{text}\n  # trailing\n");
+        assert_eq!(Relation::from_csv(vec![Var(0), Var(1)], &with_noise).unwrap(), rel);
+        // errors carry line numbers
+        assert_eq!(Relation::from_csv(vec![Var(0), Var(1)], "1,2\nx,9\n").unwrap_err().0, 2);
+        assert_eq!(Relation::from_csv(vec![Var(0), Var(1)], "1\n").unwrap_err().0, 1);
+    }
+
+    #[test]
+    fn rename() {
+        let ab = r(&[0, 1], &[&[1, 2]]);
+        let ac = ab.rename(Var(1), Var(2));
+        assert_eq!(ac.schema(), &[Var(0), Var(2)]);
+        assert_eq!(ac.rows(), &[vec![1, 2]]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Variables and variable sets.
+
+use std::fmt;
+
+/// A query variable `A_i`, identified by its index.
+///
+/// The paper's variables `A_1..A_n` are 0-indexed here. Human-readable
+/// names live in the query layer; the substrate only needs indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A, B, ..., Z, A26, A27, ... — matches how the paper labels
+        // variables in its examples.
+        if self.0 < 26 {
+            write!(f, "{}", (b'A' + self.0 as u8) as char)
+        } else {
+            write!(f, "A{}", self.0)
+        }
+    }
+}
+
+/// A set of variables, as a 64-bit bitset (supports `n ≤ 64` variables,
+/// far beyond the constant query sizes of data complexity).
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarSet(pub u64);
+
+impl VarSet {
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet(0);
+
+    /// Singleton `{v}`.
+    pub fn singleton(v: Var) -> VarSet {
+        assert!(v.0 < 64, "VarSet supports at most 64 variables");
+        VarSet(1u64 << v.0)
+    }
+
+    /// The full set `{A_0, …, A_{n-1}}`.
+    pub fn full(n: u32) -> VarSet {
+        assert!(n <= 64);
+        if n == 64 {
+            VarSet(u64::MAX)
+        } else {
+            VarSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Number of variables in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns `true` iff the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, v: Var) -> bool {
+        v.0 < 64 && (self.0 >> v.0) & 1 == 1
+    }
+
+    /// Subset test `self ⊆ other`.
+    pub fn is_subset(self, other: VarSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Union.
+    pub fn union(self, other: VarSet) -> VarSet {
+        VarSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    pub fn intersect(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & !other.0)
+    }
+
+    /// Inserts a variable, returning the extended set.
+    pub fn with(self, v: Var) -> VarSet {
+        self.union(VarSet::singleton(v))
+    }
+
+    /// Iterates members in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = Var> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(Var(i))
+            }
+        })
+    }
+
+    /// Members as a vector (increasing index order).
+    pub fn to_vec(self) -> Vec<Var> {
+        self.iter().collect()
+    }
+
+    /// Iterates all subsets of `self` (including `∅` and `self`).
+    ///
+    /// Order: the standard subset-lattice enumeration by decreasing mask,
+    /// wrapped to start at `∅`.
+    pub fn subsets(self) -> impl Iterator<Item = VarSet> {
+        let full = self.0;
+        let mut cur: Option<u64> = Some(0);
+        std::iter::from_fn(move || {
+            let out = cur?;
+            cur = if out == full { None } else { Some(((out | !full).wrapping_add(1)) & full) };
+            Some(VarSet(out))
+        })
+    }
+}
+
+impl FromIterator<Var> for VarSet {
+    fn from_iter<T: IntoIterator<Item = Var>>(iter: T) -> Self {
+        iter.into_iter().fold(VarSet::EMPTY, VarSet::with)
+    }
+}
+
+impl From<Vec<Var>> for VarSet {
+    fn from(vars: Vec<Var>) -> Self {
+        vars.into_iter().collect()
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        for v in self.iter() {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let ab = VarSet::from(vec![Var(0), Var(1)]);
+        let bc = VarSet::from(vec![Var(1), Var(2)]);
+        assert_eq!(ab.union(bc), VarSet::full(3));
+        assert_eq!(ab.intersect(bc), VarSet::singleton(Var(1)));
+        assert_eq!(ab.minus(bc), VarSet::singleton(Var(0)));
+        assert!(ab.intersect(bc).is_subset(ab));
+        assert!(!ab.is_subset(bc));
+        assert!(VarSet::EMPTY.is_subset(ab));
+        assert_eq!(ab.len(), 2);
+        assert!(ab.contains(Var(1)));
+        assert!(!ab.contains(Var(2)));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = VarSet::from(vec![Var(5), Var(0), Var(3)]);
+        assert_eq!(s.to_vec(), vec![Var(0), Var(3), Var(5)]);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = VarSet::from(vec![Var(0), Var(2)]);
+        let subs: Vec<VarSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&VarSet::EMPTY));
+        assert!(subs.contains(&VarSet::singleton(Var(0))));
+        assert!(subs.contains(&VarSet::singleton(Var(2))));
+        assert!(subs.contains(&s));
+        // full(0) has exactly one subset: ∅
+        assert_eq!(VarSet::EMPTY.subsets().count(), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Var(0).to_string(), "A");
+        assert_eq!(Var(2).to_string(), "C");
+        assert_eq!(Var(30).to_string(), "A30");
+        let abc = VarSet::full(3);
+        assert_eq!(abc.to_string(), "ABC");
+        assert_eq!(VarSet::EMPTY.to_string(), "∅");
+    }
+
+    #[test]
+    fn full_boundaries() {
+        assert_eq!(VarSet::full(0), VarSet::EMPTY);
+        assert_eq!(VarSet::full(64).len(), 64);
+    }
+}

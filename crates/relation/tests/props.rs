@@ -1,0 +1,100 @@
+//! Property tests: relational algebra identities on random instances.
+
+use proptest::prelude::*;
+use qec_relation::{AggKind, Relation, Var, VarSet};
+
+fn rel_strategy(vars: &'static [u32], max_rows: usize) -> impl Strategy<Value = Relation> {
+    let arity = vars.len();
+    prop::collection::vec(prop::collection::vec(0u64..6, arity..=arity), 0..max_rows).prop_map(
+        move |rows| Relation::from_rows(vars.iter().map(|&i| Var(i)).collect(), rows),
+    )
+}
+
+fn vs(bits: &[u32]) -> VarSet {
+    bits.iter().map(|&i| Var(i)).collect()
+}
+
+proptest! {
+    #[test]
+    fn join_commutative_associative(
+        r in rel_strategy(&[0, 1], 24),
+        s in rel_strategy(&[1, 2], 24),
+        t in rel_strategy(&[2, 3], 24),
+    ) {
+        prop_assert_eq!(r.natural_join(&s), s.natural_join(&r));
+        prop_assert_eq!(
+            r.natural_join(&s).natural_join(&t),
+            r.natural_join(&s.natural_join(&t))
+        );
+    }
+
+    #[test]
+    fn union_laws(r in rel_strategy(&[0, 1], 24), s in rel_strategy(&[0, 1], 24)) {
+        prop_assert_eq!(r.union(&s), s.union(&r));
+        prop_assert_eq!(r.union(&r), r.clone());
+        prop_assert_eq!(r.union(&Relation::empty(vs(&[0, 1]))), r);
+    }
+
+    #[test]
+    fn semijoin_is_join_then_project(
+        r in rel_strategy(&[0, 1], 24),
+        s in rel_strategy(&[1, 2], 24),
+    ) {
+        let expected = r.natural_join(&s).project(vs(&[0, 1]));
+        prop_assert_eq!(r.semijoin(&s), expected);
+    }
+
+    #[test]
+    fn projection_monotone_and_idempotent(r in rel_strategy(&[0, 1, 2], 32)) {
+        let p = r.project(vs(&[0, 1]));
+        prop_assert!(p.len() <= r.len());
+        prop_assert_eq!(p.project(vs(&[0, 1])), p.clone());
+        prop_assert_eq!(p.project(vs(&[0])), r.project(vs(&[0])));
+    }
+
+    #[test]
+    fn join_size_bounded_by_degree_product(
+        r in rel_strategy(&[0, 1], 24),
+        s in rel_strategy(&[1, 2], 24),
+    ) {
+        // |R ⋈ S| ≤ |R| · deg_S(B): the bound behind the degree-bounded
+        // join circuit (Sec. 5.4).
+        let j = r.natural_join(&s);
+        let deg = s.degree(vs(&[1]));
+        prop_assert!(j.len() <= r.len() * deg.max(1));
+    }
+
+    #[test]
+    fn count_aggregate_totals_to_len(r in rel_strategy(&[0, 1], 32)) {
+        let agg = r.aggregate(vs(&[0]), AggKind::Count, Var(9));
+        let col = agg.col(Var(9)).unwrap();
+        let total: u64 = agg.iter().map(|row| row[col]).sum();
+        prop_assert_eq!(total as usize, r.len());
+        prop_assert_eq!(agg.len(), r.project(vs(&[0])).len());
+    }
+
+    #[test]
+    fn split_by_degree_partitions(r in rel_strategy(&[0, 1], 32), thr in 0usize..6) {
+        let (heavy, light) = r.split_by_degree(vs(&[0]), thr);
+        prop_assert_eq!(heavy.union(&light), r.clone());
+        prop_assert_eq!(heavy.len() + light.len(), r.len());
+        prop_assert!(light.degree(vs(&[0])) <= thr);
+    }
+
+    #[test]
+    fn order_by_assigns_unique_ranks(r in rel_strategy(&[0, 1], 32)) {
+        let ord = r.order_by(vs(&[0]), Var(9));
+        let col = ord.col(Var(9)).unwrap();
+        let mut ranks: Vec<u64> = ord.iter().map(|row| row[col]).collect();
+        ranks.sort_unstable();
+        let expected: Vec<u64> = (1..=r.len() as u64).collect();
+        prop_assert_eq!(ranks, expected);
+    }
+
+    #[test]
+    fn difference_laws(r in rel_strategy(&[0, 1], 24), s in rel_strategy(&[0, 1], 24)) {
+        let d = r.difference(&s);
+        prop_assert_eq!(d.union(&r.semijoin(&s).select(|row| s.contains(row))).len(), r.len());
+        prop_assert!(d.iter().all(|row| !s.contains(row)));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property test: PANDA-C must agree with the RAM baseline on *random*
+//! conjunctive queries — random hypergraphs, not just the curated corpus.
+
+use proptest::prelude::*;
+use query_circuits::core::compile_fcq;
+use query_circuits::query::baseline::evaluate_pairwise;
+use query_circuits::query::{Atom, Cq};
+use query_circuits::relation::{
+    random_relation_with_domain, Database, DcSet, DegreeConstraint, Var, VarSet,
+};
+
+/// A random connected-ish FCQ over `n ∈ 3..=4` variables with 2–4 binary
+/// or ternary atoms covering every variable.
+fn cq_strategy() -> impl Strategy<Value = Cq> {
+    (3u32..=4, prop::collection::vec((any::<u64>(), 2usize..=3), 2..=4)).prop_map(
+        |(n, seeds)| {
+            let mut atoms = Vec::new();
+            for (i, (seed, arity)) in seeds.iter().enumerate() {
+                // pick `arity` distinct variables deterministically from the seed
+                let mut vars = VarSet::EMPTY;
+                let mut s = *seed;
+                while (vars.len() as usize) < *arity {
+                    vars = vars.with(Var((s % u64::from(n)) as u32));
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                }
+                atoms.push(Atom { name: format!("R{i}"), vars });
+            }
+            // ensure every variable is covered (append singleton-covering
+            // binary atoms if needed)
+            let covered = atoms.iter().fold(VarSet::EMPTY, |acc, a| acc.union(a.vars));
+            for v in VarSet::full(n).minus(covered).iter() {
+                let other = if v.0 == 0 { Var(1) } else { Var(0) };
+                let name = format!("C{}", v.0);
+                atoms.push(Atom { name, vars: VarSet::singleton(v).with(other) });
+            }
+            let names = (0..n).map(|i| format!("x{i}")).collect();
+            Cq::new(names, atoms, VarSet::full(n)).expect("well-formed")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn panda_matches_baseline_on_random_queries(q in cq_strategy(), seed in 0u64..1000) {
+        let n = 16u64;
+        let dc = DcSet::from_vec(
+            q.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+        );
+        let compiled = compile_fcq(&q, &dc).expect("every covered FCQ compiles");
+        let mut db = Database::new();
+        for (i, a) in q.atoms.iter().enumerate() {
+            db.insert(
+                a.name.clone(),
+                random_relation_with_domain(a.vars.to_vec(), 14, 6, seed * 17 + i as u64),
+            );
+        }
+        let got = compiled.rc.evaluate_ram(&db).expect("conforming instance");
+        let expect = evaluate_pairwise(&q, &db).expect("baseline");
+        prop_assert_eq!(&got[0], &expect, "{} seed {}", q, seed);
+    }
+}
