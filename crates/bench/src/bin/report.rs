@@ -3,20 +3,42 @@
 //! ```text
 //! cargo run -p qec-bench --release --bin report            # all experiments
 //! cargo run -p qec-bench --release --bin report -- x2 x7   # a subset
+//! cargo run -p qec-bench --release --bin report -- --json x15
 //! ```
+//!
+//! With `--json`, each experiment additionally writes a
+//! `BENCH_<ID>.json` artifact (to `--json-dir <dir>`, default the
+//! current directory) containing the table (`title`/`headers`/`rows`/
+//! `verdict`) plus the wall-clock `elapsed_ms` of the run.
 
 use qec_bench::all_experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut json = false;
+    let mut json_dir = String::from(".");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--json-dir" => {
+                json = true;
+                json_dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--json-dir needs a directory argument");
+                    std::process::exit(2);
+                });
+            }
+            other => ids.push(other.to_lowercase()),
+        }
+    }
     let experiments = all_experiments();
-    let selected: Vec<_> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let selected: Vec<_> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         experiments
     } else {
         let sel: Vec<_> =
-            experiments.into_iter().filter(|(id, _)| args.iter().any(|a| a == id)).collect();
+            experiments.into_iter().filter(|(id, _)| ids.iter().any(|a| a == id)).collect();
         if sel.is_empty() {
-            eprintln!("unknown experiment id(s); valid: x1..x14 or `all`");
+            eprintln!("unknown experiment id(s); valid: x1..x15 or `all`");
             std::process::exit(2);
         }
         sel
@@ -24,7 +46,23 @@ fn main() {
     for (id, run) in selected {
         let start = std::time::Instant::now();
         let table = run();
+        let elapsed = start.elapsed();
         println!("{table}");
-        println!("[{id} completed in {:.1?}]\n", start.elapsed());
+        println!("[{id} completed in {elapsed:.1?}]\n");
+        if json {
+            let path = format!("{json_dir}/BENCH_{}.json", id.to_uppercase());
+            let payload = format!(
+                "{{\"experiment\":\"{id}\",\"elapsed_ms\":{:.1},\"table\":{}}}\n",
+                elapsed.as_secs_f64() * 1e3,
+                table.to_json()
+            );
+            match std::fs::write(&path, payload) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

@@ -549,7 +549,7 @@ pub fn x12_primitive_scaling() -> Table {
 /// triangle circuit achieve `O(W/P + D)` steps, and the level-parallel
 /// evaluator realizes the speedup in wall-clock on real threads.
 pub fn x13_brent() -> Table {
-    use qec_circuit::evaluate_levelized;
+    use qec_circuit::CompiledCircuit;
     let mut t = Table::new(
         "X13  Brent: PRAM steps (and wall-clock) of the PANDA-C triangle circuit",
         &["P", "steps", "W/P + D", "ok", "wall_ms"],
@@ -562,31 +562,168 @@ pub fn x13_brent() -> Table {
     let (w, d) = (c.size(), u64::from(c.depth()));
     let db = uniform_db(&q, 28, 3);
     let inputs = lowered.layout.values(&db).expect("conforms");
+    // Compile once; the engine's level-parallel path realizes the PRAM
+    // schedule that `brent_steps` counts.
+    let engine = CompiledCircuit::compile(c).expect("build-mode circuit");
+    let reference = c.evaluate(&inputs).expect("sequential");
     let mut all_ok = true;
     for procs in [1u64, 2, 4, 8, 64, 1024, 1 << 20] {
         let steps = brent_steps(c, procs);
         let bound = w / procs + d;
-        let ok = steps <= bound;
-        all_ok &= ok;
+        let mut ok = steps <= bound;
         let wall = if procs <= 8 {
-            let start = std::time::Instant::now();
-            let out = evaluate_levelized(c, &inputs, procs as usize).expect("evaluates");
-            let ms = start.elapsed().as_secs_f64() * 1e3;
-            debug_assert_eq!(out, c.evaluate(&inputs).expect("sequential"));
-            format!("{ms:.0}")
+            let (mut out, metrics) =
+                engine.evaluate_batch_metered(std::slice::from_ref(&&inputs[..]), procs as usize);
+            ok &= out.pop().expect("one lane") == Ok(reference.clone());
+            format!("{:.0}", metrics.eval_ns as f64 / 1e6)
         } else {
             "-".into()
         };
+        all_ok &= ok;
         t.row(vec![procs.to_string(), steps.to_string(), bound.to_string(), ok.to_string(), wall]);
     }
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let regs = engine.stats().peak_registers;
     t.verdict(if all_ok {
         format!(
-            "W = {w}, D = {d}: every schedule meets Brent's W/P + D bound (this host has {cores} core(s), so wall-clock gains appear only beyond that; the level-parallel evaluator stays correct at every P)"
+            "W = {w}, D = {d}: every schedule meets Brent's W/P + D bound, and the compiled engine reproduces the interpreter at every P with a {regs}-register working set (vs {} wires; this host has {cores} core(s), so wall-clock gains appear only beyond that)",
+            c.num_wires()
         )
     } else {
-        "Brent bound violated (bug)".to_string()
+        "Brent bound violated or engine/interpreter mismatch (bug)".to_string()
     });
+    t
+}
+
+/// X15 — the compiled evaluation engine: one tape pass over a batch of
+/// database instances beats per-instance interpretation ≥ 4× on a
+/// ≥ 10⁵-gate join circuit, with a register working set orders of
+/// magnitude below the circuit size.
+pub fn x15_engine_throughput() -> Table {
+    use qec_circuit::CompiledCircuit;
+    let mut t = Table::new(
+        "X15  Engine: batched, register-allocated evaluation of a degree-bounded join",
+        &["evaluator", "batch", "threads", "us_per_inst", "Mgev_per_s", "speedup"],
+    );
+    const CAP: usize = 16;
+    const BATCH: usize = 64;
+    // R(a,b) ⋈ S(b,c) with degree bound 4 — ~2·10⁵ word gates.
+    let mut b = Builder::new(Mode::Build);
+    let r = encode_relation(&mut b, vec![Var(0), Var(1)], CAP);
+    let s = encode_relation(&mut b, vec![Var(1), Var(2)], CAP);
+    let j = join_degree_bounded(&mut b, &r, &s, 4);
+    let c = b.finish(j.flatten());
+    let engine = CompiledCircuit::compile(&c).expect("build-mode circuit");
+    let stats = engine.stats().clone();
+
+    let instances: Vec<Vec<u64>> = (0..BATCH)
+        .map(|lane| {
+            let mut inp = Vec::with_capacity(c.num_inputs());
+            for rel in 0..2 {
+                for slot in 0..CAP {
+                    let key = (slot as u64 + lane as u64) % 7;
+                    inp.extend_from_slice(&if rel == 0 {
+                        [slot as u64, key, 1]
+                    } else {
+                        [key, slot as u64, 1]
+                    });
+                }
+            }
+            inp
+        })
+        .collect();
+
+    // One warm-up pass per evaluator (doubling as the correctness
+    // cross-check), then interleaved timing rounds with a per-evaluator
+    // median: the passes being compared run back to back in each round,
+    // so slow drift in the host's effective clock speed cancels out of
+    // the speedup ratio instead of landing on whichever evaluator was
+    // measured later.
+    type Pass<'a> = Box<dyn FnMut() -> Vec<Result<Vec<u64>, qec_circuit::EvalError>> + 'a>;
+    let eng = &engine;
+    let insts = &instances;
+    let reference: Vec<_> = insts.iter().map(|i| c.evaluate(i)).collect();
+    let mut evals: Vec<(&str, usize, usize, Pass<'_>)> = vec![(
+        "interpreter",
+        1,
+        1,
+        Box::new(|| insts.iter().map(|i| c.evaluate(i)).collect()),
+    )];
+    for (chunk, threads) in [(1usize, 1usize), (BATCH, 1), (BATCH, 4)] {
+        evals.push((
+            "engine",
+            chunk,
+            threads,
+            Box::new(move || {
+                insts.chunks(chunk).flat_map(|g| eng.evaluate_batch_threaded(g, threads)).collect()
+            }),
+        ));
+    }
+    let mut correct = true;
+    for (_, _, _, pass) in evals.iter_mut() {
+        correct &= pass() == reference;
+    }
+    const ROUNDS: usize = 5;
+    let mut times = vec![Vec::with_capacity(ROUNDS); evals.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, _, _, pass)) in evals.iter_mut().enumerate() {
+            let t0 = std::time::Instant::now();
+            let _ = pass();
+            times[i].push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let interp_ns = median(&mut times[0]);
+    let gev = |total_ns: f64| stats.tape_len as f64 * BATCH as f64 / (total_ns / 1e9) / 1e6;
+    t.row(vec![
+        "interpreter".into(),
+        "1".into(),
+        "1".into(),
+        f(interp_ns / 1e3 / BATCH as f64),
+        f(gev(interp_ns)),
+        f(1.0),
+    ]);
+
+    let mut batch64_speedup = 0.0;
+    for (i, (label, chunk, threads)) in
+        [("engine", 1usize, 1usize), ("engine", BATCH, 1), ("engine", BATCH, 4)]
+            .into_iter()
+            .enumerate()
+    {
+        let ns = median(&mut times[i + 1]);
+        let speedup = interp_ns / ns;
+        if chunk == BATCH && threads == 1 {
+            batch64_speedup = speedup;
+        }
+        t.row(vec![
+            label.into(),
+            chunk.to_string(),
+            threads.to_string(),
+            f(ns / 1e3 / BATCH as f64),
+            f(gev(ns)),
+            f(speedup),
+        ]);
+    }
+
+    let kinds = stats
+        .gate_count_pairs()
+        .iter()
+        .map(|(k, n)| format!("{k} {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    t.verdict(format!(
+        "{} gates in {} levels (widest {}), peak {} registers ({}x below the wire count) — batch-{BATCH} engine {}x over the interpreter ({}, correct: {correct}); gates: {kinds}",
+        stats.circuit_size,
+        stats.num_levels,
+        stats.max_level_width(),
+        stats.peak_registers,
+        stats.circuit_wires / stats.peak_registers.max(1),
+        f(batch64_speedup),
+        if batch64_speedup >= 4.0 { "meets the ≥4x target" } else { "BELOW the 4x target" },
+    ));
     t
 }
 
@@ -671,5 +808,6 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
         ("x12", x12_primitive_scaling),
         ("x13", x13_brent),
         ("x14", x14_bound_tightness),
+        ("x15", x15_engine_throughput),
     ]
 }

@@ -43,6 +43,50 @@ impl Table {
     pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
         self.rows[row][col].parse().expect("numeric cell")
     }
+
+    /// Serializes the table as a JSON object (`title`, `headers`,
+    /// `rows`, `verdict`) — the payload of the `BENCH_*.json` artifacts
+    /// written by `report --json`. Numeric-looking cells are emitted as
+    /// JSON numbers, everything else as strings.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn cell(s: &str) -> String {
+            // emit finite numbers as numbers so downstream plotting
+            // scripts don't have to re-parse strings
+            match s.parse::<f64>() {
+                Ok(v) if v.is_finite() => s.to_string(),
+                _ => esc(s),
+            }
+        }
+        let headers: Vec<String> = self.headers.iter().map(|h| esc(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| format!("[{}]", r.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")))
+            .collect();
+        format!(
+            "{{\"title\":{},\"headers\":[{}],\"rows\":[{}],\"verdict\":{}}}",
+            esc(&self.title),
+            headers.join(","),
+            rows.join(","),
+            esc(&self.verdict)
+        )
+    }
 }
 
 impl fmt::Display for Table {

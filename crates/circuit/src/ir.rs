@@ -42,7 +42,7 @@ pub enum Gate {
 }
 
 impl Gate {
-    fn operands(&self) -> [Option<WireId>; 3] {
+    pub(crate) fn operands(&self) -> [Option<WireId>; 3] {
         match *self {
             Gate::Input(_) | Gate::Const(_) => [None, None, None],
             Gate::Not(a) | Gate::AssertZero(a) => [Some(a), None, None],

@@ -33,6 +33,7 @@
 //! | output-bounded join ([`join_output_bounded`]) | Alg. 10 | `Õ(M+N+OUT)` | `Õ(1)` |
 
 mod decompose;
+mod engine;
 mod ir;
 mod join;
 mod join_out;
@@ -45,6 +46,7 @@ mod schedule;
 mod sort;
 
 pub use decompose::{decompose, DecomposedPart};
+pub use engine::{CompiledCircuit, EngineStats, EvalMetrics, GATE_KINDS};
 pub use ir::{Builder, Circuit, EvalError, Gate, Mode, WireId};
 pub use join::{join_degree_bounded, join_pk, semijoin};
 pub use join_out::join_output_bounded;

@@ -2,7 +2,8 @@
 //! depth `D` runs on a `P`-processor PRAM in `O(W/P + D)` steps by
 //! executing it level by level.
 
-use crate::{Circuit, EvalError, Gate};
+use crate::engine::CompiledCircuit;
+use crate::{Circuit, EvalError};
 
 /// Evaluates a materialized circuit with a levelized multi-threaded
 /// schedule: gates of equal depth are independent by construction, so
@@ -10,9 +11,15 @@ use crate::{Circuit, EvalError, Gate};
 /// levels — the PRAM schedule behind Brent's theorem, realized with OS
 /// threads.
 ///
-/// Produces exactly the same outputs (and assertion failures) as
-/// [`Circuit::evaluate`]; the test suite checks this. Worthwhile only for
-/// large circuits — for small ones thread coordination dominates.
+/// Since the engine rework this compiles the circuit to a
+/// register-allocated tape ([`CompiledCircuit`]) and runs its
+/// level-parallel path on a single-instance batch. Results are
+/// deterministic for every thread count: an input that violates several
+/// assertions always reports the **lowest-index** failing gate, exactly
+/// like [`Circuit::evaluate`]. Worthwhile only for large circuits — for
+/// small ones thread coordination dominates; callers that evaluate many
+/// inputs should compile once and use [`CompiledCircuit::evaluate_batch`]
+/// directly.
 pub fn evaluate_levelized(
     c: &Circuit,
     inputs: &[u64],
@@ -22,126 +29,11 @@ pub fn evaluate_levelized(
     if c.gates().is_empty() {
         return c.evaluate(inputs); // count-only or trivial: delegate
     }
-    if inputs.len() != c.num_inputs() {
-        return Err(EvalError::InputArity { expected: c.num_inputs(), got: inputs.len() });
-    }
-    // Bucket gate indices by depth. Depth-0 gates (inputs/constants) are
-    // filled sequentially; the rest level by level.
-    let depths = c.wire_depths();
-    let max_depth = c.depth() as usize;
-    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
-    for (i, &d) in depths.iter().enumerate() {
-        levels[d as usize].push(i);
-    }
-
-    let mut values = vec![0u64; c.gates().len()];
-    for &i in &levels[0] {
-        values[i] = match c.gates()[i] {
-            Gate::Input(idx) => inputs[idx],
-            Gate::Const(v) => v,
-            _ => unreachable!("only inputs/constants have depth 0"),
-        };
-    }
-
-    let as_bool = |v: u64| -> u64 { u64::from(v != 0) };
-    let eval_gate = |g: &Gate, values: &[u64]| -> Result<u64, usize> {
-        Ok(match *g {
-            Gate::Input(_) | Gate::Const(_) => unreachable!("depth ≥ 1"),
-            Gate::Add(a, b) => values[a as usize].wrapping_add(values[b as usize]),
-            Gate::Sub(a, b) => values[a as usize].wrapping_sub(values[b as usize]),
-            Gate::Mul(a, b) => values[a as usize].wrapping_mul(values[b as usize]),
-            Gate::Eq(a, b) => u64::from(values[a as usize] == values[b as usize]),
-            Gate::Lt(a, b) => u64::from(values[a as usize] < values[b as usize]),
-            Gate::And(a, b) => as_bool(values[a as usize]) & as_bool(values[b as usize]),
-            Gate::Or(a, b) => as_bool(values[a as usize]) | as_bool(values[b as usize]),
-            Gate::Xor(a, b) => as_bool(values[a as usize]) ^ as_bool(values[b as usize]),
-            Gate::Not(a) => u64::from(values[a as usize] == 0),
-            Gate::Mux(s, a, b) => {
-                if values[s as usize] != 0 {
-                    values[a as usize]
-                } else {
-                    values[b as usize]
-                }
-            }
-            Gate::AssertZero(a) => {
-                if values[a as usize] != 0 {
-                    return Err(values[a as usize] as usize);
-                }
-                0
-            }
-        })
-    };
-
-    struct ValuesPtr(*mut u64);
-    // SAFETY token: within one level every gate writes only its own slot
-    // and reads only strictly-lower-depth slots, so per-level chunks are
-    // disjoint writers over `values`.
-    unsafe impl Sync for ValuesPtr {}
-
-    if threads == 1 {
-        for level in levels.iter().skip(1) {
-            for &i in level {
-                match eval_gate(&c.gates()[i], &values) {
-                    Ok(v) => values[i] = v,
-                    Err(value) => {
-                        return Err(EvalError::AssertionFailed { gate: i, value: value as u64 })
-                    }
-                }
-            }
-        }
-        return Ok(c.outputs().iter().map(|&w| values[w as usize]).collect());
-    }
-
-    // Persistent workers: one barrier round per level (the PRAM step),
-    // not one thread spawn per level.
-    let len = values.len();
-    let ptr = ValuesPtr(values.as_mut_ptr());
-    let barrier = std::sync::Barrier::new(threads);
-    let failure = std::sync::Mutex::new(None::<(usize, u64)>);
-    // One stop flag *per level*: a fast worker that fails in level L+1
-    // must not make slow workers (still sampling level L's flag after the
-    // barrier) exit early and strand everyone else at the next barrier.
-    let failed: Vec<std::sync::atomic::AtomicBool> =
-        levels.iter().map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
-    std::thread::scope(|scope| {
-        for worker in 0..threads {
-            let ptr = &ptr;
-            let barrier = &barrier;
-            let failure = &failure;
-            let failed = &failed;
-            let levels = &levels;
-            let gates = c.gates();
-            scope.spawn(move || {
-                let values_ref: &[u64] = unsafe { std::slice::from_raw_parts(ptr.0, len) };
-                for (li, level) in levels.iter().enumerate().skip(1) {
-                    let chunk = level.len().div_ceil(threads);
-                    let lo = (worker * chunk).min(level.len());
-                    let hi = ((worker + 1) * chunk).min(level.len());
-                    for &i in &level[lo..hi] {
-                        match eval_gate(&gates[i], values_ref) {
-                            // SAFETY: slot `i` belongs to this level and this
-                            // worker's chunk; no other thread touches it
-                            // during this level.
-                            Ok(v) => unsafe { *ptr.0.add(i) = v },
-                            Err(value) => {
-                                *failure.lock().expect("poison-free") = Some((i, value as u64));
-                                failed[li].store(true, std::sync::atomic::Ordering::SeqCst);
-                                break;
-                            }
-                        }
-                    }
-                    barrier.wait();
-                    if failed[li].load(std::sync::atomic::Ordering::SeqCst) {
-                        return;
-                    }
-                }
-            });
-        }
-    });
-    if let Some((gate, value)) = failure.into_inner().expect("poison-free") {
-        return Err(EvalError::AssertionFailed { gate, value });
-    }
-    Ok(c.outputs().iter().map(|&w| values[w as usize]).collect())
+    let compiled = CompiledCircuit::compile(c)?;
+    compiled
+        .evaluate_batch_threaded(std::slice::from_ref(&inputs), threads)
+        .pop()
+        .expect("one lane in, one out")
 }
 
 /// Number of logic gates at each depth level `1..=depth` (level `d` holds
@@ -242,6 +134,42 @@ mod tests {
             evaluate_levelized(&c, &bad, 4),
             Err(EvalError::AssertionFailed { .. })
         ));
+    }
+
+    #[test]
+    fn levelized_assertion_failure_is_deterministic() {
+        // Two assertions in the same level, both violated: every thread
+        // count must report the lowest-index gate, like the sequential
+        // interpreter — not whichever worker lost the race. Regression
+        // test for the old shared failure slot that was overwritten by
+        // the last worker to fail.
+        let mut b = Builder::new(Mode::Build);
+        let xs: Vec<_> = (0..64).map(|_| b.input()).collect();
+        // enough padding that the engine's threaded path engages (it
+        // falls back to sequential below ~4k instructions)
+        for _ in 0..70 {
+            for &x in &xs {
+                b.not(x);
+            }
+        }
+        for &x in &xs {
+            // all asserts share one level; every one fires on input 1
+            b.assert_zero(x);
+        }
+        let c = b.finish(vec![]);
+        let ones = vec![1u64; 64];
+        let expected = c.evaluate(&ones);
+        let Err(EvalError::AssertionFailed { gate: expect_gate, .. }) = expected else {
+            panic!("sequential evaluation must fail");
+        };
+        for threads in 1..=8 {
+            let got = evaluate_levelized(&c, &ones, threads);
+            assert_eq!(
+                got,
+                Err(EvalError::AssertionFailed { gate: expect_gate, value: 1 }),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

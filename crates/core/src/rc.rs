@@ -901,13 +901,46 @@ impl LoweredCircuit {
     pub fn run(&self, db: &Database) -> Result<Vec<Relation>, Box<dyn std::error::Error>> {
         let inputs = self.layout.values(db)?;
         let raw = self.circuit.evaluate(&inputs)?;
-        Ok(self
-            .outputs
+        Ok(self.decode(&raw))
+    }
+
+    /// Compiles the word-level circuit to a reusable evaluation tape
+    /// (see [`qec_circuit::CompiledCircuit`]); the handle outlives this
+    /// value and amortizes compilation over many [`Self::run_batch`]
+    /// calls.
+    pub fn compile_engine(&self) -> Result<qec_circuit::CompiledCircuit, qec_circuit::EvalError> {
+        qec_circuit::CompiledCircuit::compile(&self.circuit)
+    }
+
+    /// Evaluates one circuit over many databases in a single batched
+    /// tape pass — the oblivious-evaluation pattern the paper targets
+    /// (the same topology serves every instance). Each database gets
+    /// exactly the result [`Self::run`] would give it.
+    pub fn run_batch(
+        &self,
+        dbs: &[Database],
+    ) -> Result<Vec<Vec<Relation>>, Box<dyn std::error::Error>> {
+        let engine = self.compile_engine()?;
+        let inputs: Result<Vec<Vec<u64>>, _> =
+            dbs.iter().map(|db| self.layout.values(db)).collect();
+        let inputs = inputs?;
+        engine
+            .evaluate_batch(&inputs)
+            .into_iter()
+            .map(|lane| {
+                let raw = lane?;
+                Ok(self.decode(&raw))
+            })
+            .collect()
+    }
+
+    fn decode(&self, raw: &[u64]) -> Vec<Relation> {
+        self.outputs
             .iter()
             .map(|(schema, start, len)| {
                 qec_circuit::decode_relation(schema, &raw[*start..*start + *len])
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -943,6 +976,25 @@ mod tests {
             let ram = rc.evaluate_ram(&db).unwrap();
             let circ = lowered.run(&db).unwrap();
             assert_eq!(ram, circ, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_run_per_database() {
+        let rc = sample_circuit();
+        let lowered = rc.lower(Mode::Build);
+        let dbs: Vec<Database> = (0..6)
+            .map(|seed| {
+                let mut db = Database::new();
+                db.insert("R", random_relation(vec![Var(0), Var(1)], 14, seed));
+                db.insert("S", random_relation(vec![Var(1), Var(2)], 14, seed + 5));
+                db
+            })
+            .collect();
+        let batched = lowered.run_batch(&dbs).unwrap();
+        assert_eq!(batched.len(), dbs.len());
+        for (db, got) in dbs.iter().zip(batched) {
+            assert_eq!(got, lowered.run(db).unwrap());
         }
     }
 

@@ -1,0 +1,328 @@
+//! Offline drop-in replacement for the subset of [`criterion`] this
+//! workspace uses. The build container has no network access to
+//! crates.io, so the workspace pins `criterion` to this path crate
+//! (see `[workspace.dependencies]` in the root manifest).
+//!
+//! The harness is deliberately simple: per benchmark it warms up for
+//! `warm_up_time`, then collects `sample_size` samples (each sample a
+//! batch of iterations auto-sized so a sample takes roughly
+//! `measurement_time / sample_size`), and reports min/mean/max like
+//! criterion's `time: [..]` line. When `CRITERION_JSON` is set in the
+//! environment, one JSON line per benchmark is appended to that file
+//! (`{"id": .., "mean_ns": .., "min_ns": .., "max_ns": .., "iters": ..}`)
+//! — this is how `BENCH_*.json` artifacts are produced, see
+//! EXPERIMENTS.md.
+//!
+//! [`criterion`]: https://docs.rs/criterion/0.5
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter (the group name prefixes it at print time).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (recorded in JSON output, not rate-printed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    settings: Settings,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, auto-sizing iteration batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut total_ns = 0.0f64;
+        let mut min_ns = f64::MAX;
+        let mut max_ns = 0.0f64;
+        let mut iters = 0u64;
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            iters += batch;
+        }
+        *self.result = Some(Sample {
+            mean_ns: total_ns / self.settings.sample_size as f64,
+            min_ns,
+            max_ns,
+            iters,
+        });
+    }
+
+    /// Times `routine` with an explicit per-call iteration count,
+    /// returning total elapsed time (criterion's `iter_custom` shape).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let per_sample_iters = 1u64;
+        let mut min_ns = f64::MAX;
+        let mut max_ns = 0.0f64;
+        for _ in 0..self.settings.sample_size {
+            let d = routine(per_sample_iters);
+            let ns = d.as_nanos() as f64 / per_sample_iters as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total += d;
+            iters += per_sample_iters;
+        }
+        *self.result = Some(Sample {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns,
+            max_ns,
+            iters,
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn record(id: &str, sample: &Sample, throughput: Option<Throughput>) {
+    println!(
+        "{id:<44} time: [{} {} {}]",
+        human(sample.min_ns),
+        human(sample.mean_ns),
+        human(sample.max_ns)
+    );
+    if let Some(tp) = throughput {
+        let (n, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = n as f64 / (sample.mean_ns / 1e9);
+        println!("{:<44} thrpt: {rate:.3e} {unit}/s", "");
+    }
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let tp = match throughput {
+            Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+            Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+            None => String::new(),
+        };
+        let line = format!(
+            "{{\"id\":\"{id}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters\":{}{tp}}}\n",
+            sample.mean_ns, sample.min_ns, sample.max_ns, sample.iters
+        );
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut result = None;
+        f(&mut Bencher { settings: self.settings, result: &mut result });
+        if let Some(sample) = result {
+            record(&format!("{}/{}", self.name, id.id), &sample, self.throughput);
+        }
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut result = None;
+        f(&mut Bencher { settings: self.settings, result: &mut result }, input);
+        if let Some(sample) = result {
+            record(&format!("{}/{}", self.name, id.id), &sample, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver (a much-reduced `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Opens a settings-scoped group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup { name: name.into(), settings, throughput: None, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut result = None;
+        f(&mut Bencher { settings: self.settings, result: &mut result });
+        if let Some(sample) = result {
+            record(&id.id, &sample, None);
+        }
+        self
+    }
+
+    /// Criterion's post-run hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,526 @@
+//! Offline drop-in replacement for the subset of [`proptest`] this
+//! workspace uses. The build container has no network access to
+//! crates.io, so the workspace pins `proptest` to this path crate
+//! (see `[workspace.dependencies]` in the root manifest).
+//!
+//! Semantics: each `proptest!` test runs `ProptestConfig::cases`
+//! random cases drawn from the given strategies, seeded
+//! deterministically from the test's name (reruns are reproducible;
+//! set `PROPTEST_SHIM_SEED` to perturb the stream). Unlike upstream
+//! proptest there is **no shrinking**: a failing case panics with the
+//! case number and the assertion message. `.proptest-regressions`
+//! files are ignored.
+//!
+//! Implemented surface: `proptest!` (with `#![proptest_config(..)]`),
+//! `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`, `any::<T>()`,
+//! `Just`, integer/float range strategies, tuple strategies,
+//! `prop::collection::{vec, btree_set}`, and the `Strategy`
+//! combinators `prop_map`, `prop_filter`, `prop_flat_map`, `boxed`.
+//!
+//! [`proptest`]: https://docs.rs/proptest/1
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng, Standard};
+
+/// Runner configuration (only the `cases` knob is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 96 keeps the compute-heavy circuit
+        // suites fast while still exercising plenty of structure.
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// A failed `prop_assert!`-family assertion.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The generation source handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner: the stream is a function of the test name
+    /// (and the optional `PROPTEST_SHIM_SEED` environment variable).
+    pub fn deterministic(name: &str) -> TestRunner {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SHIM_SEED") {
+            for b in extra.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+            }
+        }
+        TestRunner { rng: StdRng::seed_from_u64(h) }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of random values (upstream's `Strategy`, minus
+/// shrinking: `generate` plays the role of `new_tree(..).current()`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, retrying (up to an attempt cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Chains a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, runner: &mut TestRunner) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, runner: &mut TestRunner) -> S::Value {
+        self.generate(runner)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        self.0.generate_dyn(runner)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(runner);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 10000 consecutive samples", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, runner: &mut TestRunner) -> T::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-domain strategy for `T` — see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        runner.rng().gen()
+    }
+}
+
+/// Uniform strategy over `T`'s full value domain.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$i.generate(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Collection strategies (`prop::collection` upstream).
+pub mod collection {
+    use super::*;
+
+    /// Ranges of collection sizes.
+    pub trait SizeRange {
+        /// Draws a concrete size.
+        fn pick(&self, runner: &mut TestRunner) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _: &mut TestRunner) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, runner: &mut TestRunner) -> usize {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    /// `Vec` strategy: `size` elements of `element`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = self.size.pick(runner);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// Vector of `size` draws from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// `BTreeSet` strategy — see [`btree_set`].
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for BTreeSetStrategy<S, R>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> BTreeSet<S::Value> {
+            let n = self.size.pick(runner);
+            let mut out = BTreeSet::new();
+            // the element domain may be smaller than `n`: cap the attempts
+            // and accept a smaller set, as upstream does
+            for _ in 0..(20 * n + 20) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(runner));
+            }
+            out
+        }
+    }
+
+    /// Set of (up to) `size` distinct draws from `element`.
+    pub fn btree_set<S: Strategy, R: SizeRange>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Everything a `proptest!` test file needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Picks uniformly among the listed strategies (all must yield the
+/// same value type). Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::UnionStrategy::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Implementation of [`prop_oneof!`].
+pub struct UnionStrategy<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> UnionStrategy<V> {
+    /// Union over the given (non-empty) alternatives.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> UnionStrategy<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        UnionStrategy(options)
+    }
+}
+
+impl<V> Strategy for UnionStrategy<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        let i = runner.rng().gen_range(0..self.0.len());
+        self.0[i].generate(runner)
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body (returns an `Err`
+/// instead of panicking so the runner can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::TestRunner::deterministic(concat!(
+                    ::std::module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut runner);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Wrapped(Vec<u64>);
+
+    fn wrapped(max_len: usize) -> impl Strategy<Value = Wrapped> {
+        prop::collection::vec(0u64..6, 0..max_len).prop_map(Wrapped)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..9, b in -4i64..=4, n in 1usize..5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn composite_strategies(w in wrapped(8), pair in (any::<bool>(), 0u32..3)) {
+            prop_assert!(w.0.len() < 8);
+            prop_assert!(w.0.iter().all(|&v| v < 6));
+            prop_assert!(pair.1 < 3);
+        }
+
+        #[test]
+        fn filters_hold(v in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            prop_assert_ne!(v, 0);
+        }
+
+        #[test]
+        fn oneof_and_sets(
+            choice in prop_oneof![Just(1u64), Just(2u64), 10u64..12],
+            s in prop::collection::btree_set(0u64..6, 0..6),
+        ) {
+            prop_assert!(choice == 1 || choice == 2 || (10..12).contains(&choice));
+            prop_assert!(s.len() < 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        let mut r1 = crate::TestRunner::deterministic("x");
+        let mut r2 = crate::TestRunner::deterministic("x");
+        let s = 0u64..1000;
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
