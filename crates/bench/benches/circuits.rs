@@ -46,7 +46,13 @@ fn bench_unary_ops(c: &mut Criterion) {
         b.iter(|| {
             let mut bld = Builder::new(Mode::Count);
             let w = encode_relation(&mut bld, vec![Var(0), Var(1)], k);
-            let a = aggregate(&mut bld, &w, VarSet::singleton(Var(0)), AggOp::Sum(Var(1)), Var(5));
+            let a = aggregate(
+                &mut bld,
+                &w,
+                VarSet::singleton(Var(0)),
+                AggOp::Sum(Var(1)),
+                Var(5),
+            );
             bld.finish(a.flatten()).size()
         })
     });

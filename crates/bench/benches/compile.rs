@@ -11,7 +11,12 @@ use qec_query::{k_cycle, k_path, triangle, Cq};
 use qec_relation::{DcSet, DegreeConstraint, Var, VarSet};
 
 fn uniform_dc(cq: &Cq, n: u64) -> DcSet {
-    DcSet::from_vec(cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect())
+    DcSet::from_vec(
+        cq.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n))
+            .collect(),
+    )
 }
 
 fn bench_bounds(c: &mut Criterion) {
@@ -19,7 +24,11 @@ fn bench_bounds(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_millis(500));
-    for (name, q) in [("triangle", triangle()), ("cycle4", k_cycle(4)), ("cycle5", k_cycle(5))] {
+    for (name, q) in [
+        ("triangle", triangle()),
+        ("cycle4", k_cycle(4)),
+        ("cycle5", k_cycle(5)),
+    ] {
         let dc = uniform_dc(&q, 1 << 10);
         g.bench_function(format!("polymatroid/{name}"), |b| {
             b.iter(|| polymatroid_bound(q.num_vars(), &dc, q.all_vars()).unwrap())
@@ -50,7 +59,9 @@ fn bench_panda_compile(c: &mut Criterion) {
         [Var(1), Var(2)].into_iter().collect(),
         16,
     ));
-    g.bench_function("triangle+deg/N=2^10", |b| b.iter(|| compile_fcq(&q, &dc).unwrap()));
+    g.bench_function("triangle+deg/N=2^10", |b| {
+        b.iter(|| compile_fcq(&q, &dc).unwrap())
+    });
     g.finish();
 }
 
@@ -60,7 +71,10 @@ fn bench_output_sensitive_compile(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_millis(500));
     let q0 = k_path(3);
-    let q = Cq { free: [Var(0), Var(3)].into_iter().collect(), ..q0 };
+    let q = Cq {
+        free: [Var(0), Var(3)].into_iter().collect(),
+        ..q0
+    };
     let dc = uniform_dc(&q, 1 << 8);
     g.bench_function("build+count+query/path3_proj", |b| {
         b.iter(|| {
@@ -73,5 +87,10 @@ fn bench_output_sensitive_compile(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bounds, bench_panda_compile, bench_output_sensitive_compile);
+criterion_group!(
+    benches,
+    bench_bounds,
+    bench_panda_compile,
+    bench_output_sensitive_compile
+);
 criterion_main!(benches);

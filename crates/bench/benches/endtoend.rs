@@ -11,7 +11,10 @@ use qec_relation::{random_relation, Database, DcSet, DegreeConstraint, Var};
 fn triangle_setup(n: usize) -> (qec_query::Cq, DcSet, Database) {
     let q = triangle();
     let dc = DcSet::from_vec(
-        q.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n as u64)).collect(),
+        q.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n as u64))
+            .collect(),
     );
     let mut db = Database::new();
     db.insert("R", random_relation(vec![Var(0), Var(1)], n - 2, 1));
@@ -27,7 +30,9 @@ fn bench_triangle_eval(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     let (q, dc, db) = triangle_setup(32);
     let p = compile_fcq(&q, &dc).unwrap();
-    g.bench_function("ram_interpreter/N=32", |b| b.iter(|| p.rc.evaluate_ram(&db).unwrap()));
+    g.bench_function("ram_interpreter/N=32", |b| {
+        b.iter(|| p.rc.evaluate_ram(&db).unwrap())
+    });
     let lowered = p.rc.lower(Mode::Build);
     let inputs = lowered.layout.values(&db).unwrap();
     g.bench_function("word_circuit/N=32", |b| {

@@ -43,7 +43,10 @@ fn instances(c: &Circuit, batch: usize) -> Vec<Vec<u64>> {
 
 fn bench_engine(c: &mut Criterion) {
     let circuit = join_circuit();
-    assert!(circuit.size() >= 100_000, "bench circuit must stay ≥ 1e5 gates");
+    assert!(
+        circuit.size() >= 100_000,
+        "bench circuit must stay ≥ 1e5 gates"
+    );
     let engine = CompiledCircuit::compile(&circuit).expect("build-mode circuit");
     assert!(
         engine.stats().peak_registers < circuit.num_wires(),
@@ -56,11 +59,16 @@ fn bench_engine(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_millis(500));
     // one iteration = the whole 64-instance batch, whichever evaluator runs
-    g.throughput(Throughput::Elements(engine.stats().tape_len as u64 * BATCH as u64));
+    g.throughput(Throughput::Elements(
+        engine.stats().tape_len as u64 * BATCH as u64,
+    ));
 
     g.bench_function("interpreter", |b| {
         b.iter(|| {
-            batch.iter().map(|i| circuit.evaluate(i).expect("evaluates")).collect::<Vec<_>>()
+            batch
+                .iter()
+                .map(|i| circuit.evaluate(i).expect("evaluates"))
+                .collect::<Vec<_>>()
         })
     });
     g.bench_function(BenchmarkId::new("engine_batch", 1), |b| {
@@ -81,7 +89,12 @@ fn bench_engine(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.bench_function("compile", |b| {
-        b.iter(|| CompiledCircuit::compile(&circuit).expect("build-mode circuit").stats().tape_len)
+        b.iter(|| {
+            CompiledCircuit::compile(&circuit)
+                .expect("build-mode circuit")
+                .stats()
+                .tape_len
+        })
     });
     g.finish();
 }

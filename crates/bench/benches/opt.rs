@@ -1,0 +1,92 @@
+//! Optimizer benchmarks: the cost of `optimize` itself on the ≥ 10⁵-gate
+//! degree-bounded join circuit, and the evaluation payoff — the batched
+//! engine over the raw tape (`compile_raw`) against the optimized tape
+//! (`compile`). The headline comparison is `eval_batch/raw` vs
+//! `eval_batch/optimized`; the acceptance bar for the optimizer is a
+//! ≥ 15% throughput gain there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qec_circuit::{
+    encode_relation, join_degree_bounded, optimize, Builder, Circuit, CompiledCircuit, Mode,
+};
+use qec_relation::Var;
+
+const CAP: usize = 16;
+const BATCH: usize = 64;
+
+/// R(a,b) ⋈ S(b,c), degree bound 4, built without online hash-consing so
+/// the offline pass sees the unpreprocessed builder output.
+fn raw_join_circuit() -> Circuit {
+    let mut b = Builder::without_cse(Mode::Build);
+    let r = encode_relation(&mut b, vec![Var(0), Var(1)], CAP);
+    let s = encode_relation(&mut b, vec![Var(1), Var(2)], CAP);
+    let j = join_degree_bounded(&mut b, &r, &s, 4);
+    b.finish(j.flatten())
+}
+
+fn instances(c: &Circuit, batch: usize) -> Vec<Vec<u64>> {
+    (0..batch)
+        .map(|lane| {
+            let mut inp = Vec::with_capacity(c.num_inputs());
+            for rel in 0..2 {
+                for slot in 0..CAP {
+                    let key = (slot as u64 + lane as u64) % 7;
+                    inp.extend_from_slice(&if rel == 0 {
+                        [slot as u64, key, 1]
+                    } else {
+                        [key, slot as u64, 1]
+                    });
+                }
+            }
+            inp
+        })
+        .collect()
+}
+
+fn bench_opt(c: &mut Criterion) {
+    let raw = raw_join_circuit();
+    assert!(raw.size() >= 100_000, "bench circuit must stay ≥ 1e5 gates");
+    let (opt, st) = optimize(&raw);
+    assert!(
+        st.gate_reduction() >= 0.25,
+        "optimizer must keep cutting ≥ 25% of the join circuit's gates"
+    );
+
+    let mut g = c.benchmark_group("optimize");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    // one iteration = one full optimization of the raw circuit
+    g.throughput(Throughput::Elements(raw.size()));
+    g.bench_function("word_pass", |b| b.iter(|| optimize(&raw).0.size()));
+    g.finish();
+
+    let eng_raw = CompiledCircuit::compile_raw(&raw).expect("build-mode circuit");
+    let eng_opt = CompiledCircuit::compile(&raw).expect("build-mode circuit");
+    assert!(eng_opt.stats().tape_len <= opt.num_wires());
+    let batch = instances(&raw, BATCH);
+    assert_eq!(
+        eng_raw.evaluate_batch(&batch),
+        eng_opt.evaluate_batch(&batch),
+        "both tapes must agree before being timed"
+    );
+
+    let mut g = c.benchmark_group("eval_batch");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    // normalize both evaluators to the same unit of work: one batch of
+    // raw-circuit gate evaluations (the optimized tape does fewer actual
+    // instructions for the same semantic work — that is the payoff)
+    g.throughput(Throughput::Elements(raw.size() * BATCH as u64));
+    g.bench_function(BenchmarkId::new("raw", BATCH), |b| {
+        b.iter(|| eng_raw.evaluate_batch(&batch))
+    });
+    g.bench_function(BenchmarkId::new("optimized", BATCH), |b| {
+        b.iter(|| eng_opt.evaluate_batch(&batch))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_opt);
+criterion_main!(benches);

@@ -35,10 +35,12 @@ fn main() {
     let selected: Vec<_> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         experiments
     } else {
-        let sel: Vec<_> =
-            experiments.into_iter().filter(|(id, _)| ids.iter().any(|a| a == id)).collect();
+        let sel: Vec<_> = experiments
+            .into_iter()
+            .filter(|(id, _)| ids.iter().any(|a| a == id))
+            .collect();
         if sel.is_empty() {
-            eprintln!("unknown experiment id(s); valid: x1..x15 or `all`");
+            eprintln!("unknown experiment id(s); valid: x1..x16 or `all`");
             std::process::exit(2);
         }
         sel

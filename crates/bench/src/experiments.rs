@@ -1,9 +1,9 @@
-//! Experiment implementations X1–X14 (see `EXPERIMENTS.md`).
+//! Experiment implementations X1–X16 (see `EXPERIMENTS.md`).
 
 use qec_circuit::{
     aggregate as c_aggregate, brent_steps, encode_relation, join_degree_bounded,
-    join_output_bounded, join_pk, lower::lower, project as c_project, scan, AggOp,
-    Builder, Mode, SortKey, WireId,
+    join_output_bounded, join_pk, lower::lower, project as c_project, scan, AggOp, Builder, Mode,
+    SortKey, WireId,
 };
 use qec_core::{
     compile_fcq, naive_circuit, paper_cost, triangle_heavy_light, AggregateQuery, OutputSensitive,
@@ -32,15 +32,26 @@ pub fn x1_heavy_light() -> Table {
         &["N", "paper_cost", "cost/N^1.5", "word_gates", "word_depth"],
     );
     let mut ratios = Vec::new();
+    // Count-mode lowering now hash-conses, so the word columns
+    // materialize through N=256 (~110M deduped gates, ~2 min) by
+    // default. N=1024 projects to ~1.4B wires and tens of GB of
+    // cons cache — opt in with QEC_X1_LOWER_E=10 on a big machine.
+    let lower_e: u32 = std::env::var("QEC_X1_LOWER_E")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     for e in [4u32, 6, 8, 10, 12] {
         let n = 1u64 << e;
         let (rc, _) = triangle_heavy_light(n);
         let cost = paper_cost(&rc).to_f64();
         let ratio = cost / (n as f64).powf(1.5);
         ratios.push(ratio);
-        let (gates, depth) = if e <= 7 {
+        let (gates, depth) = if e <= lower_e {
             let lowered = rc.lower(Mode::Count);
-            (lowered.circuit.size().to_string(), lowered.circuit.depth().to_string())
+            (
+                lowered.circuit.size().to_string(),
+                lowered.circuit.depth().to_string(),
+            )
         } else {
             ("-".into(), "-".into())
         };
@@ -60,7 +71,15 @@ pub fn x1_heavy_light() -> Table {
 pub fn x2_panda_triangle() -> Table {
     let mut t = Table::new(
         "X2  Figure 2 / Thm 3: PANDA-C triangle vs naive O(N^3) baseline",
-        &["N", "rel_gates", "branches", "panda_cost", "naive_cost", "speedup", "cost/N^1.5"],
+        &[
+            "N",
+            "rel_gates",
+            "branches",
+            "panda_cost",
+            "naive_cost",
+            "speedup",
+            "cost/N^1.5",
+        ],
     );
     let q = triangle();
     let mut last_speedup = 0.0;
@@ -93,7 +112,15 @@ pub fn x2_panda_triangle() -> Table {
 pub fn x3_proof_sequences() -> Table {
     let mut t = Table::new(
         "X3  Thm 2: proof sequences across the query corpus (all validated)",
-        &["query", "n", "LOGDAPB", "chain_cost", "tight", "steps", "d_steps"],
+        &[
+            "query",
+            "n",
+            "LOGDAPB",
+            "chain_cost",
+            "tight",
+            "steps",
+            "d_steps",
+        ],
     );
     let corpus: Vec<(&str, Cq, DcSet)> = {
         let mut v = Vec::new();
@@ -129,8 +156,11 @@ pub fn x3_proof_sequences() -> Table {
         qec_entropy::validate(&proof).expect("validated");
         let tight = proof.log_cost == bound.log_value;
         all_tight &= tight;
-        let d_steps =
-            proof.steps.iter().filter(|s| matches!(s.step, ProofStep::Decomp { .. })).count();
+        let d_steps = proof
+            .steps
+            .iter()
+            .filter(|s| matches!(s.step, ProofStep::Decomp { .. }))
+            .count();
         t.row(vec![
             name.to_string(),
             q.num_vars().to_string(),
@@ -154,7 +184,14 @@ pub fn x3_proof_sequences() -> Table {
 pub fn x4_panda_cost() -> Table {
     let mut t = Table::new(
         "X4  Thm 3: PANDA-C cost vs N + DAPB under degree constraints",
-        &["query", "N", "deg", "LOGDAPB", "panda_cost", "cost/(N+DAPB)"],
+        &[
+            "query",
+            "N",
+            "deg",
+            "LOGDAPB",
+            "panda_cost",
+            "cost/(N+DAPB)",
+        ],
     );
     let n_exp = 8u32;
     let n = 1u64 << n_exp;
@@ -180,7 +217,11 @@ pub fn x4_panda_cost() -> Table {
             f(ratio),
         ]);
     }
-    for (name, q) in [("4-cycle", k_cycle(4)), ("2-path", k_path(2)), ("3-path", k_path(3))] {
+    for (name, q) in [
+        ("4-cycle", k_cycle(4)),
+        ("2-path", k_path(2)),
+        ("3-path", k_path(3)),
+    ] {
         let dc = uniform_dc(&q, n);
         let p = compile_fcq(&q, &dc).expect("compiles");
         let cost = paper_cost(&p.rc).to_f64();
@@ -208,7 +249,14 @@ pub fn x4_panda_cost() -> Table {
 pub fn x5_project_aggregate() -> Table {
     let mut t = Table::new(
         "X5  Algs 3/5: projection & aggregation circuit scaling",
-        &["K", "proj_size", "proj_depth", "agg_size", "agg_depth", "size/K·log²K"],
+        &[
+            "K",
+            "proj_size",
+            "proj_depth",
+            "agg_size",
+            "agg_depth",
+            "size/K·log²K",
+        ],
     );
     for e in [4u32, 6, 8, 10, 12, 14] {
         let k = 1usize << e;
@@ -219,7 +267,13 @@ pub fn x5_project_aggregate() -> Table {
         let (ps, pd) = (c.size(), c.depth());
         let mut b = Builder::new(Mode::Count);
         let w = encode_relation(&mut b, vec![Var(0), Var(1)], k);
-        let a = c_aggregate(&mut b, &w, VarSet::singleton(Var(0)), AggOp::Sum(Var(1)), Var(5));
+        let a = c_aggregate(
+            &mut b,
+            &w,
+            VarSet::singleton(Var(0)),
+            AggOp::Sum(Var(1)),
+            Var(5),
+        );
         let c = b.finish(a.flatten());
         let (as_, ad) = (c.size(), c.depth());
         let norm = ps as f64 / (k as f64 * (e as f64).powi(2));
@@ -232,7 +286,10 @@ pub fn x5_project_aggregate() -> Table {
             f(norm),
         ]);
     }
-    t.verdict("size grows as K·log²K (bitonic-dominated), depth as log²K — Õ(K) size, Õ(1) depth".to_string());
+    t.verdict(
+        "size grows as K·log²K (bitonic-dominated), depth as log²K — Õ(K) size, Õ(1) depth"
+            .to_string(),
+    );
     t
 }
 
@@ -270,7 +327,14 @@ pub fn x6_pk_join() -> Table {
 pub fn x7_degree_join() -> Table {
     let mut t = Table::new(
         "X7  Alg 7: degree-bounded join Õ(MN+N') vs naive all-pairs O(M·N'), deg N = 2",
-        &["M = N'", "alg7_size", "naive_size", "win", "alg7 growth", "naive growth"],
+        &[
+            "M = N'",
+            "alg7_size",
+            "naive_size",
+            "win",
+            "alg7 growth",
+            "naive growth",
+        ],
     );
     let mut prev: Option<(u64, u64)> = None;
     let mut crossover: Option<usize> = None;
@@ -320,7 +384,14 @@ pub fn x8_output_join() -> Table {
         "X8  Alg 10: output-bounded join, size Õ(M+N+OUT)",
         &["M=N", "OUT", "size", "size/(M+N+OUT)log³"],
     );
-    for (m, out) in [(128usize, 32usize), (128, 128), (128, 1024), (256, 32), (512, 32), (512, 2048)] {
+    for (m, out) in [
+        (128usize, 32usize),
+        (128, 128),
+        (128, 1024),
+        (256, 32),
+        (512, 32),
+        (512, 2048),
+    ] {
         let mut b = Builder::new(Mode::Count);
         let r = encode_relation(&mut b, vec![Var(0), Var(1)], m);
         let s = encode_relation(&mut b, vec![Var(1), Var(2)], m);
@@ -343,31 +414,39 @@ pub fn x8_output_join() -> Table {
 pub fn x9_output_sensitive() -> Table {
     let mut t = Table::new(
         "X9  Thm 5: output-sensitive two-family circuits",
-        &["query", "free", "da-fhtw", "count_cost", "query_cost(OUT)", "OUT", "worstcase_cost"],
+        &[
+            "query",
+            "free",
+            "da-fhtw",
+            "count_cost",
+            "query_cost(OUT)",
+            "OUT",
+            "worstcase_cost",
+        ],
     );
     let cases: Vec<(&str, Cq)> = vec![
         ("3-path", k_path(3)),
-        (
-            "3-path→(x0,x3)",
-            {
-                let q = k_path(3);
-                Cq { free: vs(&[0, 3]), ..q }
-            },
-        ),
-        (
-            "snowflake(3)→(x0,x1)",
-            {
-                let q = snowflake(3);
-                Cq { free: vs(&[0, 1]), ..q }
-            },
-        ),
-        (
-            "triangle→(a)",
-            {
-                let q = triangle();
-                Cq { free: vs(&[0]), ..q }
-            },
-        ),
+        ("3-path→(x0,x3)", {
+            let q = k_path(3);
+            Cq {
+                free: vs(&[0, 3]),
+                ..q
+            }
+        }),
+        ("snowflake(3)→(x0,x1)", {
+            let q = snowflake(3);
+            Cq {
+                free: vs(&[0, 1]),
+                ..q
+            }
+        }),
+        ("triangle→(a)", {
+            let q = triangle();
+            Cq {
+                free: vs(&[0]),
+                ..q
+            }
+        }),
     ];
     let n = 1u64 << 6;
     for (name, q) in cases {
@@ -406,12 +485,25 @@ pub fn x10_semiring() -> Table {
     // (Boolean), cheapest 2-hop path (MinTropical)
     let tri = {
         let q = triangle();
-        Cq { free: vs(&[0]), ..q }
+        Cq {
+            free: vs(&[0]),
+            ..q
+        }
     };
     let two_hop = qec_query::parse_cq("Q(a, c) :- R(a, b), S(b, c)").expect("parses");
     let cases: Vec<(&str, Cq, Semiring, Vec<Option<Var>>)> = vec![
-        ("triangles/vertex", tri.clone(), Semiring::Natural, vec![None, None, None]),
-        ("in-triangle?", tri, Semiring::Boolean, vec![None, None, None]),
+        (
+            "triangles/vertex",
+            tri.clone(),
+            Semiring::Natural,
+            vec![None, None, None],
+        ),
+        (
+            "in-triangle?",
+            tri,
+            Semiring::Boolean,
+            vec![None, None, None],
+        ),
         (
             "cheapest 2-hop",
             two_hop.clone(),
@@ -444,7 +536,10 @@ pub fn x10_semiring() -> Table {
                         t
                     })
                     .collect();
-                db.insert(atom.name.clone(), qec_relation::Relation::from_rows(schema, rows));
+                db.insert(
+                    atom.name.clone(),
+                    qec_relation::Relation::from_rows(schema, rows),
+                );
             }
         }
         let expect = aq.reference(&db).expect("reference");
@@ -467,7 +562,15 @@ pub fn x10_semiring() -> Table {
 pub fn x11_mpc() -> Table {
     let mut t = Table::new(
         "X11  Sec 1: GMW-style 2-party secure primary-key join",
-        &["M", "word_gates", "bool_gates", "AND_gates", "AND_depth", "garble_MB", "verified"],
+        &[
+            "M",
+            "word_gates",
+            "bool_gates",
+            "AND_gates",
+            "AND_depth",
+            "garble_MB",
+            "verified",
+        ],
     );
     for m in [4usize, 8, 16] {
         let mut b = Builder::new(Mode::Build);
@@ -490,8 +593,7 @@ pub fn x11_mpc() -> Table {
         let (shared, stats) = qec_mpc::run_two_party(&bc, &bits, 99).expect("protocol");
         let shared_words = bc.unpack_outputs(&shared);
         let ok = shared_words == plain
-            && qec_circuit::decode_relation(&schema, &shared_words)
-                == rr.natural_join(&ss);
+            && qec_circuit::decode_relation(&schema, &shared_words) == rr.natural_join(&ss);
         let garble = qec_mpc::garbling_cost(&bc);
         t.row(vec![
             m.to_string(),
@@ -513,7 +615,15 @@ pub fn x12_primitive_scaling() -> Table {
     use qec_circuit::{sort_slots_network, SortNetwork};
     let mut t = Table::new(
         "X12  Sec 5.1: sorting networks Θ(K log²K) (odd-even vs bitonic) and scan Θ(K log K)",
-        &["K", "oddeven_size", "bitonic_size", "saving", "sort_depth", "scan_size", "scan_depth"],
+        &[
+            "K",
+            "oddeven_size",
+            "bitonic_size",
+            "saving",
+            "sort_depth",
+            "scan_size",
+            "scan_depth",
+        ],
     );
     for e in [4u32, 6, 8, 10, 12, 14] {
         let k = 1usize << e;
@@ -580,9 +690,17 @@ pub fn x13_brent() -> Table {
             "-".into()
         };
         all_ok &= ok;
-        t.row(vec![procs.to_string(), steps.to_string(), bound.to_string(), ok.to_string(), wall]);
+        t.row(vec![
+            procs.to_string(),
+            steps.to_string(),
+            bound.to_string(),
+            ok.to_string(),
+            wall,
+        ]);
     }
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let regs = engine.stats().peak_registers;
     t.verdict(if all_ok {
         format!(
@@ -603,7 +721,14 @@ pub fn x15_engine_throughput() -> Table {
     use qec_circuit::CompiledCircuit;
     let mut t = Table::new(
         "X15  Engine: batched, register-allocated evaluation of a degree-bounded join",
-        &["evaluator", "batch", "threads", "us_per_inst", "Mgev_per_s", "speedup"],
+        &[
+            "evaluator",
+            "batch",
+            "threads",
+            "us_per_inst",
+            "Mgev_per_s",
+            "speedup",
+        ],
     );
     const CAP: usize = 16;
     const BATCH: usize = 64;
@@ -655,7 +780,10 @@ pub fn x15_engine_throughput() -> Table {
             chunk,
             threads,
             Box::new(move || {
-                insts.chunks(chunk).flat_map(|g| eng.evaluate_batch_threaded(g, threads)).collect()
+                insts
+                    .chunks(chunk)
+                    .flat_map(|g| eng.evaluate_batch_threaded(g, threads))
+                    .collect()
             }),
         ));
     }
@@ -688,10 +816,13 @@ pub fn x15_engine_throughput() -> Table {
     ]);
 
     let mut batch64_speedup = 0.0;
-    for (i, (label, chunk, threads)) in
-        [("engine", 1usize, 1usize), ("engine", BATCH, 1), ("engine", BATCH, 4)]
-            .into_iter()
-            .enumerate()
+    for (i, (label, chunk, threads)) in [
+        ("engine", 1usize, 1usize),
+        ("engine", BATCH, 1),
+        ("engine", BATCH, 4),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let ns = median(&mut times[i + 1]);
         let speedup = interp_ns / ns;
@@ -727,14 +858,178 @@ pub fn x15_engine_throughput() -> Table {
     t
 }
 
+/// X16 — the optimizer pipeline (hash-consing + constant folding +
+/// identity rewrites + DCE): on the X15 join circuit it must remove
+/// ≥ 25% of the word gates and buy ≥ 15% batched-engine throughput;
+/// the X1 triangle circuit and the bit-level lowering shrink alongside.
+pub fn x16_optimizer() -> Table {
+    use qec_circuit::{optimize, optimize_bits, CompiledCircuit};
+    let mut t = Table::new(
+        "X16  Optimizer: hash-consing, folding, and DCE across the word/bit IRs",
+        &[
+            "circuit",
+            "stage",
+            "word_gates",
+            "depth",
+            "bit_ANDs",
+            "AND_depth",
+            "ms",
+            "us_per_inst",
+        ],
+    );
+    const CAP: usize = 16;
+    const BATCH: usize = 64;
+    const BIT_WIDTH: u32 = 16;
+
+    // --- X1 triangle circuit (heavy/light, N = 16), builder CSE online.
+    // N = 16 keeps the bit-level lowering (~10M bit gates at width 16)
+    // inside a few seconds; the word-level ratios are stable across N. ---
+    let t0 = std::time::Instant::now();
+    let (rc, _) = triangle_heavy_light(16);
+    let tri = rc.lower(Mode::Build).circuit;
+    let tri_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let (tri_opt, _) = optimize(&tri);
+    let tri_opt_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let tri_bits = lower(&tri, BIT_WIDTH);
+    let (tri_bits_opt, _) = {
+        let lowered = lower(&tri_opt, BIT_WIDTH);
+        optimize_bits(&lowered)
+    };
+    t.row(vec![
+        "triangle N=16".into(),
+        "builder(cse)".into(),
+        tri.size().to_string(),
+        tri.depth().to_string(),
+        tri_bits.and_count().to_string(),
+        tri_bits.and_depth().to_string(),
+        f(tri_build_ms),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "triangle N=16".into(),
+        "optimized".into(),
+        tri_opt.size().to_string(),
+        tri_opt.depth().to_string(),
+        tri_bits_opt.and_count().to_string(),
+        tri_bits_opt.and_depth().to_string(),
+        f(tri_opt_ms),
+        "-".into(),
+    ]);
+
+    // --- X15 join circuit, built raw (no online CSE) so the row pair
+    // measures the whole pipeline against the unpreprocessed builder
+    // output. ---
+    let t0 = std::time::Instant::now();
+    let mut b = Builder::without_cse(Mode::Build);
+    let r = encode_relation(&mut b, vec![Var(0), Var(1)], CAP);
+    let s = encode_relation(&mut b, vec![Var(1), Var(2)], CAP);
+    let j = join_degree_bounded(&mut b, &r, &s, 4);
+    let raw = b.finish(j.flatten());
+    let raw_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let eng_raw = CompiledCircuit::compile_raw(&raw).expect("build-mode circuit");
+    let raw_compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let eng_opt = CompiledCircuit::compile(&raw).expect("build-mode circuit");
+    let opt_compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let st = eng_opt
+        .stats()
+        .opt
+        .clone()
+        .expect("compile runs the optimizer");
+    let raw_bits = lower(&raw, BIT_WIDTH);
+    let (opt_word, _) = optimize(&raw);
+    let opt_bits = {
+        let lowered = lower(&opt_word, BIT_WIDTH);
+        optimize_bits(&lowered).0
+    };
+
+    let instances: Vec<Vec<u64>> = (0..BATCH)
+        .map(|lane| {
+            let mut inp = Vec::with_capacity(raw.num_inputs());
+            for rel in 0..2 {
+                for slot in 0..CAP {
+                    let key = (slot as u64 + lane as u64) % 7;
+                    inp.extend_from_slice(&if rel == 0 {
+                        [slot as u64, key, 1]
+                    } else {
+                        [key, slot as u64, 1]
+                    });
+                }
+            }
+            inp
+        })
+        .collect();
+    // Warm-up doubles as the correctness cross-check, then interleaved
+    // rounds with a per-engine median (same protocol as X15) so clock
+    // drift cancels out of the throughput ratio.
+    let correct = eng_raw.evaluate_batch(&instances) == eng_opt.evaluate_batch(&instances);
+    const ROUNDS: usize = 5;
+    let mut raw_ns = Vec::with_capacity(ROUNDS);
+    let mut opt_ns = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let t0 = std::time::Instant::now();
+        let _ = eng_raw.evaluate_batch(&instances);
+        raw_ns.push(t0.elapsed().as_nanos() as f64);
+        let t0 = std::time::Instant::now();
+        let _ = eng_opt.evaluate_batch(&instances);
+        opt_ns.push(t0.elapsed().as_nanos() as f64);
+    }
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let raw_med = median(&mut raw_ns);
+    let opt_med = median(&mut opt_ns);
+
+    t.row(vec![
+        "join cap=16".into(),
+        "raw".into(),
+        raw.size().to_string(),
+        raw.depth().to_string(),
+        raw_bits.and_count().to_string(),
+        raw_bits.and_depth().to_string(),
+        f(raw_build_ms + raw_compile_ms),
+        f(raw_med / 1e3 / BATCH as f64),
+    ]);
+    t.row(vec![
+        "join cap=16".into(),
+        "optimized".into(),
+        opt_word.size().to_string(),
+        opt_word.depth().to_string(),
+        opt_bits.and_count().to_string(),
+        opt_bits.and_depth().to_string(),
+        f(raw_build_ms + opt_compile_ms),
+        f(opt_med / 1e3 / BATCH as f64),
+    ]);
+
+    let gate_cut = 100.0 * (1.0 - opt_word.size() as f64 / raw.size() as f64);
+    let and_cut = 100.0 * (1.0 - opt_bits.and_count() as f64 / raw_bits.and_count() as f64);
+    let gain = 100.0 * (raw_med / opt_med - 1.0);
+    t.verdict(format!(
+        "join: {gate_cut:.1}% word gates and {and_cut:.1}% bit ANDs removed (fold {}, identity {}, cse {}, dead {}) in {:.0} ms; batch-{BATCH} engine +{gain:.1}% throughput (correct: {correct}) — {}",
+        st.folded,
+        st.identities,
+        st.cse_hits,
+        st.dead,
+        opt_compile_ms,
+        if gate_cut >= 25.0 && gain >= 15.0 {
+            "meets the ≥25% gate / ≥15% throughput targets"
+        } else {
+            "BELOW the ≥25% gate / ≥15% throughput targets"
+        },
+    ));
+    t
+}
+
 /// X14 — bound tightness (Sec. 3.2): on AGM worst-case instances the
 /// measured output reaches the polymatroid bound (up to the integrality
 /// of the grid side), certifying that the circuits are not oversized.
 pub fn x14_bound_tightness() -> Table {
     use qec_query::baseline::evaluate_pairwise;
     use qec_relation::{
-        agm_worst_case_even_cycle, agm_worst_case_loomis_whitney, agm_worst_case_triangle,
-        Database,
+        agm_worst_case_even_cycle, agm_worst_case_loomis_whitney, agm_worst_case_triangle, Database,
     };
     let mut t = Table::new(
         "X14  Sec 3.2: worst-case instances saturate the polymatroid bound",
@@ -809,5 +1104,6 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
         ("x13", x13_brent),
         ("x14", x14_bound_tightness),
         ("x15", x15_engine_throughput),
+        ("x16", x16_optimizer),
     ]
 }

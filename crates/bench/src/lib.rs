@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment of
-//! `EXPERIMENTS.md` (X1–X14), each regenerating the table that checks a
+//! `EXPERIMENTS.md` (X1–X16), each regenerating the table that checks a
 //! figure/theorem of the paper against measured circuit sizes.
 //!
 //! Every experiment returns a [`Table`]; the `report` binary prints them,
@@ -11,18 +11,22 @@ mod experiments;
 mod table;
 
 pub use experiments::{
-    all_experiments, x14_bound_tightness, x1_heavy_light, x10_semiring, x11_mpc,
-    x12_primitive_scaling, x13_brent, x2_panda_triangle, x3_proof_sequences, x4_panda_cost,
-    x5_project_aggregate, x6_pk_join, x7_degree_join, x8_output_join, x9_output_sensitive,
+    all_experiments, x10_semiring, x11_mpc, x12_primitive_scaling, x13_brent, x14_bound_tightness,
+    x15_engine_throughput, x16_optimizer, x1_heavy_light, x2_panda_triangle, x3_proof_sequences,
+    x4_panda_cost, x5_project_aggregate, x6_pk_join, x7_degree_join, x8_output_join,
+    x9_output_sensitive,
 };
 pub use table::Table;
 
-use qec_relation::{DcSet, Database, DegreeConstraint, Var, VarSet, random_relation};
+use qec_relation::{random_relation, Database, DcSet, DegreeConstraint, Var, VarSet};
 
 /// Cardinality-`n` constraints for every atom of a query.
 pub fn uniform_dc(cq: &qec_query::Cq, n: u64) -> DcSet {
     DcSet::from_vec(
-        cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+        cq.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n))
+            .collect(),
     )
 }
 
@@ -31,7 +35,10 @@ pub fn uniform_db(cq: &qec_query::Cq, n: usize, seed: u64) -> Database {
     let mut db = Database::new();
     for (i, a) in cq.atoms.iter().enumerate() {
         let schema: Vec<Var> = a.vars.to_vec();
-        db.insert(a.name.clone(), random_relation(schema, n, seed * 101 + i as u64));
+        db.insert(
+            a.name.clone(),
+            random_relation(schema, n, seed * 101 + i as u64),
+        );
     }
     db
 }

@@ -77,7 +77,12 @@ impl Table {
         let rows: Vec<String> = self
             .rows
             .iter()
-            .map(|r| format!("[{}]", r.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")))
+            .map(|r| {
+                format!(
+                    "[{}]",
+                    r.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+                )
+            })
             .collect();
         format!(
             "{{\"title\":{},\"headers\":[{}],\"rows\":[{}],\"verdict\":{}}}",
@@ -105,7 +110,11 @@ impl fmt::Display for Table {
             writeln!(f)
         };
         print_row(f, &self.headers)?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             print_row(f, row)?;
         }

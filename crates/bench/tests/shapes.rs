@@ -9,7 +9,10 @@ fn x2_speedup_grows_superlinearly() {
     let t = x2_panda_triangle();
     let first = t.cell_f64(0, 5);
     let last = t.cell_f64(t.rows.len() - 1, 5);
-    assert!(last > 100.0 * first, "speedup must explode: {first} → {last}");
+    assert!(
+        last > 100.0 * first,
+        "speedup must explode: {first} → {last}"
+    );
 }
 
 #[test]

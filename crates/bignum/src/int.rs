@@ -23,7 +23,10 @@ impl Int {
 
     /// The integer one.
     pub fn one() -> Self {
-        Int { negative: false, limbs: vec![1] }
+        Int {
+            negative: false,
+            limbs: vec![1],
+        }
     }
 
     /// Returns `true` iff `self == 0`.
@@ -54,7 +57,10 @@ impl Int {
 
     /// Absolute value.
     pub fn abs(&self) -> Int {
-        Int { negative: false, limbs: self.limbs.clone() }
+        Int {
+            negative: false,
+            limbs: self.limbs.clone(),
+        }
     }
 
     fn trim(&mut self) {
@@ -175,7 +181,11 @@ impl Int {
             while q.last() == Some(&0) {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u64]
+            };
             return (q, r);
         }
         let bits = a.len() * 64;
@@ -394,7 +404,10 @@ impl Sub for &Int {
 impl Mul for &Int {
     type Output = Int;
     fn mul(self, rhs: &Int) -> Int {
-        Int::from_limbs(self.negative != rhs.negative, Int::mul_abs(&self.limbs, &rhs.limbs))
+        Int::from_limbs(
+            self.negative != rhs.negative,
+            Int::mul_abs(&self.limbs, &rhs.limbs),
+        )
     }
 }
 
@@ -584,7 +597,13 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "1", "-1", "18446744073709551616", "-340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+        ] {
             let v: Int = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -41,12 +41,18 @@ impl Rat {
 
     /// The rational zero.
     pub fn zero() -> Rat {
-        Rat { num: Int::zero(), den: Int::one() }
+        Rat {
+            num: Int::zero(),
+            den: Int::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Rat {
-        Rat { num: Int::one(), den: Int::one() }
+        Rat {
+            num: Int::one(),
+            den: Int::one(),
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -86,7 +92,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -123,7 +132,10 @@ impl Rat {
     /// Panics if `self == 0` and `exp < 0`.
     pub fn pow(&self, exp: i32) -> Rat {
         if exp >= 0 {
-            Rat { num: self.num.pow(exp as u32), den: self.den.pow(exp as u32) }
+            Rat {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
         } else {
             self.recip().pow(-exp)
         }
@@ -165,19 +177,28 @@ impl Default for Rat {
 
 impl From<i64> for Rat {
     fn from(v: i64) -> Self {
-        Rat { num: Int::from(v), den: Int::one() }
+        Rat {
+            num: Int::from(v),
+            den: Int::one(),
+        }
     }
 }
 
 impl From<Int> for Rat {
     fn from(v: Int) -> Self {
-        Rat { num: v, den: Int::one() }
+        Rat {
+            num: v,
+            den: Int::one(),
+        }
     }
 }
 
 impl From<u64> for Rat {
     fn from(v: u64) -> Self {
-        Rat { num: Int::from(v), den: Int::one() }
+        Rat {
+            num: Int::from(v),
+            den: Int::one(),
+        }
     }
 }
 
@@ -197,7 +218,10 @@ impl Ord for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -211,14 +235,20 @@ impl Neg for &Rat {
 impl Add for &Rat {
     type Output = Rat;
     fn add(self, rhs: &Rat) -> Rat {
-        Rat::new(&(&self.num * &rhs.den) + &(&rhs.num * &self.den), &self.den * &rhs.den)
+        Rat::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
     }
 }
 
 impl Sub for &Rat {
     type Output = Rat;
     fn sub(self, rhs: &Rat) -> Rat {
-        Rat::new(&(&self.num * &rhs.den) - &(&rhs.num * &self.den), &self.den * &rhs.den)
+        Rat::new(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
     }
 }
 

@@ -2,8 +2,13 @@
 //! databases through it — the engine's intended usage pattern.
 //!
 //! ```text
-//! cargo run -p qec-circuit --release --example engine_throughput [cap] [batch]
+//! cargo run -p qec-circuit --release --example engine_throughput \
+//!     [cap] [batch] [--no-opt] [--threads <n>]
 //! ```
+//!
+//! `--no-opt` compiles the raw circuit ([`CompiledCircuit::compile_raw`]),
+//! skipping the optimizer pass, so the cost of not optimizing is directly
+//! measurable; `--threads <n>` runs the batch on `n` worker threads.
 //!
 //! Prints the compiled tape's statistics (per-kind gate counts, level
 //! widths, peak registers) and the measured throughput of the batched
@@ -13,9 +18,42 @@ use qec_circuit::{encode_relation, join_degree_bounded, Builder, CompiledCircuit
 use qec_relation::Var;
 
 fn main() {
+    let mut cap: usize = 48;
+    let mut batch: usize = 64;
+    let mut no_opt = false;
+    let mut threads: usize = 1;
+    let mut positional = 0;
     let mut args = std::env::args().skip(1);
-    let cap: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(48);
-    let batch: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-opt" => no_opt = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer argument");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                let v: usize = other.parse().unwrap_or_else(|_| {
+                    eprintln!("unexpected argument {other:?}; usage: [cap] [batch] [--no-opt] [--threads <n>]");
+                    std::process::exit(2);
+                });
+                match positional {
+                    0 => cap = v,
+                    1 => batch = v,
+                    _ => {
+                        eprintln!("too many positional arguments");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
 
     // R(a, b) ⋈ S(b, c), each with `cap` slots, degree bound 4.
     let mut b = Builder::new(Mode::Build);
@@ -24,9 +62,26 @@ fn main() {
     let j = join_degree_bounded(&mut b, &r, &s, 4);
     let circuit = b.finish(j.flatten());
 
-    let engine = CompiledCircuit::compile(&circuit).expect("build-mode circuit");
+    let engine = if no_opt {
+        CompiledCircuit::compile_raw(&circuit).expect("build-mode circuit")
+    } else {
+        CompiledCircuit::compile(&circuit).expect("build-mode circuit")
+    };
     let stats = engine.stats();
-    println!("circuit: {} gates, depth {}", stats.circuit_size, stats.circuit_depth);
+    println!(
+        "circuit: {} gates, depth {}",
+        stats.circuit_size, stats.circuit_depth
+    );
+    if let Some(opt) = &stats.opt {
+        println!(
+            "opt:     {} gates, depth {} ({:.1}% gates removed)",
+            stats.optimized_size,
+            stats.optimized_depth,
+            100.0 * opt.gate_reduction()
+        );
+    } else {
+        println!("opt:     skipped (--no-opt)");
+    }
     println!(
         "tape:    {} instructions in {} levels (widest {})",
         stats.tape_len,
@@ -67,7 +122,7 @@ fn main() {
     let interp_ns = t0.elapsed().as_nanos();
 
     // Engine: one tape pass for the whole batch.
-    let (got, metrics) = engine.evaluate_batch_metered(&instances, 1);
+    let (got, metrics) = engine.evaluate_batch_metered(&instances, threads);
     assert_eq!(got, reference, "engine must match the interpreter");
 
     println!(
@@ -75,7 +130,7 @@ fn main() {
         interp_ns as f64 / 1e3 / batch as f64
     );
     println!(
-        "engine:      {:>9.1} µs/instance at batch {batch} — {:.2}x, {:.2e} gate-evals/s, ~{} MiB touched",
+        "engine:      {:>9.1} µs/instance at batch {batch}, {threads} thread(s) — {:.2}x, {:.2e} gate-evals/s, ~{} MiB touched",
         metrics.ns_per_instance() / 1e3,
         interp_ns as f64 / metrics.eval_ns as f64,
         metrics.gate_evals_per_sec(),

@@ -32,7 +32,10 @@ pub struct DecomposedPart {
 /// and `2i` have degree (on `X`) at most `2^{i-1}`, and
 /// `N_X^{(j)} · N_{Y|X}^{(j)} ≤ N`. Size `Õ(N)`, depth `Õ(1)`.
 pub fn decompose(b: &mut Builder, rel: &RelWires, on: VarSet) -> Vec<DecomposedPart> {
-    assert!(on.is_subset(rel.vars()) && on != rel.vars(), "decomposition needs X ⊂ Y");
+    assert!(
+        on.is_subset(rel.vars()) && on != rel.vars(),
+        "decomposition needs X ⊂ Y"
+    );
     assert!(!rel.vars().contains(COUNT_VAR), "variable 63 is reserved");
     let n = rel.capacity() as u64;
     if n == 0 {
@@ -82,10 +85,8 @@ pub fn decompose(b: &mut Builder, rel: &RelWires, on: VarSet) -> Vec<DecomposedP
                     .collect(),
             }
         };
-        let odd: Vec<crate::SlotWires> =
-            sorted.slots.iter().step_by(2).cloned().collect();
-        let even: Vec<crate::SlotWires> =
-            sorted.slots.iter().skip(1).step_by(2).cloned().collect();
+        let odd: Vec<crate::SlotWires> = sorted.slots.iter().step_by(2).cloned().collect();
+        let even: Vec<crate::SlotWires> = sorted.slots.iter().skip(1).step_by(2).cloned().collect();
         let card = (n / lo).max(1);
         for slots in [odd, even] {
             parts.push(DecomposedPart {
@@ -112,14 +113,23 @@ mod tests {
         let parts = decompose(&mut b, &w, VarSet::singleton(Var(0)));
         let metas: Vec<(usize, u64, u64, Vec<Var>)> = parts
             .iter()
-            .map(|p| (p.rel.capacity(), p.card_bound, p.deg_bound, p.rel.schema.clone()))
+            .map(|p| {
+                (
+                    p.rel.capacity(),
+                    p.card_bound,
+                    p.deg_bound,
+                    p.rel.schema.clone(),
+                )
+            })
             .collect();
         let mut outs = Vec::new();
         for p in &parts {
             outs.extend(p.rel.flatten());
         }
         let c = b.finish(outs);
-        let res = c.evaluate(&relation_to_values(r, capacity).unwrap()).unwrap();
+        let res = c
+            .evaluate(&relation_to_values(r, capacity).unwrap())
+            .unwrap();
         let mut off = 0;
         metas
             .into_iter()
@@ -165,8 +175,9 @@ mod tests {
     fn uniform_degree_lands_in_one_bucket() {
         // every A-value has degree exactly 4 ⇒ only bucket i=3 ([4,8)) is
         // populated
-        let rows: Vec<Vec<u64>> =
-            (0..8).flat_map(|a| (0..4).map(move |b| vec![a, 100 + a * 4 + b])).collect();
+        let rows: Vec<Vec<u64>> = (0..8)
+            .flat_map(|a| (0..4).map(move |b| vec![a, 100 + a * 4 + b]))
+            .collect();
         let r = Relation::from_rows(vec![Var(0), Var(1)], rows);
         let parts = decompose_eval(&r, 32);
         for (p, _, deg) in &parts {
@@ -174,18 +185,18 @@ mod tests {
                 assert_eq!(p.len(), 0, "unexpected tuples in degree-{deg} bucket");
             }
         }
-        let in_bucket: usize =
-            parts.iter().filter(|(_, _, d)| *d == 4).map(|(p, _, _)| p.len()).sum();
+        let in_bucket: usize = parts
+            .iter()
+            .filter(|(_, _, d)| *d == 4)
+            .map(|(p, _, _)| p.len())
+            .sum();
         assert_eq!(in_bucket, 32);
     }
 
     #[test]
     fn odd_even_split_balances_groups() {
         // a single A-value of degree 5 splits 3 + 2
-        let r = Relation::from_rows(
-            vec![Var(0), Var(1)],
-            (0..5).map(|i| vec![7, i]).collect(),
-        );
+        let r = Relation::from_rows(vec![Var(0), Var(1)], (0..5).map(|i| vec![7, i]).collect());
         let parts = decompose_eval(&r, 8);
         let sizes: Vec<usize> = parts
             .iter()

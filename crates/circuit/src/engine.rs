@@ -37,6 +37,7 @@
 //! can keep evaluating past a failure and take the minimum.
 
 use crate::ir::{Circuit, EvalError, Gate, WireId};
+use crate::opt::OptStats;
 
 /// Register index in the compiled tape.
 type Reg = u32;
@@ -53,7 +54,12 @@ enum Op {
     /// `dst ← v` (all lanes).
     Const { dst: Reg, v: u64 },
     /// Binary word op; `kind` indexes [`BinKind`].
-    Bin { dst: Reg, kind: BinKind, a: Reg, b: Reg },
+    Bin {
+        dst: Reg,
+        kind: BinKind,
+        a: Reg,
+        b: Reg,
+    },
     /// `dst ← (a == 0)`.
     Not { dst: Reg, a: Reg },
     /// `dst ← s ≠ 0 ? a : b`.
@@ -77,7 +83,18 @@ enum BinKind {
 
 /// Gate-kind slots for [`EngineStats::gate_counts`], in a fixed order.
 pub const GATE_KINDS: [&str; 13] = [
-    "input", "const", "add", "sub", "mul", "eq", "lt", "and", "or", "xor", "not", "mux",
+    "input",
+    "const",
+    "add",
+    "sub",
+    "mul",
+    "eq",
+    "lt",
+    "and",
+    "or",
+    "xor",
+    "not",
+    "mux",
     "assert_zero",
 ];
 
@@ -109,7 +126,17 @@ pub struct EngineStats {
     pub circuit_depth: u32,
     /// Total wires (inputs + constants + gates) in the source circuit.
     pub circuit_wires: usize,
-    /// Instructions on the tape (equals `circuit_wires`).
+    /// Logic-gate count actually compiled. Under [`CompiledCircuit::compile`]
+    /// this is the optimized circuit's size; under
+    /// [`CompiledCircuit::compile_raw`] it equals `circuit_size`.
+    pub optimized_size: u64,
+    /// Depth of the compiled circuit (optimized or raw).
+    pub optimized_depth: u32,
+    /// Optimizer counters, when [`CompiledCircuit::compile`] ran the
+    /// offline pass; `None` for [`CompiledCircuit::compile_raw`].
+    pub opt: Option<OptStats>,
+    /// Instructions on the tape (one per wire of the compiled circuit —
+    /// at most `circuit_wires`, less whenever the optimizer shrank it).
     pub tape_len: usize,
     /// Registers allocated — the peak number of simultaneously live
     /// wires. Strictly below `circuit_wires` whenever liveness-based
@@ -186,17 +213,44 @@ pub struct CompiledCircuit {
 }
 
 impl CompiledCircuit {
-    /// Compiles `c` into a tape. Fails with [`EvalError::CountOnly`] if
-    /// the circuit was built in [`crate::Mode::Count`] (no gates to
-    /// compile).
+    /// Compiles `c` into a tape, running the offline optimizer
+    /// ([`crate::opt::optimize`]) first. Assertion failures are still
+    /// reported with **source** gate indices (via
+    /// [`OptStats::assert_origin`]), so the engine's observable behavior
+    /// is gate-for-gate identical to [`Circuit::evaluate`] on `c`. Fails
+    /// with [`EvalError::CountOnly`] if the circuit was built in
+    /// [`crate::Mode::Count`] (no gates to compile).
     pub fn compile(c: &Circuit) -> Result<CompiledCircuit, EvalError> {
+        if !c.is_evaluable() {
+            return Err(EvalError::CountOnly);
+        }
+        let (opt, st) = crate::opt::optimize(c);
+        let mut eng = Self::compile_inner(&opt, Some(&st))?;
+        eng.stats.circuit_size = c.size();
+        eng.stats.circuit_depth = c.depth();
+        eng.stats.circuit_wires = c.num_wires();
+        eng.stats.opt = Some(st);
+        Ok(eng)
+    }
+
+    /// Compiles `c` exactly as written, without the optimizer pass. Used
+    /// for A/B measurements (X16, `engine_throughput --no-opt`).
+    pub fn compile_raw(c: &Circuit) -> Result<CompiledCircuit, EvalError> {
+        Self::compile_inner(c, None)
+    }
+
+    fn compile_inner(c: &Circuit, origin: Option<&OptStats>) -> Result<CompiledCircuit, EvalError> {
         if !c.is_evaluable() {
             return Err(EvalError::CountOnly);
         }
         let gates = c.gates();
         let depths = c.wire_depths();
         let n = gates.len();
-        debug_assert_eq!(n, depths.len(), "build-mode circuits have one gate per wire");
+        debug_assert_eq!(
+            n,
+            depths.len(),
+            "build-mode circuits have one gate per wire"
+        );
         let max_depth = depths.iter().copied().max().unwrap_or(0) as usize;
 
         // --- liveness: last level reading each wire (u32::MAX = pinned) ---
@@ -255,29 +309,109 @@ impl CompiledCircuit {
                     reg_of[w as usize]
                 };
                 let (op, reads) = match *g {
-                    Gate::Input(idx) => (Op::Input { dst, idx: idx as u32 }, 0),
+                    Gate::Input(idx) => (
+                        Op::Input {
+                            dst,
+                            idx: idx as u32,
+                        },
+                        0,
+                    ),
                     Gate::Const(v) => (Op::Const { dst, v }, 0),
-                    Gate::Add(a, b) => {
-                        (Op::Bin { dst, kind: BinKind::Add, a: src(a), b: src(b) }, 2)
-                    }
-                    Gate::Sub(a, b) => {
-                        (Op::Bin { dst, kind: BinKind::Sub, a: src(a), b: src(b) }, 2)
-                    }
-                    Gate::Mul(a, b) => {
-                        (Op::Bin { dst, kind: BinKind::Mul, a: src(a), b: src(b) }, 2)
-                    }
-                    Gate::Eq(a, b) => (Op::Bin { dst, kind: BinKind::Eq, a: src(a), b: src(b) }, 2),
-                    Gate::Lt(a, b) => (Op::Bin { dst, kind: BinKind::Lt, a: src(a), b: src(b) }, 2),
-                    Gate::And(a, b) => {
-                        (Op::Bin { dst, kind: BinKind::And, a: src(a), b: src(b) }, 2)
-                    }
-                    Gate::Or(a, b) => (Op::Bin { dst, kind: BinKind::Or, a: src(a), b: src(b) }, 2),
-                    Gate::Xor(a, b) => {
-                        (Op::Bin { dst, kind: BinKind::Xor, a: src(a), b: src(b) }, 2)
-                    }
+                    Gate::Add(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::Add,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
+                    Gate::Sub(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::Sub,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
+                    Gate::Mul(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::Mul,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
+                    Gate::Eq(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::Eq,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
+                    Gate::Lt(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::Lt,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
+                    Gate::And(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::And,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
+                    Gate::Or(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::Or,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
+                    Gate::Xor(a, b) => (
+                        Op::Bin {
+                            dst,
+                            kind: BinKind::Xor,
+                            a: src(a),
+                            b: src(b),
+                        },
+                        2,
+                    ),
                     Gate::Not(a) => (Op::Not { dst, a: src(a) }, 1),
-                    Gate::Mux(s, a, b) => (Op::Mux { dst, s: src(s), a: src(a), b: src(b) }, 3),
-                    Gate::AssertZero(a) => (Op::AssertZero { dst, a: src(a), gate: gi }, 1),
+                    Gate::Mux(s, a, b) => (
+                        Op::Mux {
+                            dst,
+                            s: src(s),
+                            a: src(a),
+                            b: src(b),
+                        },
+                        3,
+                    ),
+                    Gate::AssertZero(a) => {
+                        // Report failures against the SOURCE circuit's
+                        // gate numbering when an optimizer mapping exists.
+                        let src_gate = origin.and_then(|st| st.origin_of(gi)).unwrap_or(gi);
+                        (
+                            Op::AssertZero {
+                                dst,
+                                a: src(a),
+                                gate: src_gate,
+                            },
+                            1,
+                        )
+                    }
                 };
                 bytes_per_instance += 8 * (reads + 1);
                 tape.push(op);
@@ -291,6 +425,9 @@ impl CompiledCircuit {
             circuit_size: c.size(),
             circuit_depth: c.depth(),
             circuit_wires: n,
+            optimized_size: c.size(),
+            optimized_depth: c.depth(),
+            opt: None,
             tape_len: tape.len(),
             peak_registers: num_regs as usize,
             num_levels: level_ranges.len(),
@@ -320,7 +457,9 @@ impl CompiledCircuit {
 
     /// Evaluates a single instance (batch of one).
     pub fn evaluate(&self, inputs: &[u64]) -> Result<Vec<u64>, EvalError> {
-        self.evaluate_batch(std::slice::from_ref(&inputs)).pop().expect("one lane in, one out")
+        self.evaluate_batch(std::slice::from_ref(&inputs))
+            .pop()
+            .expect("one lane in, one out")
     }
 
     /// Evaluates a batch of instances through one tape pass
@@ -353,8 +492,9 @@ impl CompiledCircuit {
     /// cache-resident — on large circuits a full-width register file
     /// spills to DRAM and the batching win evaporates.
     fn lane_tile(&self, b: usize) -> usize {
-        if let Some(t) =
-            std::env::var("QEC_ENGINE_TILE").ok().and_then(|v| v.parse::<usize>().ok())
+        if let Some(t) = std::env::var("QEC_ENGINE_TILE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
         {
             return t.clamp(1, b.max(1));
         }
@@ -385,15 +525,28 @@ impl CompiledCircuit {
             // Lanes with the wrong arity error out up front and are
             // masked from input gathering (their registers stay zero;
             // whatever the tape computes for them is discarded).
-            let arity_ok: Vec<bool> =
-                chunk.iter().map(|i| i.as_ref().len() == self.num_inputs).collect();
+            let arity_ok: Vec<bool> = chunk
+                .iter()
+                .map(|i| i.as_ref().len() == self.num_inputs)
+                .collect();
 
             // Register values never leak between tiles: every register
             // is written by its defining instruction before first read.
             if threads == 1 || self.tape.len() < 4096 {
-                self.run_tape_sequential(chunk, &arity_ok, &mut regs[..self.num_regs * b], &mut failures);
+                self.run_tape_sequential(
+                    chunk,
+                    &arity_ok,
+                    &mut regs[..self.num_regs * b],
+                    &mut failures,
+                );
             } else {
-                self.run_tape_threaded(chunk, &arity_ok, &mut regs[..self.num_regs * b], &mut failures, threads);
+                self.run_tape_threaded(
+                    chunk,
+                    &arity_ok,
+                    &mut regs[..self.num_regs * b],
+                    &mut failures,
+                    threads,
+                );
             }
 
             results.extend((0..b).map(|lane| {
@@ -405,9 +558,16 @@ impl CompiledCircuit {
                 }
                 let (gate, value) = failures[lane];
                 if gate != u32::MAX {
-                    return Err(EvalError::AssertionFailed { gate: gate as usize, value });
+                    return Err(EvalError::AssertionFailed {
+                        gate: gate as usize,
+                        value,
+                    });
                 }
-                Ok(self.output_regs.iter().map(|&r| regs[r as usize * b + lane]).collect())
+                Ok(self
+                    .output_regs
+                    .iter()
+                    .map(|&r| regs[r as usize * b + lane])
+                    .collect())
             }));
         }
 
@@ -559,9 +719,11 @@ impl CompiledCircuit {
                         let chunk = len.div_ceil(threads);
                         let lo = start as usize + (worker * chunk).min(len);
                         let hi = start as usize + ((worker + 1) * chunk).min(len);
-                        if local.is_empty() && self.tape[lo..hi].iter().any(|op| {
-                            matches!(op, Op::AssertZero { .. })
-                        }) {
+                        if local.is_empty()
+                            && self.tape[lo..hi]
+                                .iter()
+                                .any(|op| matches!(op, Op::AssertZero { .. }))
+                        {
                             local = vec![(u32::MAX, 0); b];
                         }
                         for op in &self.tape[lo..hi] {
@@ -616,11 +778,20 @@ unsafe fn exec_op<I: AsRef<[u64]>>(
         Op::Input { dst, idx } => {
             let d = lanes_mut(dst);
             for (lane, inst) in instances.iter().enumerate() {
-                d[lane] = if arity_ok[lane] { inst.as_ref()[idx as usize] } else { 0 };
+                d[lane] = if arity_ok[lane] {
+                    inst.as_ref()[idx as usize]
+                } else {
+                    0
+                };
             }
         }
         Op::Const { dst, v } => lanes_mut(dst).fill(v),
-        Op::Bin { dst, kind, a, b: rb } => {
+        Op::Bin {
+            dst,
+            kind,
+            a,
+            b: rb,
+        } => {
             debug_assert!(dst != a && dst != rb);
             let (d, x, y) = (lanes_mut(dst), lanes(a), lanes(rb));
             match kind {
@@ -743,8 +914,9 @@ mod tests {
         let n = bld.not(lt);
         let c = bld.finish(vec![s, p, lt, m, n]);
         let eng = CompiledCircuit::compile(&c).unwrap();
-        let instances: Vec<Vec<u64>> =
-            (0..37).map(|i| vec![i * 7 % 13, (i * 3 + 1) % 11]).collect();
+        let instances: Vec<Vec<u64>> = (0..37)
+            .map(|i| vec![i * 7 % 13, (i * 3 + 1) % 11])
+            .collect();
         let batch = eng.evaluate_batch(&instances);
         for (inst, got) in instances.iter().zip(batch) {
             assert_eq!(got, c.evaluate(inst));
@@ -768,9 +940,18 @@ mod tests {
         ];
         let got = eng.evaluate_batch(&instances);
         assert_eq!(got[0], Ok(vec![]));
-        assert_eq!(got[1], Err(EvalError::AssertionFailed { gate: 2, value: 5 }));
-        assert_eq!(got[2], Err(EvalError::AssertionFailed { gate: 3, value: 7 }));
-        assert_eq!(got[3], Err(EvalError::AssertionFailed { gate: 2, value: 5 }));
+        assert_eq!(
+            got[1],
+            Err(EvalError::AssertionFailed { gate: 2, value: 5 })
+        );
+        assert_eq!(
+            got[2],
+            Err(EvalError::AssertionFailed { gate: 3, value: 7 })
+        );
+        assert_eq!(
+            got[3],
+            Err(EvalError::AssertionFailed { gate: 2, value: 5 })
+        );
         // gate-for-gate match with the interpreter
         for (inst, got) in instances.iter().zip(got) {
             assert_eq!(got, c.evaluate(inst));
@@ -784,7 +965,13 @@ mod tests {
         let instances: Vec<Vec<u64>> = vec![vec![1, 2], vec![1], vec![4, 5]];
         let got = eng.evaluate_batch(&instances);
         assert!(got[0].is_ok());
-        assert_eq!(got[1], Err(EvalError::InputArity { expected: 2, got: 1 }));
+        assert_eq!(
+            got[1],
+            Err(EvalError::InputArity {
+                expected: 2,
+                got: 1
+            })
+        );
         assert!(got[2].is_ok());
     }
 
@@ -794,7 +981,10 @@ mod tests {
         let x = bld.input();
         let y = bld.not(x);
         let c = bld.finish(vec![y]);
-        assert!(matches!(CompiledCircuit::compile(&c), Err(EvalError::CountOnly)));
+        assert!(matches!(
+            CompiledCircuit::compile(&c),
+            Err(EvalError::CountOnly)
+        ));
     }
 
     #[test]
@@ -828,16 +1018,28 @@ mod tests {
         }
         let c = bld.finish(layer.clone());
         let eng = CompiledCircuit::compile(&c).unwrap();
-        assert!(eng.stats().tape_len >= 4096, "test must exercise the threaded path");
+        assert!(
+            eng.stats().tape_len >= 4096,
+            "test must exercise the threaded path"
+        );
         assert!(eng.stats().peak_registers < c.num_wires());
-        let instances: Vec<Vec<u64>> =
-            (0..9).map(|i| (0..64).map(|j| i * j % 5).collect()).collect();
+        let instances: Vec<Vec<u64>> = (0..9)
+            .map(|i| (0..64).map(|j| i * j % 5).collect())
+            .collect();
         let seq = eng.evaluate_batch(&instances);
         for (inst, got) in instances.iter().zip(&seq) {
-            assert_eq!(*got, c.evaluate(inst), "sequential batch matches interpreter");
+            assert_eq!(
+                *got,
+                c.evaluate(inst),
+                "sequential batch matches interpreter"
+            );
         }
         for threads in [2, 3, 8] {
-            assert_eq!(eng.evaluate_batch_threaded(&instances, threads), seq, "{threads}");
+            assert_eq!(
+                eng.evaluate_batch_threaded(&instances, threads),
+                seq,
+                "{threads}"
+            );
         }
     }
 

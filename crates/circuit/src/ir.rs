@@ -9,7 +9,7 @@ pub type WireId = u32;
 /// A word-level gate. Comparison and logic gates produce `0`/`1`;
 /// arithmetic is wrapping (the planner sizes words so wrapping never
 /// triggers on conforming inputs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Gate {
     /// The `i`-th circuit input.
     Input(usize),
@@ -109,9 +109,16 @@ impl std::error::Error for EvalError {}
 /// Incremental circuit builder.
 ///
 /// In [`Mode::Count`] the builder performs the exact same bookkeeping
-/// (including constant deduplication) without materializing gates, so
-/// size/depth numbers from the two modes are identical — a property the
-/// test suite checks.
+/// (including constant deduplication and hash-consing) without
+/// materializing gates, so size/depth numbers from the two modes are
+/// identical — a property the test suite checks.
+///
+/// By default the builder hash-conses logic gates: pushing a gate that is
+/// structurally identical to an earlier one (after sorting the operands
+/// of commutative gates) returns the existing wire instead of a new one.
+/// The cache key is the gate value itself, which exists in both modes, so
+/// consing never breaks Build/Count parity. Use [`Builder::without_cse`]
+/// when wire ids must track pushes one-for-one (the netlist reader does).
 pub struct Builder {
     mode: Mode,
     gates: Vec<Gate>,
@@ -119,10 +126,27 @@ pub struct Builder {
     num_inputs: usize,
     size: u64,
     const_cache: HashMap<u64, WireId>,
+    cse: bool,
+    cse_cache: HashMap<Gate, WireId>,
+}
+
+/// Sorts the operands of commutative gates so `add(a, b)` and
+/// `add(b, a)` share one cache entry. `Sub`, `Lt`, and `Mux` are order
+/// sensitive and pass through unchanged.
+pub(crate) fn canon(gate: Gate) -> Gate {
+    match gate {
+        Gate::Add(a, b) if a > b => Gate::Add(b, a),
+        Gate::Mul(a, b) if a > b => Gate::Mul(b, a),
+        Gate::Eq(a, b) if a > b => Gate::Eq(b, a),
+        Gate::And(a, b) if a > b => Gate::And(b, a),
+        Gate::Or(a, b) if a > b => Gate::Or(b, a),
+        Gate::Xor(a, b) if a > b => Gate::Xor(b, a),
+        g => g,
+    }
 }
 
 impl Builder {
-    /// Creates an empty builder.
+    /// Creates an empty builder with hash-consing enabled.
     pub fn new(mode: Mode) -> Builder {
         Builder {
             mode,
@@ -131,7 +155,18 @@ impl Builder {
             num_inputs: 0,
             size: 0,
             const_cache: HashMap::new(),
+            cse: true,
+            cse_cache: HashMap::new(),
         }
+    }
+
+    /// Creates a builder that never hash-conses: every push allocates a
+    /// fresh wire, keeping wire ids aligned with the push sequence. The
+    /// netlist reader needs this so ids match the source text.
+    pub fn without_cse(mode: Mode) -> Builder {
+        let mut b = Builder::new(mode);
+        b.cse = false;
+        b
     }
 
     /// Current gate count (inputs and constants excluded: they carry no
@@ -161,6 +196,20 @@ impl Builder {
             self.gates.push(gate);
         }
         id
+    }
+
+    /// Pushes a logic gate through the hash-consing cache.
+    fn logic(&mut self, gate: Gate, depth: u32) -> WireId {
+        if !self.cse {
+            return self.push(gate, depth, true);
+        }
+        let key = canon(gate);
+        if let Some(&w) = self.cse_cache.get(&key) {
+            return w;
+        }
+        let w = self.push(key, depth, true);
+        self.cse_cache.insert(key, w);
+        w
     }
 
     fn depth_of(&self, w: WireId) -> u32 {
@@ -197,67 +246,73 @@ impl Builder {
     /// Wrapping addition.
     pub fn add(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::Add(a, b), d, true)
+        self.logic(Gate::Add(a, b), d)
     }
 
     /// Wrapping subtraction.
     pub fn sub(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::Sub(a, b), d, true)
+        self.logic(Gate::Sub(a, b), d)
     }
 
     /// Wrapping multiplication.
     pub fn mul(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::Mul(a, b), d, true)
+        self.logic(Gate::Mul(a, b), d)
     }
 
     /// Equality test.
     pub fn eq(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::Eq(a, b), d, true)
+        self.logic(Gate::Eq(a, b), d)
     }
 
     /// Unsigned less-than.
     pub fn lt(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::Lt(a, b), d, true)
+        self.logic(Gate::Lt(a, b), d)
     }
 
     /// Logical AND.
     pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::And(a, b), d, true)
+        self.logic(Gate::And(a, b), d)
     }
 
     /// Logical OR.
     pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::Or(a, b), d, true)
+        self.logic(Gate::Or(a, b), d)
     }
 
     /// Logical XOR.
     pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
         let d = self.binary_depth(a, b);
-        self.push(Gate::Xor(a, b), d, true)
+        self.logic(Gate::Xor(a, b), d)
     }
 
     /// Logical NOT.
     pub fn not(&mut self, a: WireId) -> WireId {
         let d = self.depth_of(a) + 1;
-        self.push(Gate::Not(a), d, true)
+        self.logic(Gate::Not(a), d)
     }
 
     /// Multiplexer `sel ≠ 0 ? a : b`.
     pub fn mux(&mut self, sel: WireId, a: WireId, b: WireId) -> WireId {
-        let d = self.depth_of(sel).max(self.depth_of(a)).max(self.depth_of(b)) + 1;
-        self.push(Gate::Mux(sel, a, b), d, true)
+        let d = self
+            .depth_of(sel)
+            .max(self.depth_of(a))
+            .max(self.depth_of(b))
+            + 1;
+        self.logic(Gate::Mux(sel, a, b), d)
     }
 
-    /// Asserts a wire is zero at evaluation time.
-    pub fn assert_zero(&mut self, a: WireId) {
+    /// Asserts a wire is zero at evaluation time, returning the assert
+    /// gate's wire (which carries value `0` when the assert passes).
+    /// Asserts are effects, not expressions: they are never hash-consed.
+    pub fn assert_zero(&mut self, a: WireId) -> WireId {
         let d = self.depth_of(a) + 1;
-        self.push(Gate::AssertZero(a), d, true);
+        self.push(Gate::AssertZero(a), d, true)
     }
 
     // ---- small derived helpers used by every operator circuit ----
@@ -298,7 +353,10 @@ impl Builder {
     /// Component-wise mux of wire vectors.
     pub fn vec_mux(&mut self, sel: WireId, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
         assert_eq!(a.len(), b.len());
-        a.iter().zip(b.iter()).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
     }
 
     /// Finalizes the circuit with the given output wires.
@@ -317,6 +375,7 @@ impl Builder {
 }
 
 /// A finalized circuit.
+#[derive(Clone)]
 pub struct Circuit {
     mode: Mode,
     gates: Vec<Gate>,
@@ -328,6 +387,37 @@ pub struct Circuit {
 }
 
 impl Circuit {
+    /// Rebuilds a materialized circuit from a raw gate list, recomputing
+    /// depths and size. Used by the offline optimizer, which constructs
+    /// gate lists directly. The list must be topologically ordered.
+    pub(crate) fn from_raw(gates: Vec<Gate>, outputs: Vec<WireId>, num_inputs: usize) -> Circuit {
+        let mut depths = Vec::with_capacity(gates.len());
+        let mut size = 0u64;
+        for g in &gates {
+            let is_logic = !matches!(g, Gate::Input(_) | Gate::Const(_));
+            if is_logic {
+                size += 1;
+            }
+            let d = g
+                .operands()
+                .iter()
+                .flatten()
+                .map(|&w| depths[w as usize])
+                .max()
+                .map_or(0, |m: u32| m + 1);
+            depths.push(d);
+        }
+        let depth = depths.iter().copied().max().unwrap_or(0);
+        Circuit {
+            mode: Mode::Build,
+            gates,
+            depths,
+            outputs,
+            num_inputs,
+            size,
+            depth,
+        }
+    }
     /// Gate count (logic gates; inputs/constants excluded).
     pub fn size(&self) -> u64 {
         self.size
@@ -377,7 +467,10 @@ impl Circuit {
             return Err(EvalError::CountOnly);
         }
         if inputs.len() != self.num_inputs {
-            return Err(EvalError::InputArity { expected: self.num_inputs, got: inputs.len() });
+            return Err(EvalError::InputArity {
+                expected: self.num_inputs,
+                got: inputs.len(),
+            });
         }
         let mut values = vec![0u64; self.gates.len()];
         let as_bool = |v: u64| -> u64 { u64::from(v != 0) };
@@ -435,7 +528,10 @@ mod tests {
         let l = b.lt(x, y);
         let c = b.finish(vec![s, d, p, e, l]);
         assert_eq!(c.evaluate(&[7, 3]).unwrap(), vec![10, 4, 21, 0, 0]);
-        assert_eq!(c.evaluate(&[3, 7]).unwrap(), vec![10, u64::MAX - 3, 21, 0, 1]);
+        assert_eq!(
+            c.evaluate(&[3, 7]).unwrap(),
+            vec![10, u64::MAX - 3, 21, 0, 1]
+        );
         assert_eq!(c.evaluate(&[5, 5]).unwrap(), vec![10, 0, 25, 1, 0]);
     }
 
@@ -538,7 +634,13 @@ mod tests {
         let mut b = Builder::new(Mode::Build);
         let x = b.input();
         let c = b.finish(vec![x]);
-        assert_eq!(c.evaluate(&[]), Err(EvalError::InputArity { expected: 1, got: 0 }));
+        assert_eq!(
+            c.evaluate(&[]),
+            Err(EvalError::InputArity {
+                expected: 1,
+                got: 0
+            })
+        );
     }
 
     #[test]
@@ -548,10 +650,67 @@ mod tests {
         let y = b.input();
         let a = b.add(x, y); // depth 1
         let z = b.add(a, y); // depth 2
-        let w = b.add(x, y); // depth 1
+        let w = b.add(x, y); // hash-consed to `a`
         let f = b.add(z, w); // depth 3
         let c = b.finish(vec![f]);
+        assert_eq!(w, a);
         assert_eq!(c.depth(), 3);
-        assert_eq!(c.size(), 4);
+        assert_eq!(c.size(), 3);
+    }
+
+    #[test]
+    fn hash_consing_dedups_and_canonicalizes() {
+        let mut b = Builder::new(Mode::Build);
+        let x = b.input();
+        let y = b.input();
+        let a1 = b.add(x, y);
+        let a2 = b.add(y, x); // commutative: same wire
+        assert_eq!(a1, a2);
+        let s1 = b.sub(x, y);
+        let s2 = b.sub(y, x); // order-sensitive: distinct wires
+        assert_ne!(s1, s2);
+        let m1 = b.mux(x, a1, s1);
+        let m2 = b.mux(x, a1, s1);
+        assert_eq!(m1, m2);
+        assert_eq!(b.size(), 4); // a1, s1, s2, m1
+        let c = b.finish(vec![a1, m1]);
+        assert_eq!(c.evaluate(&[7, 3]).unwrap(), vec![10, 10]);
+    }
+
+    #[test]
+    fn without_cse_keeps_duplicate_gates() {
+        let mut b = Builder::without_cse(Mode::Build);
+        let x = b.input();
+        let y = b.input();
+        let a1 = b.add(x, y);
+        let a2 = b.add(x, y);
+        assert_ne!(a1, a2);
+        assert_eq!(b.size(), 2);
+    }
+
+    #[test]
+    fn asserts_are_never_consed() {
+        let mut b = Builder::new(Mode::Build);
+        let x = b.input();
+        let g1 = b.assert_zero(x);
+        let g2 = b.assert_zero(x);
+        assert_ne!(g1, g2);
+        assert_eq!(b.size(), 2);
+    }
+
+    #[test]
+    fn cse_preserves_count_mode_parity() {
+        fn build(mode: Mode) -> (u64, u32) {
+            let mut b = Builder::new(mode);
+            let x = b.input();
+            let y = b.input();
+            let a = b.add(x, y);
+            let _dup = b.add(y, x);
+            let m = b.mul(a, a);
+            let e = b.eq(m, a);
+            let c = b.finish(vec![e]);
+            (c.size(), c.depth())
+        }
+        assert_eq!(build(Mode::Build), build(Mode::Count));
     }
 }

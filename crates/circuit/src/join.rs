@@ -31,7 +31,10 @@ fn join_pk_payload(
     s_rows: &[(Vec<WireId>, Vec<WireId>, WireId)], // (key, payload, valid)
     payload_len: usize,
 ) -> Vec<PayloadSlot> {
-    let key_cols: Vec<usize> = common.iter().map(|v| r.col(v).expect("common in r")).collect();
+    let key_cols: Vec<usize> = common
+        .iter()
+        .map(|v| r.col(v).expect("common in r"))
+        .collect();
     let key_len = key_cols.len();
     let arity = r.arity();
     let qm = b.constant(QMARK);
@@ -81,7 +84,10 @@ fn join_pk_payload(
         schema: sort_schema.clone(),
         slots: rows
             .iter()
-            .map(|row| SlotWires { fields: row.key.clone(), valid: row.valid })
+            .map(|row| SlotWires {
+                fields: row.key.clone(),
+                valid: row.valid,
+            })
             .collect(),
     };
     let mut extra: Vec<Vec<WireId>> = Vec::new();
@@ -162,8 +168,11 @@ fn payload_to_rel(
     slots: Vec<PayloadSlot>,
     capacity: usize,
 ) -> RelWires {
-    let out_vars: VarSet =
-        r_schema.iter().copied().chain(payload_vars.iter().copied()).collect();
+    let out_vars: VarSet = r_schema
+        .iter()
+        .copied()
+        .chain(payload_vars.iter().copied())
+        .collect();
     let out_schema: Vec<Var> = out_vars.to_vec();
     let rel = RelWires {
         schema: out_schema.clone(),
@@ -176,13 +185,18 @@ fn payload_to_rel(
                         if let Some(c) = r_schema.iter().position(|rv| rv == v) {
                             ps.r_fields[c]
                         } else {
-                            let c =
-                                payload_vars.iter().position(|pv| pv == v).expect("payload var");
+                            let c = payload_vars
+                                .iter()
+                                .position(|pv| pv == v)
+                                .expect("payload var");
                             ps.payload[c]
                         }
                     })
                     .collect();
-                SlotWires { fields, valid: ps.valid }
+                SlotWires {
+                    fields,
+                    valid: ps.valid,
+                }
             })
             .collect(),
     };
@@ -196,9 +210,14 @@ fn payload_to_rel(
 pub fn join_pk(b: &mut Builder, r: &RelWires, s: &RelWires) -> RelWires {
     let common = r.vars().intersect(s.vars());
     let s_only: Vec<Var> = s.vars().minus(common).to_vec();
-    let key_cols: Vec<usize> = common.iter().map(|v| s.col(v).expect("common in s")).collect();
-    let payload_cols: Vec<usize> =
-        s_only.iter().map(|&v| s.col(v).expect("s-only in s")).collect();
+    let key_cols: Vec<usize> = common
+        .iter()
+        .map(|v| s.col(v).expect("common in s"))
+        .collect();
+    let payload_cols: Vec<usize> = s_only
+        .iter()
+        .map(|&v| s.col(v).expect("s-only in s"))
+        .collect();
     let s_rows: Vec<(Vec<WireId>, Vec<WireId>, WireId)> = s
         .slots
         .iter()
@@ -284,12 +303,16 @@ pub fn join_degree_bounded(
                 schema: key_schema.clone(),
                 slots: seqs
                     .iter()
-                    .map(|q| SlotWires { fields: q.key.clone(), valid: q.valid })
+                    .map(|q| SlotWires {
+                        fields: q.key.clone(),
+                        valid: q.valid,
+                    })
                     .collect(),
             };
             let width = reps * group;
-            let extra: Vec<Vec<WireId>> =
-                (0..width).map(|i| seqs.iter().map(|q| q.groups[i]).collect()).collect();
+            let extra: Vec<Vec<WireId>> = (0..width)
+                .map(|i| seqs.iter().map(|q| q.groups[i]).collect())
+                .collect();
             let (sorted, extras) =
                 sort_slots_with(b, &rel, &SortKey::Columns(key_schema.clone()), &extra);
             for slot in &sorted.slots[cap.min(sorted.capacity())..] {
@@ -328,18 +351,32 @@ pub fn join_degree_bounded(
             let a_valid = b.and(seqs[a_idx].valid, not_same);
             let mut dup_a = seqs[a_idx].groups.clone();
             dup_a.extend(seqs[a_idx].groups.iter().copied());
-            next[a_idx] = Some(Seq { key: seqs[a_idx].key.clone(), groups: dup_a, valid: a_valid });
-            next[b_idx] =
-                Some(Seq { key: seqs[b_idx].key.clone(), groups: new_groups, valid: seqs[b_idx].valid });
+            next[a_idx] = Some(Seq {
+                key: seqs[a_idx].key.clone(),
+                groups: dup_a,
+                valid: a_valid,
+            });
+            next[b_idx] = Some(Seq {
+                key: seqs[b_idx].key.clone(),
+                groups: new_groups,
+                valid: seqs[b_idx].valid,
+            });
         }
         if len % 2 == 1 {
             // unpaired trailing slot: duplicate (line 12–13)
             let last = &seqs[len - 1];
             let mut dup = last.groups.clone();
             dup.extend(last.groups.iter().copied());
-            next[len - 1] = Some(Seq { key: last.key.clone(), groups: dup, valid: last.valid });
+            next[len - 1] = Some(Seq {
+                key: last.key.clone(),
+                groups: dup,
+                valid: last.valid,
+            });
         }
-        seqs = next.into_iter().map(|o| o.expect("every slot rewritten")).collect();
+        seqs = next
+            .into_iter()
+            .map(|o| o.expect("every slot rewritten"))
+            .collect();
         reps *= 2;
         // Line 14–15: capacity shrinks as degrees halve.
         let cap = seqs.len().min(m.saturating_mul((1 << (n_exp - i)) + 1));
@@ -362,7 +399,11 @@ pub fn join_degree_bounded(
         }
         let mut next: Vec<Seq> = Vec::with_capacity(len);
         for j in 0..len {
-            let merge_next = if j + 1 < len { merged_into_prev[j + 1] } else { zero };
+            let merge_next = if j + 1 < len {
+                merged_into_prev[j + 1]
+            } else {
+                zero
+            };
             let mut combined = seqs[j].groups.clone();
             if j + 1 < len {
                 combined.extend(seqs[j + 1].groups.iter().copied());
@@ -374,7 +415,11 @@ pub fn join_degree_bounded(
             let groups = b.vec_mux(merge_next, &combined, &dup);
             let not_merged = b.not(merged_into_prev[j]);
             let valid = b.and(seqs[j].valid, not_merged);
-            next.push(Seq { key: seqs[j].key.clone(), groups, valid });
+            next.push(Seq {
+                key: seqs[j].key.clone(),
+                groups,
+                valid,
+            });
         }
         seqs = next;
         reps *= 2;
@@ -385,8 +430,10 @@ pub fn join_degree_bounded(
     seqs = sort_and_truncate(b, seqs, final_cap, reps);
 
     // Line 26: primary-key join with the sequences as payload.
-    let s_rows: Vec<(Vec<WireId>, Vec<WireId>, WireId)> =
-        seqs.iter().map(|q| (q.key.clone(), q.groups.clone(), q.valid)).collect();
+    let s_rows: Vec<(Vec<WireId>, Vec<WireId>, WireId)> = seqs
+        .iter()
+        .map(|q| (q.key.clone(), q.groups.clone(), q.valid))
+        .collect();
     let joined = join_pk_payload(b, r, common, &s_rows, reps * group);
 
     // Lines 27–33: expand each sequence entry into its own tuple, dedup,
@@ -407,12 +454,24 @@ pub fn join_degree_bounded(
                     }
                 })
                 .collect();
-            slots.push(SlotWires { fields, valid: ps.valid });
+            slots.push(SlotWires {
+                fields,
+                valid: ps.valid,
+            });
         }
     }
-    let expanded = RelWires { schema: out_schema.clone(), slots };
+    let expanded = RelWires {
+        schema: out_schema.clone(),
+        slots,
+    };
     let deduped = project(b, &expanded, out_vars);
-    crate::ops::truncate(b, &deduped, m.saturating_mul(deg_bound))
+    let cap = m.checked_mul(deg_bound).unwrap_or_else(|| {
+        panic!(
+            "join_degree_bounded: output capacity m * deg_bound overflows \
+             usize (m = {m}, deg_bound = {deg_bound})"
+        )
+    });
+    crate::ops::truncate(b, &deduped, cap)
 }
 
 /// `⌈log₂ n⌉` for `n ≥ 1` (local copy to avoid a dependency edge).
@@ -512,10 +571,21 @@ mod tests {
         let r = rel(&[0, 1], &[&[1, 11], &[2, 12], &[1, 13]]);
         let s = rel(
             &[1, 2],
-            &[&[11, 1], &[11, 2], &[11, 3], &[12, 4], &[12, 5], &[13, 6], &[11, 7], &[11, 8]],
+            &[
+                &[11, 1],
+                &[11, 2],
+                &[11, 3],
+                &[12, 4],
+                &[12, 5],
+                &[13, 6],
+                &[11, 7],
+                &[11, 8],
+            ],
         );
         assert_eq!(s.degree(VarSet::singleton(Var(1))), 5);
-        let got = run_binary(&r, &s, (3, 8), |b, rw, sw| join_degree_bounded(b, rw, sw, 5));
+        let got = run_binary(&r, &s, (3, 8), |b, rw, sw| {
+            join_degree_bounded(b, rw, sw, 5)
+        });
         assert_eq!(got, r.natural_join(&s));
         assert_eq!(got.len(), 8);
     }
@@ -526,8 +596,9 @@ mod tests {
             let s = random_degree_bounded(Var(1), Var(2), 32, deg, seed);
             // R keys drawn from the same group space as the generator
             let r = random_relation_with_domain_keys(16, 32 / deg + 2, seed + 7);
-            let got =
-                run_binary(&r, &s, (16, 32), |b, rw, sw| join_degree_bounded(b, rw, sw, deg));
+            let got = run_binary(&r, &s, (16, 32), |b, rw, sw| {
+                join_degree_bounded(b, rw, sw, deg)
+            });
             assert_eq!(got, r.natural_join(&s), "seed {seed} deg {deg}");
         }
     }
@@ -539,7 +610,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut rows = std::collections::HashSet::new();
         while rows.len() < n {
-            rows.insert(vec![rng.gen_range(0..1000u64), rng.gen_range(0..key_space as u64)]);
+            rows.insert(vec![
+                rng.gen_range(0..1000u64),
+                rng.gen_range(0..key_space as u64),
+            ]);
         }
         Relation::from_rows(vec![Var(0), Var(1)], rows.into_iter().collect())
     }
@@ -548,7 +622,9 @@ mod tests {
     fn degree_one_delegates_to_pk() {
         let s = random_degree_bounded(Var(1), Var(2), 12, 1, 3);
         let r = random_relation_with_domain_keys(10, 14, 4);
-        let got = run_binary(&r, &s, (10, 12), |b, rw, sw| join_degree_bounded(b, rw, sw, 1));
+        let got = run_binary(&r, &s, (10, 12), |b, rw, sw| {
+            join_degree_bounded(b, rw, sw, 1)
+        });
         assert_eq!(got, r.natural_join(&s));
     }
 

@@ -111,7 +111,10 @@ mod tests {
         let c = b.finish(j.flatten());
         let mut vals = relation_to_values(&r, 2).unwrap();
         vals.extend(relation_to_values(&s, 2).unwrap());
-        assert!(matches!(c.evaluate(&vals), Err(crate::EvalError::AssertionFailed { .. })));
+        assert!(matches!(
+            c.evaluate(&vals),
+            Err(crate::EvalError::AssertionFailed { .. })
+        ));
     }
 
     #[test]

@@ -40,6 +40,7 @@ mod join_out;
 pub mod lower;
 mod netlist;
 mod ops;
+pub mod opt;
 mod rel;
 mod scan;
 mod schedule;
@@ -50,9 +51,14 @@ pub use engine::{CompiledCircuit, EngineStats, EvalMetrics, GATE_KINDS};
 pub use ir::{Builder, Circuit, EvalError, Gate, Mode, WireId};
 pub use join::{join_degree_bounded, join_pk, semijoin};
 pub use join_out::join_output_bounded;
+pub use lower::{lower, optimize_bits, BitCircuit, BitOptStats};
 pub use netlist::{read_netlist, write_netlist, NetlistError};
 pub use ops::{aggregate, project, select, truncate, union, AggOp};
-pub use rel::{decode_relation, encode_database, encode_relation, relation_to_values, InputLayout, RelWires, SlotWires};
+pub use opt::{optimize, OptStats};
+pub use rel::{
+    decode_relation, encode_database, encode_relation, relation_to_values, InputLayout, RelWires,
+    SlotWires,
+};
 pub use scan::{scan, segmented_scan};
 pub use schedule::{brent_steps, evaluate_levelized, level_widths};
 pub use sort::{sort_slots, sort_slots_network, SortKey, SortNetwork};

@@ -8,10 +8,13 @@
 //! protocols consume — XOR gates are "free" in both, so [`BitCircuit`]
 //! reports AND count and AND depth separately.
 
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
 use crate::{Circuit, Gate, WireId};
 
 /// A bit-level gate over GF(2) with NOT.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BGate {
     /// The `i`-th input bit.
     Input(usize),
@@ -28,6 +31,10 @@ pub enum BGate {
 }
 
 /// A lowered Boolean circuit.
+///
+/// Treat the gate list as immutable once constructed: the size/depth
+/// metrics ([`BitCircuit::and_count`] and friends) are computed lazily
+/// on first use and cached, so they would not observe later mutation.
 pub struct BitCircuit {
     /// Gates in topological order.
     pub gates: Vec<BGate>,
@@ -37,36 +44,76 @@ pub struct BitCircuit {
     pub num_inputs: usize,
     /// Word width used by the lowering.
     pub width: u32,
+    /// Lazily computed metrics (one pass over `gates`, then cached —
+    /// `report` calls `and_depth` per table row).
+    metrics: OnceLock<BitMetrics>,
+}
+
+/// Single-pass size/depth metrics for a [`BitCircuit`].
+#[derive(Clone, Copy, Debug, Default)]
+struct BitMetrics {
+    gate_count: u64,
+    and_count: u64,
+    xor_count: u64,
+    and_depth: u32,
 }
 
 impl BitCircuit {
+    /// Assembles a bit circuit. Gates must be topologically ordered.
+    pub fn new(gates: Vec<BGate>, outputs: Vec<u32>, num_inputs: usize, width: u32) -> BitCircuit {
+        BitCircuit {
+            gates,
+            outputs,
+            num_inputs,
+            width,
+            metrics: OnceLock::new(),
+        }
+    }
+
+    fn metrics(&self) -> &BitMetrics {
+        self.metrics.get_or_init(|| {
+            let mut m = BitMetrics::default();
+            let mut depth = vec![0u32; self.gates.len()];
+            for (i, g) in self.gates.iter().enumerate() {
+                depth[i] = match *g {
+                    BGate::Input(_) | BGate::Const(_) => 0,
+                    BGate::Xor(a, b) => {
+                        m.xor_count += 1;
+                        depth[a as usize].max(depth[b as usize])
+                    }
+                    BGate::Not(a) | BGate::AssertFalse(a) => depth[a as usize],
+                    BGate::And(a, b) => {
+                        m.and_count += 1;
+                        depth[a as usize].max(depth[b as usize]) + 1
+                    }
+                };
+                if !matches!(g, BGate::Input(_) | BGate::Const(_)) {
+                    m.gate_count += 1;
+                }
+                m.and_depth = m.and_depth.max(depth[i]);
+            }
+            m
+        })
+    }
+
     /// Number of AND gates (the MPC/garbling cost driver).
     pub fn and_count(&self) -> u64 {
-        self.gates.iter().filter(|g| matches!(g, BGate::And(..))).count() as u64
+        self.metrics().and_count
+    }
+
+    /// Number of XOR gates (free in GMW/garbling).
+    pub fn xor_count(&self) -> u64 {
+        self.metrics().xor_count
     }
 
     /// Total gate count (excluding inputs and constants).
     pub fn gate_count(&self) -> u64 {
-        self.gates
-            .iter()
-            .filter(|g| !matches!(g, BGate::Input(_) | BGate::Const(_)))
-            .count() as u64
+        self.metrics().gate_count
     }
 
     /// Multiplicative (AND) depth — the round count of a GMW evaluation.
     pub fn and_depth(&self) -> u32 {
-        let mut depth = vec![0u32; self.gates.len()];
-        let mut max = 0;
-        for (i, g) in self.gates.iter().enumerate() {
-            depth[i] = match *g {
-                BGate::Input(_) | BGate::Const(_) => 0,
-                BGate::Xor(a, b) => depth[a as usize].max(depth[b as usize]),
-                BGate::Not(a) | BGate::AssertFalse(a) => depth[a as usize],
-                BGate::And(a, b) => depth[a as usize].max(depth[b as usize]) + 1,
-            };
-            max = max.max(depth[i]);
-        }
-        max
+        self.metrics().and_depth
     }
 
     /// Plaintext evaluation (reference for the MPC protocols).
@@ -112,34 +159,118 @@ impl BitCircuit {
     pub fn unpack_outputs(&self, bits: &[bool]) -> Vec<u64> {
         bits.chunks(self.width as usize)
             .map(|chunk| {
-                chunk.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+                chunk
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
             })
             .collect()
     }
 }
 
+/// Bit-gate builder with online constant folding and hash-consing: XOR
+/// and AND fold against the `zero`/`one` wires and equal operands, NOT
+/// cancels NOT, and structurally repeated gates (operands sorted — both
+/// binary bit gates are commutative) return the existing wire. All bit
+/// wires carry `0`/`1`, so unlike the word level every identity here is
+/// unconditionally sound.
 struct Lowerer {
     gates: Vec<BGate>,
     zero: u32,
     one: u32,
+    cse: HashMap<BGate, u32>,
+    cse_hits: u64,
+    folds: u64,
 }
 
 impl Lowerer {
+    fn new() -> Lowerer {
+        Lowerer {
+            gates: vec![BGate::Const(false), BGate::Const(true)],
+            zero: 0,
+            one: 1,
+            cse: HashMap::new(),
+            cse_hits: 0,
+            folds: 0,
+        }
+    }
+
     fn push(&mut self, g: BGate) -> u32 {
         self.gates.push(g);
         (self.gates.len() - 1) as u32
     }
 
+    fn emit(&mut self, g: BGate) -> u32 {
+        let key = match g {
+            BGate::Xor(a, b) if a > b => BGate::Xor(b, a),
+            BGate::And(a, b) if a > b => BGate::And(b, a),
+            g => g,
+        };
+        if let Some(&w) = self.cse.get(&key) {
+            self.cse_hits += 1;
+            return w;
+        }
+        let w = self.push(key);
+        self.cse.insert(key, w);
+        w
+    }
+
     fn xor(&mut self, a: u32, b: u32) -> u32 {
-        self.push(BGate::Xor(a, b))
+        if a == b {
+            self.folds += 1;
+            return self.zero;
+        }
+        if a == self.zero {
+            self.folds += 1;
+            return b;
+        }
+        if b == self.zero {
+            self.folds += 1;
+            return a;
+        }
+        if a == self.one {
+            self.folds += 1;
+            return self.not(b);
+        }
+        if b == self.one {
+            self.folds += 1;
+            return self.not(a);
+        }
+        self.emit(BGate::Xor(a, b))
     }
 
     fn and(&mut self, a: u32, b: u32) -> u32 {
-        self.push(BGate::And(a, b))
+        if a == self.zero || b == self.zero {
+            self.folds += 1;
+            return self.zero;
+        }
+        if a == self.one {
+            self.folds += 1;
+            return b;
+        }
+        if b == self.one {
+            self.folds += 1;
+            return a;
+        }
+        if a == b {
+            self.folds += 1;
+            return a;
+        }
+        self.emit(BGate::And(a, b))
     }
 
     fn not(&mut self, a: u32) -> u32 {
-        self.push(BGate::Not(a))
+        if a == self.zero {
+            return self.one;
+        }
+        if a == self.one {
+            return self.zero;
+        }
+        if let BGate::Not(x) = self.gates[a as usize] {
+            self.folds += 1;
+            return x;
+        }
+        self.emit(BGate::Not(a))
     }
 
     fn or(&mut self, a: u32, b: u32) -> u32 {
@@ -243,7 +374,7 @@ impl Lowerer {
 pub fn lower(c: &Circuit, width: u32) -> BitCircuit {
     assert!(c.is_evaluable(), "cannot lower a count-only circuit");
     let w = width as usize;
-    let mut lw = Lowerer { gates: vec![BGate::Const(false), BGate::Const(true)], zero: 0, one: 1 };
+    let mut lw = Lowerer::new();
     let mut word_bits: Vec<Vec<u32>> = Vec::with_capacity(c.num_wires());
     let mut num_input_bits = 0usize;
 
@@ -319,12 +450,20 @@ pub fn lower(c: &Circuit, width: u32) -> BitCircuit {
                 let s_bits = word_bits[s as usize].clone();
                 let ts = lw.truthy(&s_bits);
                 let (a, b) = (word_bits[a as usize].clone(), word_bits[b as usize].clone());
-                a.iter().zip(b.iter()).map(|(&x, &y)| lw.mux_bit(ts, x, y)).collect()
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| lw.mux_bit(ts, x, y))
+                    .collect()
             }
             Gate::AssertZero(a) => {
                 let a = word_bits[a as usize].clone();
                 let ta = lw.truthy(&a);
-                lw.push(BGate::AssertFalse(ta));
+                // A truthiness that folded to constant 0 can never fire;
+                // anything else (including constant 1 = always-fail)
+                // keeps its assert so failure semantics survive.
+                if ta != lw.zero {
+                    lw.push(BGate::AssertFalse(ta));
+                }
                 vec![lw.zero; w]
             }
         };
@@ -337,7 +476,136 @@ pub fn lower(c: &Circuit, width: u32) -> BitCircuit {
         .iter()
         .flat_map(|&w_id: &WireId| word_bits[w_id as usize].clone())
         .collect();
-    BitCircuit { gates: lw.gates, outputs, num_inputs: num_input_bits, width }
+    BitCircuit::new(lw.gates, outputs, num_input_bits, width)
+}
+
+/// Counters describing one [`optimize_bits`] run.
+#[derive(Clone, Debug, Default)]
+pub struct BitOptStats {
+    /// Logic gates before (XOR + AND + NOT + asserts).
+    pub gates_before: u64,
+    /// Logic gates after.
+    pub gates_after: u64,
+    /// AND gates before — the MPC/garbling cost driver.
+    pub and_before: u64,
+    /// AND gates after.
+    pub and_after: u64,
+    /// AND depth before — the GMW round count.
+    pub and_depth_before: u32,
+    /// AND depth after.
+    pub and_depth_after: u32,
+    /// Structural CSE hits during the rewrite.
+    pub cse_hits: u64,
+    /// Constant/identity folds during the rewrite.
+    pub folds: u64,
+    /// Wires removed by mark-and-sweep DCE.
+    pub dead: u64,
+}
+
+impl BitOptStats {
+    /// Fraction of AND gates removed, in `[0, 1]`.
+    pub fn and_reduction(&self) -> f64 {
+        if self.and_before == 0 {
+            0.0
+        } else {
+            1.0 - self.and_after as f64 / self.and_before as f64
+        }
+    }
+}
+
+/// Offline optimizer for bit circuits: XOR/AND/NOT constant folding and
+/// identity rewrites, structural CSE, and assertion-safe DCE (asserts
+/// are roots; only an assert whose input folds to constant `false` is
+/// dropped). Circuits freshly produced by [`lower`] are already folded
+/// online, so this pass mostly pays off on hand-assembled or
+/// deserialized bit circuits — and as the place where AND-count/AND-depth
+/// deltas are measured.
+pub fn optimize_bits(bc: &BitCircuit) -> (BitCircuit, BitOptStats) {
+    let mut lw = Lowerer::new();
+    let mut map: Vec<u32> = Vec::with_capacity(bc.gates.len());
+    for g in &bc.gates {
+        let w = match *g {
+            BGate::Input(i) => lw.push(BGate::Input(i)),
+            BGate::Const(v) => {
+                if v {
+                    lw.one
+                } else {
+                    lw.zero
+                }
+            }
+            BGate::Xor(a, b) => lw.xor(map[a as usize], map[b as usize]),
+            BGate::And(a, b) => lw.and(map[a as usize], map[b as usize]),
+            BGate::Not(a) => lw.not(map[a as usize]),
+            BGate::AssertFalse(a) => {
+                let a = map[a as usize];
+                if a == lw.zero {
+                    lw.zero
+                } else {
+                    lw.push(BGate::AssertFalse(a))
+                }
+            }
+        };
+        map.push(w);
+    }
+
+    // Mark-and-sweep: outputs, asserts, and inputs are roots.
+    let n = lw.gates.len();
+    let mut live = vec![false; n];
+    for &o in &bc.outputs {
+        live[map[o as usize] as usize] = true;
+    }
+    for (w, g) in lw.gates.iter().enumerate() {
+        if matches!(g, BGate::AssertFalse(_) | BGate::Input(_)) {
+            live[w] = true;
+        }
+    }
+    for w in (0..n).rev() {
+        if live[w] {
+            match lw.gates[w] {
+                BGate::Xor(a, b) | BGate::And(a, b) => {
+                    live[a as usize] = true;
+                    live[b as usize] = true;
+                }
+                BGate::Not(a) | BGate::AssertFalse(a) => live[a as usize] = true,
+                BGate::Input(_) | BGate::Const(_) => {}
+            }
+        }
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut gates = Vec::with_capacity(n);
+    for w in 0..n {
+        if !live[w] {
+            continue;
+        }
+        remap[w] = gates.len() as u32;
+        gates.push(match lw.gates[w] {
+            BGate::Input(i) => BGate::Input(i),
+            BGate::Const(v) => BGate::Const(v),
+            BGate::Xor(a, b) => BGate::Xor(remap[a as usize], remap[b as usize]),
+            BGate::And(a, b) => BGate::And(remap[a as usize], remap[b as usize]),
+            BGate::Not(a) => BGate::Not(remap[a as usize]),
+            BGate::AssertFalse(a) => BGate::AssertFalse(remap[a as usize]),
+        });
+    }
+    let dead = (n - gates.len()) as u64;
+    let outputs = bc
+        .outputs
+        .iter()
+        .map(|&o| remap[map[o as usize] as usize])
+        .collect();
+    let opt = BitCircuit::new(gates, outputs, bc.num_inputs, bc.width);
+    let stats = BitOptStats {
+        gates_before: bc.gate_count(),
+        gates_after: opt.gate_count(),
+        and_before: bc.and_count(),
+        and_after: opt.and_count(),
+        and_depth_before: bc.and_depth(),
+        and_depth_after: opt.and_depth(),
+        cse_hits: lw.cse_hits,
+        folds: lw.folds,
+        dead,
+    };
+    (opt, stats)
 }
 
 #[cfg(test)]
@@ -345,14 +613,22 @@ mod tests {
     use super::*;
     use crate::{Builder, Mode};
 
-    fn check_against_words(build: impl Fn(&mut Builder) -> Vec<WireId>, inputs: &[u64], width: u32) {
+    fn check_against_words(
+        build: impl Fn(&mut Builder) -> Vec<WireId>,
+        inputs: &[u64],
+        width: u32,
+    ) {
         let mut b = Builder::new(Mode::Build);
         let outs = build(&mut b);
         let c = b.finish(outs);
         let word_result = c.evaluate(inputs).unwrap();
         let bc = lower(&c, width);
         let bit_result = bc.unpack_outputs(&bc.evaluate(&bc.pack_inputs(inputs)).unwrap());
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let masked: Vec<u64> = word_result.iter().map(|&v| v & mask).collect();
         assert_eq!(bit_result, masked, "inputs {inputs:?}");
     }
@@ -419,10 +695,85 @@ mod tests {
         let s = b.add(x, y);
         let c = b.finish(vec![s]);
         let bc = lower(&c, 16);
-        // ripple-carry: 2 ANDs per bit (generate + propagate)
-        assert_eq!(bc.and_count(), 32);
+        // ripple-carry: 2 ANDs per bit (generate + propagate), except
+        // the LSB where carry-in = 0 folds the propagate AND away
+        assert_eq!(bc.and_count(), 31);
         assert!(bc.and_depth() >= 15, "carry chain depth");
         assert!(bc.gate_count() > bc.and_count());
+        // metrics are cached: repeated calls agree
+        assert_eq!(bc.and_depth(), bc.and_depth());
+        assert_eq!(bc.gate_count(), bc.xor_count() + bc.and_count());
+    }
+
+    #[test]
+    fn online_folding_preserves_semantics_with_consts() {
+        // x + 0 and x * 1 exercise the zero/one fold paths heavily.
+        let build = |b: &mut Builder| {
+            let x = b.input();
+            let zero = b.constant(0);
+            let one = b.constant(1);
+            let s = b.add(x, zero);
+            let p = b.mul(x, one);
+            let e = b.eq(s, p);
+            vec![s, p, e]
+        };
+        for x in [0u64, 1, 77, 255] {
+            check_against_words(build, &[x], 8);
+        }
+    }
+
+    #[test]
+    fn optimize_bits_is_equivalent_and_no_larger() {
+        // Hand-assembled redundancy (circuits from `lower` are already
+        // folded online, so build the duplicates directly).
+        let gates = vec![
+            BGate::Input(0),  // 0
+            BGate::Input(1),  // 1
+            BGate::And(0, 1), // 2
+            BGate::And(1, 0), // 3: commutative duplicate of 2
+            BGate::Xor(2, 3), // 4: x ^ x = 0
+            BGate::Not(4),    // 5: = 1
+            BGate::And(2, 5), // 6: (x & y) & 1 = x & y
+        ];
+        let bc = BitCircuit::new(gates, vec![6], 2, 1);
+        let (opt, st) = optimize_bits(&bc);
+        assert_eq!(st.and_before, 3);
+        assert_eq!(st.and_after, 1, "only one real AND remains");
+        assert!(st.cse_hits >= 1);
+        assert!(st.dead >= 1);
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(
+                bc.evaluate(&[x, y]).unwrap(),
+                opt.evaluate(&[x, y]).unwrap(),
+                "({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_bits_keeps_failing_asserts() {
+        // An assert over constant-true must survive as always-fail.
+        let gates = vec![
+            BGate::Const(false),
+            BGate::Const(true),
+            BGate::AssertFalse(1),
+        ];
+        let bc = BitCircuit::new(gates, vec![], 0, 1);
+        let (opt, _) = optimize_bits(&bc);
+        assert!(
+            opt.evaluate(&[]).is_err(),
+            "always-fail assert must survive"
+        );
+        // And an assert over constant-false is dropped.
+        let gates = vec![
+            BGate::Const(false),
+            BGate::Const(true),
+            BGate::AssertFalse(0),
+        ];
+        let bc = BitCircuit::new(gates, vec![], 0, 1);
+        let (opt, _) = optimize_bits(&bc);
+        assert!(opt.evaluate(&[]).is_ok());
+        assert_eq!(opt.gate_count(), 0);
     }
 
     #[test]

@@ -33,7 +33,12 @@ use crate::ir::{Builder, Circuit, Gate, Mode};
 pub fn write_netlist(c: &Circuit) -> String {
     assert!(c.is_evaluable(), "cannot serialize a count-only circuit");
     let mut out = String::new();
-    let _ = writeln!(out, "qec-netlist v1 inputs={} wires={}", c.num_inputs(), c.num_wires());
+    let _ = writeln!(
+        out,
+        "qec-netlist v1 inputs={} wires={}",
+        c.num_inputs(),
+        c.num_wires()
+    );
     for (i, g) in c.gates().iter().enumerate() {
         let line = match *g {
             Gate::Input(idx) => format!("{i} input {idx}"),
@@ -81,14 +86,20 @@ impl std::error::Error for NetlistError {}
 /// Parses a netlist back into an evaluable circuit. The result evaluates
 /// identically to the serialized circuit (round-trip tested).
 pub fn read_netlist(src: &str) -> Result<Circuit, NetlistError> {
-    let err = |line: usize, message: &str| NetlistError { line, message: message.to_string() };
+    let err = |line: usize, message: &str| NetlistError {
+        line,
+        message: message.to_string(),
+    };
     let mut lines = src.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| err(1, "empty netlist"))?;
     if !header.starts_with("qec-netlist v1 ") {
         return Err(err(1, "bad header"));
     }
 
-    let mut b = Builder::new(Mode::Build);
+    // No hash-consing: a netlist names wires by dense position, so every
+    // line must allocate exactly one builder wire even when the source
+    // text contains structurally duplicate gates.
+    let mut b = Builder::without_cse(Mode::Build);
     let mut wires: Vec<crate::WireId> = Vec::new();
     let mut outputs: Option<Vec<crate::WireId>> = None;
     for (ln0, line) in lines {
@@ -101,9 +112,12 @@ pub fn read_netlist(src: &str) -> Result<Circuit, NetlistError> {
         if first == "output" {
             let mut outs = Vec::new();
             for p in parts {
-                let idx: usize =
-                    p.parse().map_err(|_| err(ln, "bad output wire"))?;
-                outs.push(*wires.get(idx).ok_or_else(|| err(ln, "output wire out of range"))?);
+                let idx: usize = p.parse().map_err(|_| err(ln, "bad output wire"))?;
+                outs.push(
+                    *wires
+                        .get(idx)
+                        .ok_or_else(|| err(ln, "output wire out of range"))?,
+                );
             }
             outputs = Some(outs);
             continue;
@@ -125,7 +139,10 @@ pub fn read_netlist(src: &str) -> Result<Circuit, NetlistError> {
         };
         let wire = |k: usize, what: &str| -> Result<crate::WireId, NetlistError> {
             let idx = num(k, what)? as usize;
-            wires.get(idx).copied().ok_or_else(|| err(ln, &format!("{what} out of range")))
+            wires
+                .get(idx)
+                .copied()
+                .ok_or_else(|| err(ln, &format!("{what} out of range")))
         };
         let w = match op {
             "input" => {
@@ -163,10 +180,7 @@ pub fn read_netlist(src: &str) -> Result<Circuit, NetlistError> {
             }
             "assertz" => {
                 let x = wire(0, "operand")?;
-                b.assert_zero(x);
-                // the assertion occupies one builder wire, aligned with
-                // this line
-                wires.len() as crate::WireId
+                b.assert_zero(x)
             }
             other => return Err(err(ln, &format!("unknown opcode {other}"))),
         };
@@ -201,7 +215,10 @@ mod tests {
             vec![vec![5, 1], vec![2, 2], vec![9, 3]],
         );
         let inputs = relation_to_values(&r, 6).unwrap();
-        assert_eq!(c.evaluate(&inputs).unwrap(), back.evaluate(&inputs).unwrap());
+        assert_eq!(
+            c.evaluate(&inputs).unwrap(),
+            back.evaluate(&inputs).unwrap()
+        );
         let decoded = decode_relation(&[Var(0), Var(1)], &back.evaluate(&inputs).unwrap());
         assert_eq!(decoded, r);
     }

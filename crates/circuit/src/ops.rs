@@ -20,10 +20,16 @@ pub fn select(
         .map(|s| {
             let p = pred(b, s);
             let valid = b.and(s.valid, p);
-            SlotWires { fields: s.fields.clone(), valid }
+            SlotWires {
+                fields: s.fields.clone(),
+                valid,
+            }
         })
         .collect();
-    RelWires { schema: rel.schema.clone(), slots }
+    RelWires {
+        schema: rel.schema.clone(),
+        slots,
+    }
 }
 
 /// Truncation (Sec. 5.3): sorts non-dummy tuples to the front and drops
@@ -38,7 +44,10 @@ pub fn truncate(b: &mut Builder, rel: &RelWires, new_capacity: usize) -> RelWire
     for s in &sorted.slots[new_capacity..] {
         b.assert_zero(s.valid);
     }
-    RelWires { schema: sorted.schema, slots: sorted.slots[..new_capacity].to_vec() }
+    RelWires {
+        schema: sorted.schema,
+        slots: sorted.slots[..new_capacity].to_vec(),
+    }
 }
 
 /// Projection `Π_F(R)` with duplicate elimination (Alg. 3): drop columns,
@@ -51,9 +60,15 @@ pub fn project(b: &mut Builder, rel: &RelWires, onto: VarSet) -> RelWires {
     let slots: Vec<SlotWires> = rel
         .slots
         .iter()
-        .map(|s| SlotWires { fields: cols.iter().map(|&c| s.fields[c]).collect(), valid: s.valid })
+        .map(|s| SlotWires {
+            fields: cols.iter().map(|&c| s.fields[c]).collect(),
+            valid: s.valid,
+        })
         .collect();
-    let narrowed = RelWires { schema: schema.clone(), slots };
+    let narrowed = RelWires {
+        schema: schema.clone(),
+        slots,
+    };
     let sorted = sort_slots(b, &narrowed, &SortKey::Columns(schema.clone()));
     dedup_sorted(b, &sorted)
 }
@@ -73,9 +88,15 @@ fn dedup_sorted(b: &mut Builder, rel: &RelWires) -> RelWires {
         let dup = b.and(eq, both);
         let keep = b.not(dup);
         let valid = b.and(s.valid, keep);
-        slots.push(SlotWires { fields: s.fields.clone(), valid });
+        slots.push(SlotWires {
+            fields: s.fields.clone(),
+            valid,
+        });
     }
-    RelWires { schema: rel.schema.clone(), slots }
+    RelWires {
+        schema: rel.schema.clone(),
+        slots,
+    }
 }
 
 /// Union `R ∪ S` (Sec. 5): concatenates the slot arrays and deduplicates
@@ -88,7 +109,10 @@ pub fn union(b: &mut Builder, r: &RelWires, s: &RelWires) -> RelWires {
     assert_eq!(r.schema, s.schema, "union schema mismatch");
     let mut slots = r.slots.clone();
     slots.extend(s.slots.iter().cloned());
-    let cat = RelWires { schema: r.schema.clone(), slots };
+    let cat = RelWires {
+        schema: r.schema.clone(),
+        slots,
+    };
     project(b, &cat, cat.vars())
 }
 
@@ -112,15 +136,12 @@ pub enum AggOp {
 /// # Panics
 /// Panics if `out` collides with the schema or the aggregated attribute is
 /// missing.
-pub fn aggregate(
-    b: &mut Builder,
-    rel: &RelWires,
-    group: VarSet,
-    op: AggOp,
-    out: Var,
-) -> RelWires {
+pub fn aggregate(b: &mut Builder, rel: &RelWires, group: VarSet, op: AggOp, out: Var) -> RelWires {
     assert!(group.is_subset(rel.vars()), "group-by on non-attributes");
-    assert!(!rel.vars().contains(out), "aggregate output column collides");
+    assert!(
+        !rel.vars().contains(out),
+        "aggregate output column collides"
+    );
     let gcols: Vec<Var> = group.to_vec();
     let sorted = sort_slots(b, rel, &SortKey::Columns(gcols.clone()));
 
@@ -199,7 +220,10 @@ pub fn aggregate(
         }
         slots.push(SlotWires { fields, valid });
     }
-    RelWires { schema: out_schema, slots }
+    RelWires {
+        schema: out_schema,
+        slots,
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +234,10 @@ mod tests {
     use qec_relation::{AggKind, Relation};
 
     fn rel2(rows: &[&[u64]]) -> Relation {
-        Relation::from_rows(vec![Var(0), Var(1)], rows.iter().map(|r| r.to_vec()).collect())
+        Relation::from_rows(
+            vec![Var(0), Var(1)],
+            rows.iter().map(|r| r.to_vec()).collect(),
+        )
     }
 
     fn run_unary<F>(r: &Relation, capacity: usize, f: F) -> Relation
@@ -222,7 +249,9 @@ mod tests {
         let out = f(&mut b, &w);
         let schema = out.schema.clone();
         let c = b.finish(out.flatten());
-        let res = c.evaluate(&relation_to_values(r, capacity).unwrap()).unwrap();
+        let res = c
+            .evaluate(&relation_to_values(r, capacity).unwrap())
+            .unwrap();
         decode_relation(&schema, &res)
     }
 
@@ -298,8 +327,9 @@ mod tests {
             (AggOp::Min(Var(1)), AggKind::Min(Var(1))),
             (AggOp::Max(Var(1)), AggKind::Max(Var(1))),
         ] {
-            let got =
-                run_unary(&r, 8, |b, w| aggregate(b, w, VarSet::singleton(Var(0)), op, Var(5)));
+            let got = run_unary(&r, 8, |b, w| {
+                aggregate(b, w, VarSet::singleton(Var(0)), op, Var(5))
+            });
             let expect = r.aggregate(VarSet::singleton(Var(0)), kind, Var(5));
             assert_eq!(got, expect, "{op:?}");
         }
@@ -308,15 +338,18 @@ mod tests {
     #[test]
     fn global_aggregate() {
         let r = rel2(&[&[1, 10], &[2, 20], &[3, 30]]);
-        let got = run_unary(&r, 5, |b, w| aggregate(b, w, VarSet::EMPTY, AggOp::Count, Var(5)));
+        let got = run_unary(&r, 5, |b, w| {
+            aggregate(b, w, VarSet::EMPTY, AggOp::Count, Var(5))
+        });
         assert_eq!(got, r.aggregate(VarSet::EMPTY, AggKind::Count, Var(5)));
     }
 
     #[test]
     fn aggregate_on_empty_relation() {
         let r = rel2(&[]);
-        let got =
-            run_unary(&r, 4, |b, w| aggregate(b, w, VarSet::singleton(Var(0)), AggOp::Count, Var(5)));
+        let got = run_unary(&r, 4, |b, w| {
+            aggregate(b, w, VarSet::singleton(Var(0)), AggOp::Count, Var(5))
+        });
         assert_eq!(got.len(), 0);
     }
 

@@ -66,7 +66,10 @@ impl RelWires {
         let zero = b.constant(0);
         let arity = schema.len();
         let slots = (0..capacity)
-            .map(|_| SlotWires { fields: vec![zero; arity], valid: zero })
+            .map(|_| SlotWires {
+                fields: vec![zero; arity],
+                valid: zero,
+            })
             .collect();
         RelWires { schema, slots }
     }
@@ -99,7 +102,10 @@ pub fn relation_to_values(rel: &Relation, capacity: usize) -> Option<Vec<u64>> {
     let arity = rel.arity();
     let mut out = Vec::with_capacity(capacity * (arity + 1));
     for row in rel.iter() {
-        debug_assert!(row.iter().all(|&v| v < QMARK), "domain values must be < u64::MAX");
+        debug_assert!(
+            row.iter().all(|&v| v < QMARK),
+            "domain values must be < u64::MAX"
+        );
         out.extend_from_slice(row);
         out.push(1);
     }
@@ -156,7 +162,11 @@ impl std::fmt::Display for LayoutError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LayoutError::Missing(n) => write!(f, "database is missing relation {n}"),
-            LayoutError::Overflow { name, capacity, len } => {
+            LayoutError::Overflow {
+                name,
+                capacity,
+                len,
+            } => {
                 write!(f, "relation {name} has {len} tuples, capacity {capacity}")
             }
             LayoutError::SchemaMismatch(n) => write!(f, "relation {n} schema mismatch"),
@@ -189,7 +199,9 @@ impl InputLayout {
     pub fn values(&self, db: &Database) -> Result<Vec<u64>, LayoutError> {
         let mut out = Vec::new();
         for (name, schema, cap) in &self.entries {
-            let rel = db.get(name).ok_or_else(|| LayoutError::Missing(name.clone()))?;
+            let rel = db
+                .get(name)
+                .ok_or_else(|| LayoutError::Missing(name.clone()))?;
             let vars: VarSet = schema.iter().copied().collect();
             if rel.vars() != vars {
                 return Err(LayoutError::SchemaMismatch(name.clone()));
@@ -208,10 +220,7 @@ impl InputLayout {
 /// Declares inputs for every relation of a database at once, with
 /// capacities supplied per relation name. Convenience wrapper used by the
 /// examples.
-pub fn encode_database(
-    b: &mut Builder,
-    layout: &InputLayout,
-) -> Vec<RelWires> {
+pub fn encode_database(b: &mut Builder, layout: &InputLayout) -> Vec<RelWires> {
     layout.wires(b)
 }
 
@@ -276,9 +285,15 @@ mod tests {
         let mut db = Database::new();
         assert_eq!(layout.values(&db), Err(LayoutError::Missing("R".into())));
         db.insert("R", rel(&[0, 2], &[&[1, 2]]));
-        assert_eq!(layout.values(&db), Err(LayoutError::SchemaMismatch("R".into())));
+        assert_eq!(
+            layout.values(&db),
+            Err(LayoutError::SchemaMismatch("R".into()))
+        );
         db.insert("R", rel(&[0, 1], &[&[1, 2], &[3, 4]]));
-        assert!(matches!(layout.values(&db), Err(LayoutError::Overflow { .. })));
+        assert!(matches!(
+            layout.values(&db),
+            Err(LayoutError::Overflow { .. })
+        ));
     }
 
     #[test]

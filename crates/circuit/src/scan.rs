@@ -13,11 +13,7 @@ pub type ScanOp<'a> = &'a mut dyn FnMut(&mut Builder, &[WireId], &[WireId]) -> V
 ///
 /// `op(b, a, x)` must combine `a ⊕ x` into a new wire vector of the same
 /// shape.
-pub fn scan(
-    b: &mut Builder,
-    elems: &[Vec<WireId>],
-    op: ScanOp<'_>,
-) -> Vec<Vec<WireId>> {
+pub fn scan(b: &mut Builder, elems: &[Vec<WireId>], op: ScanOp<'_>) -> Vec<Vec<WireId>> {
     let n = elems.len();
     let mut cur: Vec<Vec<WireId>> = elems.to_vec();
     let mut offset = 1usize;
@@ -42,7 +38,11 @@ pub fn segmented_scan(
     vals: &[Vec<WireId>],
     op: ScanOp<'_>,
 ) -> Vec<Vec<WireId>> {
-    assert_eq!(keys.len(), vals.len(), "segmented scan key/value length mismatch");
+    assert_eq!(
+        keys.len(),
+        vals.len(),
+        "segmented scan key/value length mismatch"
+    );
     let n = keys.len();
     if n == 0 {
         return Vec::new();
@@ -68,7 +68,10 @@ pub fn segmented_scan(
         e.extend(picked);
         e
     };
-    scan(b, &elems, &mut barred).into_iter().map(|e| e[klen..].to_vec()).collect()
+    scan(b, &elems, &mut barred)
+        .into_iter()
+        .map(|e| e[klen..].to_vec())
+        .collect()
 }
 
 #[cfg(test)]

@@ -112,7 +112,11 @@ mod tests {
         let inputs = relation_to_values(&r, 32).unwrap();
         let seq = c.evaluate(&inputs).unwrap();
         for threads in [1, 2, 4, 8] {
-            assert_eq!(evaluate_levelized(&c, &inputs, threads).unwrap(), seq, "{threads}");
+            assert_eq!(
+                evaluate_levelized(&c, &inputs, threads).unwrap(),
+                seq,
+                "{threads}"
+            );
         }
     }
 
@@ -146,27 +150,37 @@ mod tests {
         let mut b = Builder::new(Mode::Build);
         let xs: Vec<_> = (0..64).map(|_| b.input()).collect();
         // enough padding that the engine's threaded path engages (it
-        // falls back to sequential below ~4k instructions)
-        for _ in 0..70 {
-            for &x in &xs {
-                b.not(x);
+        // falls back to sequential below ~4k instructions); the padding
+        // gates must be unique and observable or hash-consing + DCE in
+        // `CompiledCircuit::compile` would strip them back out
+        let mut pad = Vec::new();
+        for i in 0..70u64 {
+            for (j, &x) in xs.iter().enumerate() {
+                let k = b.constant(1 + i * 64 + j as u64);
+                pad.push(b.add(x, k));
             }
         }
         for &x in &xs {
             // all asserts share one level; every one fires on input 1
             b.assert_zero(x);
         }
-        let c = b.finish(vec![]);
+        let c = b.finish(pad);
         let ones = vec![1u64; 64];
         let expected = c.evaluate(&ones);
-        let Err(EvalError::AssertionFailed { gate: expect_gate, .. }) = expected else {
+        let Err(EvalError::AssertionFailed {
+            gate: expect_gate, ..
+        }) = expected
+        else {
             panic!("sequential evaluation must fail");
         };
         for threads in 1..=8 {
             let got = evaluate_levelized(&c, &ones, threads);
             assert_eq!(
                 got,
-                Err(EvalError::AssertionFailed { gate: expect_gate, value: 1 }),
+                Err(EvalError::AssertionFailed {
+                    gate: expect_gate,
+                    value: 1
+                }),
                 "threads = {threads}"
             );
         }

@@ -30,7 +30,13 @@ pub enum SortKey {
     ValidFirst,
 }
 
-fn key_wires(b: &mut Builder, rel: &RelWires, slot: usize, key: &SortKey, extra: &[Vec<WireId>]) -> Vec<WireId> {
+fn key_wires(
+    b: &mut Builder,
+    rel: &RelWires,
+    slot: usize,
+    key: &SortKey,
+    extra: &[Vec<WireId>],
+) -> Vec<WireId> {
     let s = &rel.slots[slot];
     // leading component: !valid, so dummies (0-valid ⇒ 1) sort last
     let invalid = b.not(s.valid);
@@ -205,11 +211,21 @@ pub fn sort_slots_network(
     // truncating back to n keeps every real tuple.
     let slots: Vec<SlotWires> = elems[..n]
         .iter()
-        .map(|e| SlotWires { fields: e.fields.clone(), valid: e.valid })
+        .map(|e| SlotWires {
+            fields: e.fields.clone(),
+            valid: e.valid,
+        })
         .collect();
-    let out_extra: Vec<Vec<WireId>> =
-        (0..extra.len()).map(|c| elems[..n].iter().map(|e| e.extra[c]).collect()).collect();
-    (RelWires { schema: rel.schema.clone(), slots }, out_extra)
+    let out_extra: Vec<Vec<WireId>> = (0..extra.len())
+        .map(|c| elems[..n].iter().map(|e| e.extra[c]).collect())
+        .collect();
+    (
+        RelWires {
+            schema: rel.schema.clone(),
+            slots,
+        },
+        out_extra,
+    )
 }
 
 /// [`sort_slots_with`] without auxiliary columns.
@@ -232,7 +248,9 @@ mod tests {
         let key = SortKey::Columns(cols.iter().map(|&i| Var(i)).collect());
         let sorted = sort_slots(&mut b, &w, &key);
         let c = b.finish(sorted.flatten());
-        let out = c.evaluate(&relation_to_values(&r, capacity).unwrap()).unwrap();
+        let out = c
+            .evaluate(&relation_to_values(&r, capacity).unwrap())
+            .unwrap();
         // return raw slots (value rows with valid flag) to check placement
         out.chunks(3).map(|ch| ch.to_vec()).collect()
     }
@@ -257,8 +275,7 @@ mod tests {
     fn non_power_of_two_capacity() {
         for cap in [3usize, 5, 6, 7, 9] {
             let slots = run_sort(&[&[9, 0], &[4, 0], &[7, 0]], cap, &[0]);
-            let reals: Vec<u64> =
-                slots.iter().filter(|s| s[2] == 1).map(|s| s[0]).collect();
+            let reals: Vec<u64> = slots.iter().filter(|s| s[2] == 1).map(|s| s[0]).collect();
             assert_eq!(reals, vec![4, 7, 9], "capacity {cap}");
             assert_eq!(slots.len(), cap);
         }
@@ -305,7 +322,10 @@ mod tests {
             let schema = vec![Var(0)];
             let r = Relation::from_rows(
                 schema.clone(),
-                vals.iter().enumerate().map(|(i, &v)| vec![v * 100 + i as u64]).collect(),
+                vals.iter()
+                    .enumerate()
+                    .map(|(i, &v)| vec![v * 100 + i as u64])
+                    .collect(),
             );
             let mut b = Builder::new(Mode::Build);
             let w = encode_relation(&mut b, schema.clone(), 8);
@@ -363,6 +383,9 @@ mod tests {
         }
         // log²: stages·steps comparisons; each comparator is O(1) depth
         let (d16, d256) = (depth(16), depth(256));
-        assert!(d256 < d16 * 8, "depth should grow polylogarithmically: {d16} → {d256}");
+        assert!(
+            d256 < d16 * 8,
+            "depth should grow polylogarithmically: {d16} → {d256}"
+        );
     }
 }

@@ -6,9 +6,7 @@
 //! count.
 
 use proptest::prelude::*;
-use qec_circuit::{
-    evaluate_levelized, Builder, Circuit, CompiledCircuit, EvalError, Mode,
-};
+use qec_circuit::{evaluate_levelized, Builder, Circuit, CompiledCircuit, EvalError, Mode};
 
 /// Raw material for one random gate: kind selector plus operand seeds,
 /// reduced modulo the live wire count at build time.
@@ -47,8 +45,12 @@ fn build_random(mode: Mode, num_inputs: usize, seeds: &[GateSeed]) -> Circuit {
         wires.push(w);
     }
     // take a spread of wires as outputs, always including the last
-    let outputs: Vec<_> =
-        wires.iter().copied().step_by(3).chain(wires.last().copied()).collect();
+    let outputs: Vec<_> = wires
+        .iter()
+        .copied()
+        .step_by(3)
+        .chain(wires.last().copied())
+        .collect();
     b.finish(outputs)
 }
 
@@ -69,9 +71,10 @@ proptest! {
         let eng = CompiledCircuit::compile(&c).expect("build-mode circuits compile");
 
         // register allocation must beat the interpreter's O(wires) buffer
-        // whenever there is anything to reuse; never exceed it
+        // whenever there is anything to reuse; never exceed it. The tape
+        // covers the *optimized* circuit, so it can only be shorter.
         prop_assert!(eng.stats().peak_registers <= c.num_wires());
-        prop_assert_eq!(eng.stats().tape_len, c.num_wires());
+        prop_assert!(eng.stats().tape_len <= c.num_wires());
 
         // instances: right arity unless the flag says to corrupt it
         let instances: Vec<Vec<u64>> = raw_instances
@@ -138,8 +141,14 @@ fn mid_batch_assertion_failure_is_isolated() {
     let instances: Vec<Vec<u64>> = vec![vec![0, 0], vec![9, 9], vec![0, 4]];
     let got = eng.evaluate_batch(&instances);
     assert_eq!(got[0], Ok(vec![0]));
-    assert_eq!(got[1], Err(EvalError::AssertionFailed { gate: 2, value: 9 }));
-    assert_eq!(got[2], Err(EvalError::AssertionFailed { gate: 3, value: 4 }));
+    assert_eq!(
+        got[1],
+        Err(EvalError::AssertionFailed { gate: 2, value: 9 })
+    );
+    assert_eq!(
+        got[2],
+        Err(EvalError::AssertionFailed { gate: 3, value: 4 })
+    );
     for (inst, got) in instances.iter().zip(got) {
         assert_eq!(got, c.evaluate(inst));
     }
@@ -155,6 +164,12 @@ fn empty_circuit_batches() {
     let instances: Vec<Vec<u64>> = vec![vec![], vec![1], vec![]];
     let got = eng.evaluate_batch(&instances);
     assert_eq!(got[0], Ok(vec![]));
-    assert_eq!(got[1], Err(EvalError::InputArity { expected: 0, got: 1 }));
+    assert_eq!(
+        got[1],
+        Err(EvalError::InputArity {
+            expected: 0,
+            got: 1
+        })
+    );
     assert_eq!(got[2], Ok(vec![]));
 }

@@ -1,0 +1,194 @@
+//! Property tests pinning the optimizer to the reference interpreter:
+//! `optimize(c)` must be observationally identical to `c` on random gate
+//! DAGs — outputs, arity errors, and assertion-failure semantics (a
+//! failing circuit never optimizes into a passing one, and the reported
+//! first-failing assert corresponds through `OptStats::assert_origin`).
+//! The compiled engine, which optimizes internally, must report the
+//! exact source-level lowest-gate-index failure for 1–8 threads.
+
+use proptest::prelude::*;
+use qec_circuit::lower::{lower, optimize_bits};
+use qec_circuit::{optimize, Builder, Circuit, CompiledCircuit, EvalError, Mode};
+
+/// Raw material for one random gate: kind selector plus operand seeds,
+/// reduced modulo the live wire count at build time.
+type GateSeed = (u8, u32, u32, u32, u64);
+
+/// Builds a random circuit from seeds. Hash-consing is disabled so the
+/// source keeps every structural duplicate — the offline pass gets raw
+/// material to chew on, and the equivalence claim is tested against the
+/// least-preprocessed circuit we can build.
+fn build_random(mode: Mode, num_inputs: usize, seeds: &[GateSeed]) -> Circuit {
+    let mut b = Builder::without_cse(mode);
+    let mut wires: Vec<_> = (0..num_inputs).map(|_| b.input()).collect();
+    for &(kind, a, bb, s, v) in seeds {
+        let pick = |x: u32| wires[x as usize % wires.len()];
+        let (wa, wb, ws) = (pick(a), pick(bb), pick(s));
+        let w = match kind % 13 {
+            0 => b.add(wa, wb),
+            1 => b.sub(wa, wb),
+            2 => b.mul(wa, wb),
+            3 => b.eq(wa, wb),
+            4 => b.lt(wa, wb),
+            5 => b.and(wa, wb),
+            6 => b.or(wa, wb),
+            7 => b.xor(wa, wb),
+            8 => b.not(wa),
+            9 => b.mux(ws, wa, wb),
+            10 => b.constant(v),
+            11 | 12 => {
+                // assert on a masked comparison so random inputs mix
+                // passing and failing evaluations
+                let c = b.constant(v & 0x7);
+                let e = b.eq(wa, c);
+                b.assert_zero(e); // fires when wa == v & 7
+                continue;
+            }
+            _ => unreachable!(),
+        };
+        wires.push(w);
+    }
+    let outputs: Vec<_> = wires
+        .iter()
+        .copied()
+        .step_by(3)
+        .chain(wires.last().copied())
+        .collect();
+    b.finish(outputs)
+}
+
+/// Asserts the optimized circuit's outcome matches the source outcome,
+/// mapping reported assert gates through `assert_origin`.
+fn assert_same_outcome(
+    src: &Result<Vec<u64>, EvalError>,
+    opt: &Result<Vec<u64>, EvalError>,
+    origin_of: impl Fn(u32) -> Option<u32>,
+) -> Result<(), TestCaseError> {
+    match (src, opt) {
+        (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+        (
+            Err(EvalError::AssertionFailed {
+                gate: sg,
+                value: sv,
+            }),
+            Err(EvalError::AssertionFailed {
+                gate: og,
+                value: ov,
+            }),
+        ) => {
+            prop_assert_eq!(sv, ov, "failing assert must observe the same value");
+            prop_assert_eq!(
+                origin_of(*og as u32),
+                Some(*sg as u32),
+                "optimized assert must map back to the source's first failing gate"
+            );
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+        (a, b) => prop_assert!(false, "outcome diverged: source {a:?} vs optimized {b:?}"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `optimize(c)` is gate-for-gate equivalent to `c`: same outputs,
+    /// same assertion outcomes (index-correspondent, value-identical),
+    /// never larger.
+    #[test]
+    fn optimize_matches_interpreter(
+        num_inputs in 1usize..6,
+        seeds in prop::collection::vec(any::<GateSeed>(), 1..120),
+        raw_instances in prop::collection::vec(
+            prop::collection::vec(0u64..16, 0..8), 1..10),
+    ) {
+        let c = build_random(Mode::Build, num_inputs, &seeds);
+        let (opt, st) = optimize(&c);
+        prop_assert!(opt.size() <= c.size(), "optimization never grows the circuit");
+        prop_assert!(opt.depth() <= c.depth(), "optimization never deepens the circuit");
+        prop_assert_eq!(opt.num_inputs(), c.num_inputs());
+        prop_assert_eq!(st.gates_after, opt.size());
+        for vals in &raw_instances {
+            let inst: Vec<u64> =
+                (0..num_inputs).map(|i| vals.get(i).copied().unwrap_or(3)).collect();
+            assert_same_outcome(&c.evaluate(&inst), &opt.evaluate(&inst), |g| st.origin_of(g))?;
+        }
+        // arity errors are preserved verbatim
+        let short = vec![0u64; num_inputs - 1];
+        prop_assert_eq!(c.evaluate(&short).err(), opt.evaluate(&short).err());
+    }
+
+    /// Count-only circuits pass through with identical size/depth
+    /// accounting and still refuse evaluation.
+    #[test]
+    fn count_circuits_pass_through(
+        num_inputs in 1usize..6,
+        seeds in prop::collection::vec(any::<GateSeed>(), 1..60),
+    ) {
+        let c = build_random(Mode::Count, num_inputs, &seeds);
+        let (opt, st) = optimize(&c);
+        prop_assert!(!opt.is_evaluable());
+        prop_assert_eq!(opt.size(), c.size());
+        prop_assert_eq!(opt.depth(), c.depth());
+        prop_assert_eq!(st.gates_before, st.gates_after);
+        prop_assert_eq!(opt.evaluate(&vec![0; num_inputs]).err(), Some(EvalError::CountOnly));
+    }
+
+    /// The engine compiles through the optimizer yet reports the same
+    /// lowest-gate-index assertion failure as the source interpreter,
+    /// for every thread count 1–8.
+    #[test]
+    fn compiled_optimized_engine_reports_source_failures(
+        num_inputs in 1usize..6,
+        seeds in prop::collection::vec(any::<GateSeed>(), 1..100),
+        raw_instances in prop::collection::vec(
+            prop::collection::vec(0u64..16, 0..8), 1..10),
+    ) {
+        let c = build_random(Mode::Build, num_inputs, &seeds);
+        let eng = CompiledCircuit::compile(&c).expect("build-mode circuits compile");
+        prop_assert!(eng.stats().tape_len <= c.num_wires());
+        prop_assert!(eng.stats().opt.is_some(), "compile runs the optimizer");
+        let instances: Vec<Vec<u64>> = raw_instances
+            .iter()
+            .map(|vals| (0..num_inputs).map(|i| vals.get(i).copied().unwrap_or(3)).collect())
+            .collect();
+        let expected: Vec<_> = instances.iter().map(|i| c.evaluate(i)).collect();
+        for threads in 1..=8usize {
+            let got = eng.evaluate_batch_threaded(&instances, threads);
+            // exact equality: outputs AND source-level gate indices/values
+            prop_assert_eq!(&got, &expected, "threads = {}", threads);
+        }
+    }
+
+    /// Bit-level: `optimize_bits` over a lowered circuit is
+    /// observationally equivalent and never AND-larger.
+    #[test]
+    fn optimize_bits_matches_bit_interpreter(
+        num_inputs in 1usize..5,
+        seeds in prop::collection::vec(any::<GateSeed>(), 1..40),
+        raw_instances in prop::collection::vec(
+            prop::collection::vec(0u64..16, 0..6), 1..6),
+    ) {
+        let c = build_random(Mode::Build, num_inputs, &seeds);
+        let bc = lower(&c, 8);
+        let (opt, st) = optimize_bits(&bc);
+        prop_assert!(st.and_after <= st.and_before);
+        prop_assert!(st.gates_after <= st.gates_before);
+        prop_assert!(st.and_depth_after <= st.and_depth_before);
+        for vals in &raw_instances {
+            let inst: Vec<u64> =
+                (0..num_inputs).map(|i| vals.get(i).copied().unwrap_or(3)).collect();
+            let src = bc.evaluate(&bc.pack_inputs(&inst));
+            let got = opt.evaluate(&opt.pack_inputs(&inst));
+            match (src, got) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    bc.unpack_outputs(&a),
+                    opt.unpack_outputs(&b),
+                    "inputs {:?}", inst
+                ),
+                (Err(_), Err(_)) => {} // both fail an assert
+                (a, b) => prop_assert!(false, "bit outcome diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

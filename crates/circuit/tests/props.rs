@@ -11,9 +11,8 @@ use qec_relation::{AggKind, Relation, Var, VarSet};
 
 fn rel_strategy(vars: &'static [u32], max_rows: usize) -> impl Strategy<Value = Relation> {
     let arity = vars.len();
-    prop::collection::vec(prop::collection::vec(0u64..6, arity..=arity), 0..max_rows).prop_map(
-        move |rows| Relation::from_rows(vars.iter().map(|&i| Var(i)).collect(), rows),
-    )
+    prop::collection::vec(prop::collection::vec(0u64..6, arity..=arity), 0..max_rows)
+        .prop_map(move |rows| Relation::from_rows(vars.iter().map(|&i| Var(i)).collect(), rows))
 }
 
 fn vs(bits: &[u32]) -> VarSet {
@@ -38,7 +37,11 @@ fn eval_binary(
     r: &Relation,
     s: &Relation,
     caps: (usize, usize),
-    f: impl FnOnce(&mut Builder, &qec_circuit::RelWires, &qec_circuit::RelWires) -> qec_circuit::RelWires,
+    f: impl FnOnce(
+        &mut Builder,
+        &qec_circuit::RelWires,
+        &qec_circuit::RelWires,
+    ) -> qec_circuit::RelWires,
 ) -> Relation {
     let mut b = Builder::new(Mode::Build);
     let rw = qec_circuit::encode_relation(&mut b, r.schema().to_vec(), caps.0);

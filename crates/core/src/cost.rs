@@ -34,12 +34,8 @@ pub fn paper_cost(rc: &RelationalCircuit) -> Int {
             RcOp::Union { a, b } | RcOp::JoinPk { a, b } | RcOp::Semijoin { a, b } => {
                 &cap(*a) + &cap(*b)
             }
-            RcOp::JoinDegree { a, b, deg } => {
-                &(&cap(*a) * &Int::from(*deg)) + &cap(*b)
-            }
-            RcOp::JoinOutput { a, b, out_bound } => {
-                &(&cap(*a) + &cap(*b)) + &Int::from(*out_bound)
-            }
+            RcOp::JoinDegree { a, b, deg } => &(&cap(*a) * &Int::from(*deg)) + &cap(*b),
+            RcOp::JoinOutput { a, b, out_bound } => &(&cap(*a) + &cap(*b)) + &Int::from(*out_bound),
         };
         total = &total + &c;
     }

@@ -61,14 +61,28 @@ pub fn triangle_heavy_light(n: u64) -> (RelationalCircuit, NodeId) {
     let s_annot = rc.join_pk(s, counts);
 
     // light: degree ≤ t
-    let light = rc.select(s_annot, RcPred::FieldRange { var: cnt, lo: 1, hi: t + 1 });
+    let light = rc.select(
+        s_annot,
+        RcPred::FieldRange {
+            var: cnt,
+            lo: 1,
+            hi: t + 1,
+        },
+    );
     let light = rc.project(light, bc);
     // J_light = T(A,C) ⋈ S_light(B,C): deg_C(S_light) ≤ t ⇒ capacity n·t
     let j_light = rc.join_degree(tt, light, t);
     let j_light = rc.semijoin(j_light, r);
 
     // heavy: degree > t ⇒ at most n/(t+1) distinct C values
-    let heavy = rc.select(s_annot, RcPred::FieldRange { var: cnt, lo: t + 1, hi: n + 1 });
+    let heavy = rc.select(
+        s_annot,
+        RcPred::FieldRange {
+            var: cnt,
+            lo: t + 1,
+            hi: n + 1,
+        },
+    );
     let heavy_c = rc.project(heavy, VarSet::singleton(c));
     let heavy_c = rc.truncate(heavy_c, n / (t + 1) + 1);
     // J_heavy = R(A,B) × heavy C values: capacity n·(n/(t+1)+1) ≈ n^{3/2}
@@ -89,7 +103,7 @@ mod tests {
     use qec_circuit::Mode;
     use qec_query::{baseline::evaluate_pairwise, triangle};
     use qec_relation::{
-        agm_worst_case_triangle, random_relation, Database, DegreeConstraint, zipf_relation,
+        agm_worst_case_triangle, random_relation, zipf_relation, Database, DegreeConstraint,
     };
 
     fn vs(bits: &[u32]) -> VarSet {

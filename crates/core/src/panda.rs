@@ -127,7 +127,11 @@ impl State {
             if !w.is_positive() {
                 continue;
             }
-            let used = if *w < remaining { w.clone() } else { remaining.clone() };
+            let used = if *w < remaining {
+                w.clone()
+            } else {
+                remaining.clone()
+            };
             if best.as_ref().is_none_or(|(_, bw)| used > *bw) {
                 best = Some((*idx, used.clone()));
             }
@@ -155,7 +159,10 @@ impl State {
     }
 
     fn covering_relation(&self, target: VarSet) -> Option<(VarSet, NodeId)> {
-        self.rels.iter().copied().find(|(s, _)| target.is_subset(*s))
+        self.rels
+            .iter()
+            .copied()
+            .find(|(s, _)| target.is_subset(*s))
     }
 
     /// Adds implied degree entries `(X, F, N_F)` for every cardinality
@@ -172,10 +179,17 @@ impl State {
                 if x.is_empty() || x == e.of {
                     continue;
                 }
-                let exists =
-                    self.dc.iter().any(|d| d.on == x && d.of == e.of && d.bound <= e.bound);
+                let exists = self
+                    .dc
+                    .iter()
+                    .any(|d| d.on == x && d.of == e.of && d.bound <= e.bound);
                 if !exists {
-                    self.dc.push(CEntry { on: x, of: e.of, bound: e.bound, guard: e.guard });
+                    self.dc.push(CEntry {
+                        on: x,
+                        of: e.of,
+                        bound: e.bound,
+                        guard: e.guard,
+                    });
                 }
             }
         }
@@ -185,7 +199,11 @@ impl State {
         DcSet::from_vec(
             self.dc
                 .iter()
-                .map(|e| DegreeConstraint { on: e.on, of: e.of, bound: e.bound })
+                .map(|e| DegreeConstraint {
+                    on: e.on,
+                    of: e.of,
+                    bound: e.bound,
+                })
                 .collect(),
         )
     }
@@ -201,22 +219,27 @@ pub(crate) fn compile_target(
     target: VarSet,
     num_vars: u32,
 ) -> Result<(NodeId, Bound, ShannonFlowProof, usize), CompileError> {
-    let bound =
-        polymatroid_bound(num_vars, dc, target).map_err(|e| {
-            CompileError::Chain(ChainProofError::Bound(e))
-        })?;
+    let bound = polymatroid_bound(num_vars, dc, target)
+        .map_err(|e| CompileError::Chain(ChainProofError::Bound(e)))?;
     let proof = prove_bound_opts(
         num_vars,
         dc,
         target,
-        ProveOpts { known_bound: Some(bound.log_value.clone()), ..ProveOpts::default() },
+        ProveOpts {
+            known_bound: Some(bound.log_value.clone()),
+            ..ProveOpts::default()
+        },
     )
     .map_err(CompileError::Chain)?;
 
     // Initial state: atoms as relations; every constraint guarded either
     // by an atom with the exact schema or by a fresh projection of a
     // covering atom (Sec. 3.1's pre-computation).
-    let mut state = State { rels: Vec::new(), dc: Vec::new(), supports: BTreeMap::new() };
+    let mut state = State {
+        rels: Vec::new(),
+        dc: Vec::new(),
+        supports: BTreeMap::new(),
+    };
     for (_, schema, node) in inputs {
         state.rels.push((*schema, *node));
     }
@@ -245,7 +268,12 @@ pub(crate) fn compile_target(
                 g
             }
         };
-        state.dc.push(CEntry { on: c.on, of: c.of, bound: c.bound, guard });
+        state.dc.push(CEntry {
+            on: c.on,
+            of: c.of,
+            bound: c.bound,
+            guard,
+        });
     }
     // Supports from the proof's δ.
     init_supports(&mut state, &proof)?;
@@ -260,7 +288,12 @@ pub(crate) fn compile_target(
     };
 
     let mut branches = 0usize;
-    let ctx = Ctx { target, num_vars, dapb, log_budget };
+    let ctx = Ctx {
+        target,
+        num_vars,
+        dapb,
+        log_budget,
+    };
     let outputs = compile_rec(rc, state, &proof.steps, &ctx, 0, &mut branches)?;
     if outputs.is_empty() {
         return Err(CompileError::Internal("no branch produced the target"));
@@ -318,17 +351,29 @@ fn compile_rec(
     // Alg. 1 lines 1–2: a covering relation terminates the branch.
     if let Some((schema, node)) = state.covering_relation(target) {
         *branches += 1;
-        let out = if schema == target { node } else { rc.project(node, target) };
+        let out = if schema == target {
+            node
+        } else {
+            rc.project(node, target)
+        };
         return Ok(vec![out]);
     }
     let Some((ws, rest)) = steps.split_first() else {
-        return Err(CompileError::Internal("proof exhausted before covering the target"));
+        return Err(CompileError::Internal(
+            "proof exhausted before covering the target",
+        ));
     };
     match ws.step {
         ProofStep::Sub { i, j } => {
             // Re-associate support from (I∩J, I) to (J, I∪J); no gates.
-            let from = Term { on: i.intersect(j), of: i };
-            let to = Term { on: j, of: i.union(j) };
+            let from = Term {
+                on: i.intersect(j),
+                of: i,
+            };
+            let to = Term {
+                on: j,
+                of: i.union(j),
+            };
             let entry = state.take_support(from, &ws.weight)?;
             state.add_support(to, entry, ws.weight.clone());
             compile_rec(rc, state, rest, ctx, depth, branches)
@@ -339,7 +384,12 @@ fn compile_rec(
             let e = state.dc[entry].clone();
             let p = rc.project(e.guard, x);
             state.rels.push((x, p));
-            state.dc.push(CEntry { on: VarSet::EMPTY, of: x, bound: e.bound, guard: p });
+            state.dc.push(CEntry {
+                on: VarSet::EMPTY,
+                of: x,
+                bound: e.bound,
+                guard: p,
+            });
             let new_entry = state.dc.len() - 1;
             state.add_support(Term::plain(x), new_entry, ws.weight.clone());
             compile_rec(rc, state, rest, ctx, depth, branches)
@@ -361,9 +411,19 @@ fn compile_rec(
                 }
                 child.rels.push((x, proj));
                 child.rels.push((y, part));
-                child.dc.push(CEntry { on: VarSet::EMPTY, of: x, bound: card, guard: proj });
+                child.dc.push(CEntry {
+                    on: VarSet::EMPTY,
+                    of: x,
+                    bound: card,
+                    guard: proj,
+                });
                 let card_entry = child.dc.len() - 1;
-                child.dc.push(CEntry { on: x, of: y, bound: deg, guard: part });
+                child.dc.push(CEntry {
+                    on: x,
+                    of: y,
+                    bound: deg,
+                    guard: part,
+                });
                 let deg_entry = child.dc.len() - 1;
                 child.add_support(Term::plain(x), card_entry, ws.weight.clone());
                 child.add_support(Term::cond(x, y), deg_entry, ws.weight.clone());
@@ -373,9 +433,9 @@ fn compile_rec(
         }
         ProofStep::Comp { x, y } => {
             // Lines 20–31.
-            let x_entry = state
-                .find_cardinality(x)
-                .ok_or(CompileError::Internal("composition without cardinality guard"))?;
+            let x_entry = state.find_cardinality(x).ok_or(CompileError::Internal(
+                "composition without cardinality guard",
+            ))?;
             let sup_entry = state.take_support(Term::cond(x, y), &ws.weight)?;
             // also consume the (∅, X) weight to keep books balanced
             let _ = state.take_support(Term::plain(x), &ws.weight)?;
@@ -443,7 +503,10 @@ fn compile_rec(
 /// assert_eq!(compiled.branches, 14);
 /// ```
 pub fn compile_fcq(cq: &Cq, dc: &DcSet) -> Result<PandaCircuit, CompileError> {
-    assert!(cq.is_full(), "compile_fcq expects a full CQ; use OutputSensitive otherwise");
+    assert!(
+        cq.is_full(),
+        "compile_fcq expects a full CQ; use OutputSensitive otherwise"
+    );
     let mut rc = RelationalCircuit::new();
     let mut inputs = Vec::new();
     for atom in &cq.atoms {
@@ -456,7 +519,13 @@ pub fn compile_fcq(cq: &Cq, dc: &DcSet) -> Result<PandaCircuit, CompileError> {
     let (output, bound, proof, branches) =
         compile_target(&mut rc, &inputs, dc, cq.all_vars(), cq.num_vars())?;
     rc.mark_output(output);
-    Ok(PandaCircuit { rc, output, bound, proof, branches })
+    Ok(PandaCircuit {
+        rc,
+        output,
+        bound,
+        proof,
+        branches,
+    })
 }
 
 #[cfg(test)]
@@ -569,7 +638,10 @@ mod tests {
         for seed in 0..3 {
             let mut db = Database::new();
             db.insert("R", random_relation(vec![Var(0), Var(1)], 30, seed));
-            db.insert("S", qec_relation::random_degree_bounded(Var(1), Var(2), 30, 1, seed + 3));
+            db.insert(
+                "S",
+                qec_relation::random_degree_bounded(Var(1), Var(2), 30, 1, seed + 3),
+            );
             let got = p.rc.evaluate_ram(&db).unwrap();
             let expect = evaluate_pairwise(&q, &db).unwrap();
             assert_eq!(got[0], expect, "seed {seed}");
@@ -624,6 +696,9 @@ mod tests {
             DegreeConstraint::cardinality(vs(&[0, 1]), 16),
             DegreeConstraint::cardinality(vs(&[1, 2]), 16),
         ]);
-        assert!(matches!(compile_fcq(&q, &dc), Err(CompileError::UnguardedAtom(_))));
+        assert!(matches!(
+            compile_fcq(&q, &dc),
+            Err(CompileError::UnguardedAtom(_))
+        ));
     }
 }

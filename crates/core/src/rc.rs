@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use qec_circuit::{
     aggregate as c_aggregate, decompose as c_decompose, join_degree_bounded, join_output_bounded,
     join_pk, project as c_project, select as c_select, semijoin as c_semijoin,
-    truncate as c_truncate, union as c_union, AggOp, Builder, Circuit, InputLayout, Mode,
-    RelWires, SlotWires,
+    truncate as c_truncate, union as c_union, AggOp, Builder, Circuit, InputLayout, Mode, RelWires,
+    SlotWires,
 };
 use qec_relation::{AggKind, Database, Relation, Var, VarSet};
 
@@ -247,7 +247,11 @@ pub enum RcError {
 impl std::fmt::Display for RcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RcError::CapacityExceeded { node, len, capacity } => {
+            RcError::CapacityExceeded {
+                node,
+                len,
+                capacity,
+            } => {
                 write!(f, "node {node} produced {len} tuples, capacity {capacity}")
             }
             RcError::MissingInput(n) => write!(f, "missing input relation {n}"),
@@ -275,7 +279,11 @@ impl RelationalCircuit {
     }
 
     fn push(&mut self, op: RcOp, schema: VarSet, capacity: u64) -> NodeId {
-        self.nodes.push(RcNode { op, schema, capacity });
+        self.nodes.push(RcNode {
+            op,
+            schema,
+            capacity,
+        });
         self.nodes.len() - 1
     }
 
@@ -311,7 +319,16 @@ impl RelationalCircuit {
         assert!(group.is_subset(n.schema), "group-by on non-attributes");
         assert!(!n.schema.contains(out), "aggregate output collides");
         let c = n.capacity;
-        self.push(RcOp::Aggregate { input, group, agg, out }, group.with(out), c)
+        self.push(
+            RcOp::Aggregate {
+                input,
+                group,
+                agg,
+                out,
+            },
+            group.with(out),
+            c,
+        )
     }
 
     /// Adds a union gate.
@@ -353,7 +370,10 @@ impl RelationalCircuit {
     /// `on` (Alg. 2). Returns `(node, card_bound, deg_bound)` per part.
     pub fn decompose(&mut self, input: NodeId, on: VarSet) -> Vec<(NodeId, u64, u64)> {
         let n = self.node(input);
-        assert!(on.is_subset(n.schema) && on != n.schema, "decomposition needs X ⊂ Y");
+        assert!(
+            on.is_subset(n.schema) && on != n.schema,
+            "decomposition needs X ⊂ Y"
+        );
         let cap = n.capacity.max(1);
         let schema = n.schema;
         let k = 1 + cap.ilog2();
@@ -402,11 +422,27 @@ impl RelationalCircuit {
     /// Adds a column-combining gate with an explicit operation.
     pub fn map_bin(&mut self, input: NodeId, a: Var, b: Var, out: Var, op: MapBinOp) -> NodeId {
         let n = self.node(input);
-        assert!(n.schema.contains(a) && n.schema.contains(b) && a != b, "factors missing");
-        let s = n.schema.minus(VarSet::singleton(a)).minus(VarSet::singleton(b));
+        assert!(
+            n.schema.contains(a) && n.schema.contains(b) && a != b,
+            "factors missing"
+        );
+        let s = n
+            .schema
+            .minus(VarSet::singleton(a))
+            .minus(VarSet::singleton(b));
         assert!(!s.contains(out), "product column collides");
         let (s, c) = (s.with(out), n.capacity);
-        self.push(RcOp::MapMul { input, a, b, out, op }, s, c)
+        self.push(
+            RcOp::MapMul {
+                input,
+                a,
+                b,
+                out,
+                op,
+            },
+            s,
+            c,
+        )
     }
 
     /// Marks a node as a circuit output.
@@ -423,7 +459,9 @@ impl RelationalCircuit {
         for (id, n) in self.nodes.iter().enumerate() {
             let rel = match &n.op {
                 RcOp::Input { name } => {
-                    let r = db.get(name).ok_or_else(|| RcError::MissingInput(name.clone()))?;
+                    let r = db
+                        .get(name)
+                        .ok_or_else(|| RcError::MissingInput(name.clone()))?;
                     if r.vars() != n.schema {
                         return Err(RcError::InputSchemaMismatch(name.clone()));
                     }
@@ -448,9 +486,12 @@ impl RelationalCircuit {
                     }
                 }
                 RcOp::Project { input, onto } => vals[*input].project(*onto),
-                RcOp::Aggregate { input, group, agg, out } => {
-                    vals[*input].aggregate(*group, *agg, *out)
-                }
+                RcOp::Aggregate {
+                    input,
+                    group,
+                    agg,
+                    out,
+                } => vals[*input].aggregate(*group, *agg, *out),
                 RcOp::Union { a, b } => vals[*a].union(&vals[*b]),
                 RcOp::JoinPk { a, b }
                 | RcOp::JoinDegree { a, b, .. }
@@ -475,7 +516,13 @@ impl RelationalCircuit {
                         .collect();
                     Relation::from_rows(schema, rows)
                 }
-                RcOp::MapMul { input, a, b, out, op } => {
+                RcOp::MapMul {
+                    input,
+                    a,
+                    b,
+                    out,
+                    op,
+                } => {
                     let r = &vals[*input];
                     let (ca, cb) = (r.col(*a).expect("factor"), r.col(*b).expect("factor"));
                     let out_schema: Vec<Var> = n.schema.to_vec();
@@ -560,8 +607,10 @@ impl RelationalCircuit {
                             })
                         }
                         RcPred::ColEq { a, b: vb } => {
-                            let (ca, cb) =
-                                (r.col(*a).expect("validated"), r.col(*vb).expect("validated"));
+                            let (ca, cb) = (
+                                r.col(*a).expect("validated"),
+                                r.col(*vb).expect("validated"),
+                            );
                             c_select(&mut b, &r, |b, s: &SlotWires| {
                                 b.eq(s.fields[ca], s.fields[cb])
                             })
@@ -572,7 +621,12 @@ impl RelationalCircuit {
                     let r = wires[*input].clone().expect("topological");
                     c_project(&mut b, &r, *onto)
                 }
-                RcOp::Aggregate { input, group, agg, out } => {
+                RcOp::Aggregate {
+                    input,
+                    group,
+                    agg,
+                    out,
+                } => {
                     let r = wires[*input].clone().expect("topological");
                     let op = match agg {
                         AggKind::Count => AggOp::Count,
@@ -583,28 +637,42 @@ impl RelationalCircuit {
                     c_aggregate(&mut b, &r, *group, op, *out)
                 }
                 RcOp::Union { a, b: rb } => {
-                    let (ra, rbw) =
-                        (wires[*a].clone().expect("topo"), wires[*rb].clone().expect("topo"));
+                    let (ra, rbw) = (
+                        wires[*a].clone().expect("topo"),
+                        wires[*rb].clone().expect("topo"),
+                    );
                     c_union(&mut b, &ra, &rbw)
                 }
                 RcOp::JoinPk { a, b: rb } => {
-                    let (ra, rbw) =
-                        (wires[*a].clone().expect("topo"), wires[*rb].clone().expect("topo"));
+                    let (ra, rbw) = (
+                        wires[*a].clone().expect("topo"),
+                        wires[*rb].clone().expect("topo"),
+                    );
                     join_pk(&mut b, &ra, &rbw)
                 }
                 RcOp::JoinDegree { a, b: rb, deg } => {
-                    let (ra, rbw) =
-                        (wires[*a].clone().expect("topo"), wires[*rb].clone().expect("topo"));
+                    let (ra, rbw) = (
+                        wires[*a].clone().expect("topo"),
+                        wires[*rb].clone().expect("topo"),
+                    );
                     join_degree_bounded(&mut b, &ra, &rbw, *deg as usize)
                 }
-                RcOp::JoinOutput { a, b: rb, out_bound } => {
-                    let (ra, rbw) =
-                        (wires[*a].clone().expect("topo"), wires[*rb].clone().expect("topo"));
+                RcOp::JoinOutput {
+                    a,
+                    b: rb,
+                    out_bound,
+                } => {
+                    let (ra, rbw) = (
+                        wires[*a].clone().expect("topo"),
+                        wires[*rb].clone().expect("topo"),
+                    );
                     join_output_bounded(&mut b, &ra, &rbw, *out_bound as usize)
                 }
                 RcOp::Semijoin { a, b: rb } => {
-                    let (ra, rbw) =
-                        (wires[*a].clone().expect("topo"), wires[*rb].clone().expect("topo"));
+                    let (ra, rbw) = (
+                        wires[*a].clone().expect("topo"),
+                        wires[*rb].clone().expect("topo"),
+                    );
                     c_semijoin(&mut b, &ra, &rbw)
                 }
                 RcOp::Decompose { input, on, part } => {
@@ -681,10 +749,15 @@ impl RelationalCircuit {
                             .collect(),
                     }
                 }
-                RcOp::MapMul { input, a, b: fb, out, op } => {
+                RcOp::MapMul {
+                    input,
+                    a,
+                    b: fb,
+                    out,
+                    op,
+                } => {
                     let r = wires[*input].clone().expect("topological");
-                    let (ca, cb) =
-                        (r.col(*a).expect("factor"), r.col(*fb).expect("factor"));
+                    let (ca, cb) = (r.col(*a).expect("factor"), r.col(*fb).expect("factor"));
                     let schema = self.nodes[id].schema.to_vec();
                     RelWires {
                         schema: schema.clone(),
@@ -734,7 +807,11 @@ impl RelationalCircuit {
             out_wires.extend(w.flatten());
             out_meta.push((w.schema.clone(), start, out_wires.len() - start));
         }
-        LoweredCircuit { circuit: b.finish(out_wires), layout, outputs: out_meta }
+        LoweredCircuit {
+            circuit: b.finish(out_wires),
+            layout,
+            outputs: out_meta,
+        }
     }
 }
 
@@ -792,9 +869,7 @@ impl RelationalCircuit {
                 RcOp::Aggregate { agg, .. } => (format!("Π agg {agg:?}"), "ellipse"),
                 RcOp::Union { .. } => ("∪".to_string(), "ellipse"),
                 RcOp::JoinPk { .. } => (format!("⋈ pk\\n{}", n.schema), "ellipse"),
-                RcOp::JoinDegree { deg, .. } => {
-                    (format!("⋈ deg≤{deg}\\n{}", n.schema), "ellipse")
-                }
+                RcOp::JoinDegree { deg, .. } => (format!("⋈ deg≤{deg}\\n{}", n.schema), "ellipse"),
                 RcOp::JoinOutput { out_bound, .. } => {
                     (format!("⋈ out≤{out_bound}\\n{}", n.schema), "ellipse")
                 }
@@ -802,9 +877,7 @@ impl RelationalCircuit {
                 RcOp::Decompose { part, .. } => (format!("decomp #{part}"), "hexagon"),
                 RcOp::Order { by, .. } => (format!("τ {by}"), "ellipse"),
                 RcOp::Truncate { capacity, .. } => (format!("trunc {capacity}"), "ellipse"),
-                RcOp::AttachConst { var, value, .. } => {
-                    (format!("{var} := {value}"), "ellipse")
-                }
+                RcOp::AttachConst { var, value, .. } => (format!("{var} := {value}"), "ellipse"),
                 RcOp::MapMul { out, op, .. } => (format!("map {op:?} → {out}"), "ellipse"),
             };
             let peripheries = if self.outputs.contains(&i) { 2 } else { 1 };
@@ -857,7 +930,12 @@ impl std::fmt::Display for RelationalCircuit {
                     RcPred::ColEq { a, b } => format!("Select(n{input}, {a} = {b})"),
                 },
                 RcOp::Project { input, onto } => format!("Project(n{input} → {onto})"),
-                RcOp::Aggregate { input, group, agg, out } => {
+                RcOp::Aggregate {
+                    input,
+                    group,
+                    agg,
+                    out,
+                } => {
                     format!("Aggregate(n{input} by {group}, {agg:?} → {out})")
                 }
                 RcOp::Union { a, b } => format!("Union(n{a}, n{b})"),
@@ -875,12 +953,26 @@ impl std::fmt::Display for RelationalCircuit {
                 RcOp::AttachConst { input, var, value } => {
                     format!("Attach(n{input}, {var} := {value})")
                 }
-                RcOp::MapMul { input, a, b, out, op } => {
+                RcOp::MapMul {
+                    input,
+                    a,
+                    b,
+                    out,
+                    op,
+                } => {
                     format!("Map(n{input}, {a} {op:?} {b} → {out})")
                 }
             };
-            let marker = if self.outputs.contains(&i) { " *out*" } else { "" };
-            writeln!(f, "n{i:<4} [{} | cap {:>8}] {op}{marker}", n.schema, n.capacity)?;
+            let marker = if self.outputs.contains(&i) {
+                " *out*"
+            } else {
+                ""
+            };
+            writeln!(
+                f,
+                "n{i:<4} [{} | cap {:>8}] {op}{marker}",
+                n.schema, n.capacity
+            )?;
         }
         Ok(())
     }
@@ -958,7 +1050,14 @@ mod tests {
         let mut rc = RelationalCircuit::new();
         let r = rc.input("R", vs(&[0, 1]), 16);
         let s = rc.input("S", vs(&[1, 2]), 16);
-        let sel = rc.select(r, RcPred::FieldRange { var: Var(0), lo: 0, hi: 20 });
+        let sel = rc.select(
+            r,
+            RcPred::FieldRange {
+                var: Var(0),
+                lo: 0,
+                hi: 20,
+            },
+        );
         let j = rc.join_degree(sel, s, 16);
         let p = rc.project(j, vs(&[0, 2]));
         rc.mark_output(p);
@@ -1063,12 +1162,12 @@ mod tests {
         let m = rc.map_mul(a2, Var(5), Var(6), Var(7));
         rc.mark_output(m);
         let mut db = Database::new();
-        db.insert("R", Relation::from_rows(vec![Var(0)], vec![vec![1], vec![2]]));
-        let ram = rc.evaluate_ram(&db).unwrap();
-        let expect = Relation::from_rows(
-            vec![Var(0), Var(7)],
-            vec![vec![1, 21], vec![2, 21]],
+        db.insert(
+            "R",
+            Relation::from_rows(vec![Var(0)], vec![vec![1], vec![2]]),
         );
+        let ram = rc.evaluate_ram(&db).unwrap();
+        let expect = Relation::from_rows(vec![Var(0), Var(7)], vec![vec![1, 21], vec![2, 21]]);
         assert_eq!(ram[0], expect);
         let lowered = rc.lower(Mode::Build);
         assert_eq!(lowered.run(&db).unwrap()[0], expect);
@@ -1078,8 +1177,20 @@ mod tests {
     fn equality_predicates() {
         let mut rc = RelationalCircuit::new();
         let r = rc.input("R", vs(&[0, 1]), 8);
-        let eq = rc.select(r, RcPred::FieldEq { var: Var(1), value: 7 });
-        let diag = rc.select(r, RcPred::ColEq { a: Var(0), b: Var(1) });
+        let eq = rc.select(
+            r,
+            RcPred::FieldEq {
+                var: Var(1),
+                value: 7,
+            },
+        );
+        let diag = rc.select(
+            r,
+            RcPred::ColEq {
+                a: Var(0),
+                b: Var(1),
+            },
+        );
         rc.mark_output(eq);
         rc.mark_output(diag);
         let mut db = Database::new();
@@ -1117,10 +1228,7 @@ mod tests {
         // ranks follow B order with A tie-break: (2,3)→1? no: (2,3) vs (5,3)
         // tie on B=3 broken by A: (2,3)→1, (5,3)→2, (1,9)→3
         let rank_col = ram[0].col(Var(9)).unwrap();
-        let rows: Vec<(u64, u64)> = ram[0]
-            .iter()
-            .map(|row| (row[0], row[rank_col]))
-            .collect();
+        let rows: Vec<(u64, u64)> = ram[0].iter().map(|row| (row[0], row[rank_col])).collect();
         assert!(rows.contains(&(2, 1)) && rows.contains(&(5, 2)) && rows.contains(&(1, 3)));
     }
 
@@ -1128,6 +1236,9 @@ mod tests {
     fn missing_input_errors() {
         let rc = sample_circuit();
         let db = Database::new();
-        assert!(matches!(rc.evaluate_ram(&db), Err(RcError::MissingInput(_))));
+        assert!(matches!(
+            rc.evaluate_ram(&db),
+            Err(RcError::MissingInput(_))
+        ));
     }
 }

@@ -100,7 +100,11 @@ impl AggregateQuery {
         annotations: Vec<Option<Var>>,
         ghd_limit: usize,
     ) -> Result<Self, YannakakisError> {
-        assert_eq!(annotations.len(), cq.atoms.len(), "one annotation slot per atom");
+        assert_eq!(
+            annotations.len(),
+            cq.atoms.len(),
+            "one annotation slot per atom"
+        );
         for a in annotations.iter().flatten() {
             assert!(
                 !cq.all_vars().contains(*a) && a.0 < 61,
@@ -139,7 +143,11 @@ impl AggregateQuery {
                 None => atom.vars,
             };
             let node = rc.input(atom.name.clone(), schema, cap);
-            let plain = if annot.is_some() { rc.project(node, atom.vars) } else { node };
+            let plain = if annot.is_some() {
+                rc.project(node, atom.vars)
+            } else {
+                node
+            };
             inputs.push((atom.name.clone(), atom.vars, plain));
             annotated_nodes.push((atom.vars, *annot, node));
         }
@@ -170,7 +178,12 @@ impl AggregateQuery {
                     t = rc.map_bin(joined, ANNOT, *a, ANNOT, sr.times_op());
                 }
             }
-            nodes.push(Node { bag: gn.bag, t, parent: gn.parent, alive: true });
+            nodes.push(Node {
+                bag: gn.bag,
+                t,
+                parent: gn.parent,
+                alive: true,
+            });
         }
 
         // Reduce with ⊕-aggregation messages (Alg. 8 + Sec. 7): children
@@ -213,7 +226,11 @@ impl AggregateQuery {
         }
 
         // Semijoin passes on the free tree (annotation-free projections).
-        let alive: Vec<usize> = bottom_up.iter().copied().filter(|&i| nodes[i].alive).collect();
+        let alive: Vec<usize> = bottom_up
+            .iter()
+            .copied()
+            .filter(|&i| nodes[i].alive)
+            .collect();
         for &v in &alive {
             if v == root {
                 continue;
@@ -239,8 +256,9 @@ impl AggregateQuery {
             let p = nodes[v].parent.expect("alive parent");
             // move the child's annotation out of the way of the join
             let renamed = rc.aggregate(nodes[v].t, nodes[v].bag, sr.plus_agg(ANNOT), TMP);
-            let cap_product =
-                rc.nodes[nodes[p].t].capacity.saturating_mul(rc.nodes[renamed].capacity);
+            let cap_product = rc.nodes[nodes[p].t]
+                .capacity
+                .saturating_mul(rc.nodes[renamed].capacity);
             let out_t = out_bound.min(cap_product);
             let shared = nodes[p].bag.intersect(nodes[v].bag);
             let joined = if shared.is_empty() {
@@ -265,7 +283,11 @@ impl AggregateQuery {
             let rel = db.get(&atom.name).ok_or_else(|| {
                 YannakakisError::Eval(crate::rc::RcError::MissingInput(atom.name.clone()))
             })?;
-            let rel = if annot.is_some() { rel.project(atom.vars) } else { rel.clone() };
+            let rel = if annot.is_some() {
+                rel.project(atom.vars)
+            } else {
+                rel.clone()
+            };
             plain.insert(atom.name.clone(), rel);
         }
         let os = crate::yannakakis::OutputSensitive::build(&self.cq, &self.dc, 4_000)?;
@@ -290,10 +312,13 @@ impl AggregateQuery {
         }
         let annot_cols: Vec<Var> = self.annotations.iter().flatten().copied().collect();
         let free_vars: Vec<Var> = self.cq.free.to_vec();
-        let mut groups: std::collections::BTreeMap<Vec<u64>, u64> = std::collections::BTreeMap::new();
+        let mut groups: std::collections::BTreeMap<Vec<u64>, u64> =
+            std::collections::BTreeMap::new();
         for row in acc.iter() {
-            let key: Vec<u64> =
-                free_vars.iter().map(|v| row[acc.col(*v).expect("free var")]).collect();
+            let key: Vec<u64> = free_vars
+                .iter()
+                .map(|v| row[acc.col(*v).expect("free var")])
+                .collect();
             let mut prod = sr.one();
             for a in &annot_cols {
                 prod = sr.times(prod, row[acc.col(*a).expect("annotation")]);
@@ -333,7 +358,10 @@ mod tests {
 
     fn dc_for(cq: &Cq, n: u64) -> DcSet {
         DcSet::from_vec(
-            cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+            cq.atoms
+                .iter()
+                .map(|a| DegreeConstraint::cardinality(a.vars, n))
+                .collect(),
         )
     }
 
@@ -358,8 +386,7 @@ mod tests {
         // #paths from x0 through x1 to x2, grouped by x0 (Natural, 1̄)
         let q0 = parse_cq("Q(a) :- R(a, b), S(b, c)").unwrap();
         let dc = dc_for(&q0, 24);
-        let aq =
-            AggregateQuery::new(&q0, &dc, Semiring::Natural, vec![None, None], 4000).unwrap();
+        let aq = AggregateQuery::new(&q0, &dc, Semiring::Natural, vec![None, None], 4000).unwrap();
         for seed in 0..3 {
             let mut db = Database::new();
             // parser: a=0 (free), b=1... check indices: head Q(a): a=0; R(a,b): b=1; S(b,c): c=2
@@ -427,11 +454,13 @@ mod tests {
         // Boolean semiring over a cyclic query: does each a participate in
         // a triangle?
         let q0 = triangle();
-        let q = Cq { free: vs(&[0]), ..q0 };
+        let q = Cq {
+            free: vs(&[0]),
+            ..q0
+        };
         let dc = dc_for(&q, 20);
         let aq =
-            AggregateQuery::new(&q, &dc, Semiring::Boolean, vec![None, None, None], 4000)
-                .unwrap();
+            AggregateQuery::new(&q, &dc, Semiring::Boolean, vec![None, None, None], 4000).unwrap();
         let mut db = Database::new();
         db.insert("R", random_relation(vec![Var(0), Var(1)], 18, 1));
         db.insert("S", random_relation(vec![Var(1), Var(2)], 18, 2));
@@ -471,14 +500,8 @@ mod tests {
         use qec_circuit::Mode;
         let q0 = parse_cq("Q(a) :- R(a, b), S(b, c)").unwrap();
         let dc = dc_for(&q0, 12);
-        let aq = AggregateQuery::new(
-            &q0,
-            &dc,
-            Semiring::Natural,
-            vec![Some(Var(40)), None],
-            4000,
-        )
-        .unwrap();
+        let aq = AggregateQuery::new(&q0, &dc, Semiring::Natural, vec![Some(Var(40)), None], 4000)
+            .unwrap();
         let mut db = Database::new();
         let r = random_relation(vec![Var(0), Var(1)], 10, 3);
         db.insert("R", annotate(&r, Var(40), 77));
@@ -495,11 +518,13 @@ mod tests {
         // Natural semiring: number of triangles through each a — the
         // motivating workload for Sec. 7.
         let q0 = triangle();
-        let q = Cq { free: vs(&[0]), ..q0 };
+        let q = Cq {
+            free: vs(&[0]),
+            ..q0
+        };
         let dc = dc_for(&q, 20);
         let aq =
-            AggregateQuery::new(&q, &dc, Semiring::Natural, vec![None, None, None], 4000)
-                .unwrap();
+            AggregateQuery::new(&q, &dc, Semiring::Natural, vec![None, None, None], 4000).unwrap();
         for seed in 0..2 {
             let mut db = Database::new();
             db.insert("R", random_relation(vec![Var(0), Var(1)], 16, seed));

@@ -82,9 +82,7 @@ pub fn da_fhtw(cq: &Cq, dc: &DcSet, ghd_limit: usize) -> Result<(Ghd, Rat), Yann
         }
         let better = match &best {
             None => true,
-            Some((bg, bw)) => {
-                width < *bw || (width == *bw && g.nodes.len() < bg.nodes.len())
-            }
+            Some((bg, bw)) => width < *bw || (width == *bw && g.nodes.len() < bg.nodes.len()),
         };
         if better {
             best = Some((g, width));
@@ -125,7 +123,12 @@ impl OutputSensitive {
     /// search (elimination orders tried).
     pub fn build(cq: &Cq, dc: &DcSet, ghd_limit: usize) -> Result<Self, YannakakisError> {
         let (ghd, width) = da_fhtw(cq, dc, ghd_limit)?;
-        Ok(OutputSensitive { cq: cq.clone(), dc: dc.clone(), ghd, width })
+        Ok(OutputSensitive {
+            cq: cq.clone(),
+            dc: dc.clone(),
+            ghd,
+            width,
+        })
     }
 
     #[allow(clippy::needless_range_loop)] // re-parenting mutates `nodes` while indexing
@@ -136,12 +139,9 @@ impl OutputSensitive {
         let mut rc = RelationalCircuit::new();
         let mut inputs = Vec::new();
         for atom in &self.cq.atoms {
-            let cap = self
-                .dc
-                .cardinality_of(atom.vars)
-                .ok_or_else(|| {
-                    YannakakisError::Compile(CompileError::UnguardedAtom(atom.name.clone()))
-                })?;
+            let cap = self.dc.cardinality_of(atom.vars).ok_or_else(|| {
+                YannakakisError::Compile(CompileError::UnguardedAtom(atom.name.clone()))
+            })?;
             let node = rc.input(atom.name.clone(), atom.vars, cap);
             inputs.push((atom.name.clone(), atom.vars, node));
         }
@@ -151,7 +151,12 @@ impl OutputSensitive {
             let (t, _, _, _) =
                 compile_target(&mut rc, &inputs, &self.dc, gn.bag, self.cq.num_vars())
                     .map_err(YannakakisError::Compile)?;
-            nodes.push(RNode { bag: gn.bag, t, parent: gn.parent, alive: true });
+            nodes.push(RNode {
+                bag: gn.bag,
+                t,
+                parent: gn.parent,
+                alive: true,
+            });
         }
         // Alg. 8 lines 7–16: bottom-up reduction.
         let bottom_up = self.ghd.bottom_up();
@@ -184,7 +189,12 @@ impl OutputSensitive {
             nodes[root].bag = root_free;
         }
         let bottom_up = bottom_up.into_iter().filter(|&i| nodes[i].alive).collect();
-        Ok(Reduced { rc, nodes, bottom_up, root })
+        Ok(Reduced {
+            rc,
+            nodes,
+            bottom_up,
+            root,
+        })
     }
 
     /// The first circuit family (Alg. 11): computes `OUT = |Q(D)|` as a
@@ -192,7 +202,12 @@ impl OutputSensitive {
     /// `OUT = 0`). Size `Õ(N + 2^{da-fhtw})`.
     #[allow(clippy::needless_range_loop)] // attaches columns in place
     pub fn count_circuit(&self) -> Result<RelationalCircuit, YannakakisError> {
-        let Reduced { mut rc, mut nodes, bottom_up, root } = self.reduce()?;
+        let Reduced {
+            mut rc,
+            mut nodes,
+            bottom_up,
+            root,
+        } = self.reduce()?;
         // attach the unit annotation (line 2)
         for i in 0..nodes.len() {
             if nodes[i].alive {
@@ -222,7 +237,12 @@ impl OutputSensitive {
     /// `Õ(N + 2^{da-fhtw} + OUT)`.
     pub fn query_circuit(&self, out_bound: u64) -> Result<RelationalCircuit, YannakakisError> {
         let out_bound = out_bound.max(1);
-        let Reduced { mut rc, mut nodes, bottom_up, root } = self.reduce()?;
+        let Reduced {
+            mut rc,
+            mut nodes,
+            bottom_up,
+            root,
+        } = self.reduce()?;
         // Alg. 9 lines 2–5: bottom-up semijoins.
         for &v in &bottom_up {
             if v == root {
@@ -283,7 +303,12 @@ impl OutputSensitive {
     /// Panics if the query has free variables.
     pub fn boolean_circuit(&self) -> Result<RelationalCircuit, YannakakisError> {
         assert!(self.cq.is_boolean(), "boolean_circuit expects a BCQ");
-        let Reduced { mut rc, nodes, bottom_up, root } = self.reduce()?;
+        let Reduced {
+            mut rc,
+            nodes,
+            bottom_up,
+            root,
+        } = self.reduce()?;
         // For a BCQ every bag's free part is ∅ ⊆ parent, so the reduce
         // phase semijoins everything into the root and projects it to the
         // empty schema; a unit-capacity truncation leaves one wire.
@@ -331,14 +356,20 @@ mod tests {
 
     fn dc_for(cq: &Cq, n: u64) -> DcSet {
         DcSet::from_vec(
-            cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+            cq.atoms
+                .iter()
+                .map(|a| DegreeConstraint::cardinality(a.vars, n))
+                .collect(),
         )
     }
 
     fn db_for(cq: &Cq, n: usize, seed: u64) -> Database {
         let mut db = Database::new();
         for (i, a) in cq.atoms.iter().enumerate() {
-            db.insert(a.name.clone(), random_relation(a.vars.to_vec(), n, seed * 31 + i as u64));
+            db.insert(
+                a.name.clone(),
+                random_relation(a.vars.to_vec(), n, seed * 31 + i as u64),
+            );
         }
         db
     }
@@ -366,7 +397,11 @@ mod tests {
         for seed in 0..3 {
             let db = db_for(&q, 28, seed);
             let expect = evaluate_pairwise(&q, &db).unwrap();
-            assert_eq!(os.count_ram(&db).unwrap(), expect.len() as u64, "seed {seed}");
+            assert_eq!(
+                os.count_ram(&db).unwrap(),
+                expect.len() as u64,
+                "seed {seed}"
+            );
             assert_eq!(os.evaluate_ram(&db).unwrap(), expect, "seed {seed}");
         }
     }
@@ -376,13 +411,20 @@ mod tests {
         // Q(x0, x1) over a snowflake: bound petals must not multiply the
         // count
         let q0 = snowflake(2);
-        let q = Cq { free: vs(&[0, 1]), ..q0 };
+        let q = Cq {
+            free: vs(&[0, 1]),
+            ..q0
+        };
         let dc = dc_for(&q, 32);
         let os = OutputSensitive::build(&q, &dc, 5_000).unwrap();
         for seed in 0..3 {
             let db = db_for(&q, 24, seed + 7);
             let expect = evaluate_pairwise(&q, &db).unwrap();
-            assert_eq!(os.count_ram(&db).unwrap(), expect.len() as u64, "seed {seed}");
+            assert_eq!(
+                os.count_ram(&db).unwrap(),
+                expect.len() as u64,
+                "seed {seed}"
+            );
             assert_eq!(os.evaluate_ram(&db).unwrap(), expect, "seed {seed}");
         }
     }
@@ -405,21 +447,31 @@ mod tests {
     fn cyclic_query_with_projection() {
         // Q(a) over a triangle: bag = triangle (PANDA inside), then project
         let q0 = triangle();
-        let q = Cq { free: vs(&[0]), ..q0 };
+        let q = Cq {
+            free: vs(&[0]),
+            ..q0
+        };
         let dc = dc_for(&q, 24);
         let os = OutputSensitive::build(&q, &dc, 5_000).unwrap();
         for seed in 0..3 {
             let db = db_for(&q, 20, seed + 3);
             let expect = evaluate_pairwise(&q, &db).unwrap();
             assert_eq!(os.evaluate_ram(&db).unwrap(), expect, "seed {seed}");
-            assert_eq!(os.count_ram(&db).unwrap(), expect.len() as u64, "seed {seed}");
+            assert_eq!(
+                os.count_ram(&db).unwrap(),
+                expect.len() as u64,
+                "seed {seed}"
+            );
         }
     }
 
     #[test]
     fn lowered_output_sensitive_matches() {
         let q0 = k_path(2); // R(x0,x1), S(x1,x2)
-        let q = Cq { free: vs(&[0, 2]), ..q0 };
+        let q = Cq {
+            free: vs(&[0, 2]),
+            ..q0
+        };
         let dc = dc_for(&q, 12);
         let os = OutputSensitive::build(&q, &dc, 5_000).unwrap();
         let db = db_for(&q, 10, 5);

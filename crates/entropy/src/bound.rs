@@ -35,7 +35,10 @@ impl std::fmt::Display for BoundError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BoundError::Unbounded => {
-                write!(f, "polymatroid bound is unbounded: constraints do not cover the target")
+                write!(
+                    f,
+                    "polymatroid bound is unbounded: constraints do not cover the target"
+                )
             }
             BoundError::VariableOutOfRange => {
                 write!(f, "degree constraint mentions a variable outside the query")
@@ -100,7 +103,10 @@ impl Bound {
 /// implicit (the empty set has no LP variable). Degree constraints
 /// contribute `h(Y) - h(X) ≤ ⌈log₂ N_{Y|X}⌉`.
 pub fn polymatroid_bound(num_vars: u32, dc: &DcSet, target: VarSet) -> Result<Bound, BoundError> {
-    assert!(num_vars <= 16, "polymatroid LP is exponential in n; n ≤ 16 enforced");
+    assert!(
+        num_vars <= 16,
+        "polymatroid LP is exponential in n; n ≤ 16 enforced"
+    );
     let n = num_vars;
     let all = VarSet::full(n);
     if !dc.vars().is_subset(all) {
@@ -148,7 +154,10 @@ pub fn polymatroid_bound(num_vars: u32, dc: &DcSet, target: VarSet) -> Result<Bo
         if !c.on.is_empty() {
             coeffs.push((ridx(c.on), -Rat::one()));
         }
-        cols.push(Col { coeffs, cost: Rat::from(i64::from(ceil_log2(c.bound))) });
+        cols.push(Col {
+            coeffs,
+            cost: Rat::from(i64::from(ceil_log2(c.bound))),
+        });
     }
     let num_dc = cols.len();
     // Elemental submodularity: h(S∪i) + h(S∪j) − h(S∪ij) − h(S) ≥ 0.
@@ -167,7 +176,10 @@ pub fn polymatroid_bound(num_vars: u32, dc: &DcSet, target: VarSet) -> Result<Bo
                 if !s.is_empty() {
                     coeffs.push((ridx(s), Rat::one()));
                 }
-                cols.push(Col { coeffs, cost: Rat::zero() });
+                cols.push(Col {
+                    coeffs,
+                    cost: Rat::zero(),
+                });
             }
         }
     }
@@ -178,7 +190,10 @@ pub fn polymatroid_bound(num_vars: u32, dc: &DcSet, target: VarSet) -> Result<Bo
         if !below.is_empty() {
             coeffs.push((ridx(below), Rat::one()));
         }
-        cols.push(Col { coeffs, cost: Rat::zero() });
+        cols.push(Col {
+            coeffs,
+            cost: Rat::zero(),
+        });
     }
 
     let mut lp = LpBuilder::minimize(cols.len());
@@ -195,14 +210,23 @@ pub fn polymatroid_bound(num_vars: u32, dc: &DcSet, target: VarSet) -> Result<Bo
         }
     }
     for (row, coeffs) in row_coeffs.into_iter().enumerate() {
-        let rhs = if row == ridx(target) { Rat::one() } else { Rat::zero() };
+        let rhs = if row == ridx(target) {
+            Rat::one()
+        } else {
+            Rat::zero()
+        };
         lp.constraint(coeffs, LpRel::Ge, rhs);
     }
 
     match lp.solve().expect("polymatroid LP within iteration budget") {
         LpOutcome::Optimal(sol) => {
             let delta = sol.primal[..num_dc].to_vec();
-            Ok(Bound { log_value: sol.value, delta, witness: sol.dual, num_vars: n })
+            Ok(Bound {
+                log_value: sol.value,
+                delta,
+                witness: sol.dual,
+                num_vars: n,
+            })
         }
         // the dual is infeasible exactly when the primal is unbounded
         LpOutcome::Infeasible => Err(BoundError::Unbounded),

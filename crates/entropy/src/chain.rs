@@ -98,7 +98,11 @@ pub fn with_implied_degrees(dc: &DcSet) -> DcSet {
         }
         for x in c.of.subsets() {
             if !x.is_empty() && x != c.of {
-                out.push(DegreeConstraint { on: x, of: c.of, bound: c.bound });
+                out.push(DegreeConstraint {
+                    on: x,
+                    of: c.of,
+                    bound: c.bound,
+                });
             }
         }
     }
@@ -202,7 +206,15 @@ pub fn prove_bound(
     target: VarSet,
     max_orders: Option<usize>,
 ) -> Result<ShannonFlowProof, ChainProofError> {
-    prove_bound_opts(num_vars, dc, target, ProveOpts { max_orders, ..ProveOpts::default() })
+    prove_bound_opts(
+        num_vars,
+        dc,
+        target,
+        ProveOpts {
+            max_orders,
+            ..ProveOpts::default()
+        },
+    )
 }
 
 /// Options for [`prove_bound_opts`].
@@ -243,14 +255,18 @@ pub fn prove_bound_opts(
         (Some(t), _) => t.clone(),
         (None, Some(b)) => b.clone(),
         (None, None) => {
-            polymatroid_bound(num_vars, dc, target).map_err(ChainProofError::Bound)?.log_value
+            polymatroid_bound(num_vars, dc, target)
+                .map_err(ChainProofError::Bound)?
+                .log_value
         }
     };
 
     let augmented = with_implied_degrees(dc);
     let constraints: Vec<DegreeConstraint> = augmented.iter().copied().collect();
-    let log_bounds: Vec<Rat> =
-        constraints.iter().map(|c| Rat::from(i64::from(ceil_log2(c.bound)))).collect();
+    let log_bounds: Vec<Rat> = constraints
+        .iter()
+        .map(|c| Rat::from(i64::from(ceil_log2(c.bound))))
+        .collect();
 
     let vars: Vec<Var> = target.to_vec();
     let limit = max_orders.unwrap_or(usize::MAX);
@@ -322,7 +338,12 @@ fn solve_order(
             for blocks in block_plans(&positions, granularity) {
                 let plan_idx = plans.len();
                 for (bi, &(l, r)) in blocks.iter().enumerate() {
-                    edges.push(Edge { from: l - 1, to: r, plan: plan_idx, block: bi });
+                    edges.push(Edge {
+                        from: l - 1,
+                        to: r,
+                        plan: plan_idx,
+                        block: bi,
+                    });
                 }
                 plans.push(Plan { cons: ci, blocks });
             }
@@ -343,8 +364,16 @@ fn solve_order(
                 continue; // conditioning set must precede the jump
             }
             let plan_idx = plans.len();
-            edges.push(Edge { from: l - 1, to: r, plan: plan_idx, block: 0 });
-            plans.push(Plan { cons: ci, blocks: vec![(l, r)] });
+            edges.push(Edge {
+                from: l - 1,
+                to: r,
+                plan: plan_idx,
+                block: 0,
+            });
+            plans.push(Plan {
+                cons: ci,
+                blocks: vec![(l, r)],
+            });
         }
     }
     if edges.is_empty() {
@@ -387,7 +416,11 @@ fn solve_order(
     lp.constraint(source, LpRel::Eq, Rat::one());
     // capacity: f_e ≤ δ_plan(e)
     for (ei, e) in edges.iter().enumerate() {
-        lp.constraint(vec![(m + ei, Rat::one()), (e.plan, -Rat::one())], LpRel::Le, Rat::zero());
+        lp.constraint(
+            vec![(m + ei, Rat::one()), (e.plan, -Rat::one())],
+            LpRel::Le,
+            Rat::zero(),
+        );
     }
 
     match lp.solve().expect("chain LP within iteration budget") {
@@ -426,7 +459,10 @@ fn build_steps(
                 return Vec::new();
             }
             let g = c.of.intersect(target);
-            p.blocks.iter().map(|&(_, r)| g.intersect(prefix(r))).collect()
+            p.blocks
+                .iter()
+                .map(|&(_, r)| g.intersect(prefix(r)))
+                .collect()
         })
         .collect();
     let _ = pos;
@@ -441,8 +477,11 @@ fn build_steps(
         .zip(per_cons.iter())
         .filter(|(_, w)| w.is_positive())
         .map(|(c, w)| {
-            let term =
-                if c.is_cardinality() { Term::plain(c.of) } else { Term::cond(c.on, c.of) };
+            let term = if c.is_cardinality() {
+                Term::plain(c.of)
+            } else {
+                Term::cond(c.on, c.of)
+            };
             (term, w.clone())
         })
         .collect();
@@ -460,12 +499,18 @@ fn build_steps(
         }
         let g = c.of.intersect(target);
         if g != c.of {
-            steps.push(WeightedStep { step: ProofStep::Mono { x: g, y: c.of }, weight: w.clone() });
+            steps.push(WeightedStep {
+                step: ProofStep::Mono { x: g, y: c.of },
+                weight: w.clone(),
+            });
         }
         let prefixes = &block_prefixes[pi];
         for j in (2..=prefixes.len()).rev() {
             steps.push(WeightedStep {
-                step: ProofStep::Decomp { y: prefixes[j - 1], x: prefixes[j - 2] },
+                step: ProofStep::Decomp {
+                    y: prefixes[j - 1],
+                    x: prefixes[j - 2],
+                },
                 weight: w.clone(),
             });
         }
@@ -488,12 +533,16 @@ fn build_steps(
         if j_set.is_subset(i_set) {
             continue;
         }
-        steps.push(WeightedStep { step: ProofStep::Sub { i: i_set, j: j_set }, weight: f });
+        steps.push(WeightedStep {
+            step: ProofStep::Sub { i: i_set, j: j_set },
+            weight: f,
+        });
     }
 
     // (d) compositions threading the flow, in increasing source order
-    let mut used: Vec<usize> =
-        (0..plan.edges.len()).filter(|&ei| plan.flow[ei].is_positive()).collect();
+    let mut used: Vec<usize> = (0..plan.edges.len())
+        .filter(|&ei| plan.flow[ei].is_positive())
+        .collect();
     used.sort_by_key(|&ei| plan.edges[ei].from);
     for ei in used {
         let e = &plan.edges[ei];
@@ -501,7 +550,10 @@ fn build_steps(
             continue; // already an unconditional term (∅, P_to)
         }
         steps.push(WeightedStep {
-            step: ProofStep::Comp { x: prefix(e.from), y: prefix(e.to) },
+            step: ProofStep::Comp {
+                x: prefix(e.from),
+                y: prefix(e.to),
+            },
             weight: plan.flow[ei].clone(),
         });
     }
@@ -545,11 +597,18 @@ mod tests {
         // sequence (3) / Example 2, which decomposes a single relation —
         // and two compositions
         assert_eq!(
-            p.steps.iter().filter(|s| matches!(s.step, ProofStep::Decomp { .. })).count(),
+            p.steps
+                .iter()
+                .filter(|s| matches!(s.step, ProofStep::Decomp { .. }))
+                .count(),
             1
         );
         assert!(
-            p.steps.iter().filter(|s| matches!(s.step, ProofStep::Comp { .. })).count() >= 2
+            p.steps
+                .iter()
+                .filter(|s| matches!(s.step, ProofStep::Comp { .. }))
+                .count()
+                >= 2
         );
     }
 
@@ -596,10 +655,7 @@ mod tests {
             let n = 1u64 << 8;
             let mut cs = Vec::new();
             for i in 0..k {
-                cs.push(DegreeConstraint::cardinality(
-                    vs(&[i, (i + 1) % k]),
-                    n,
-                ));
+                cs.push(DegreeConstraint::cardinality(vs(&[i, (i + 1) % k]), n));
             }
             let dc = DcSet::from_vec(cs);
             let b = polymatroid_bound(k, &dc, VarSet::full(k)).unwrap();
@@ -624,7 +680,10 @@ mod tests {
         let dc = DcSet::from_vec(vec![DegreeConstraint::cardinality(vs(&[0, 1, 2]), 1 << 9)]);
         let p = prove_bound(3, &dc, vs(&[0, 1]), None).unwrap();
         assert_eq!(p.log_cost, rat(9, 1));
-        assert!(p.steps.iter().any(|s| matches!(s.step, ProofStep::Mono { .. })));
+        assert!(p
+            .steps
+            .iter()
+            .any(|s| matches!(s.step, ProofStep::Mono { .. })));
         validate(&p).unwrap();
     }
 

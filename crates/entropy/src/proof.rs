@@ -19,7 +19,10 @@ pub struct Term {
 impl Term {
     /// Unconditional term `h(Y)`.
     pub fn plain(of: VarSet) -> Term {
-        Term { on: VarSet::EMPTY, of }
+        Term {
+            on: VarSet::EMPTY,
+            of,
+        }
     }
 
     /// Conditional term `h(Y|X)`.
@@ -93,7 +96,10 @@ impl ProofStep {
     /// Terms consumed (coefficient decreases).
     pub fn consumes(&self) -> Vec<Term> {
         match *self {
-            ProofStep::Sub { i, j } => vec![Term { on: i.intersect(j), of: i }],
+            ProofStep::Sub { i, j } => vec![Term {
+                on: i.intersect(j),
+                of: i,
+            }],
             ProofStep::Mono { y, .. } => vec![Term::plain(y)],
             ProofStep::Comp { x, y } => vec![Term::plain(x), Term { on: x, of: y }],
             ProofStep::Decomp { y, .. } => vec![Term::plain(y)],
@@ -103,7 +109,10 @@ impl ProofStep {
     /// Terms produced (coefficient increases).
     pub fn produces(&self) -> Vec<Term> {
         match *self {
-            ProofStep::Sub { i, j } => vec![Term { on: j, of: i.union(j) }],
+            ProofStep::Sub { i, j } => vec![Term {
+                on: j,
+                of: i.union(j),
+            }],
             ProofStep::Mono { x, .. } => vec![Term::plain(x)],
             ProofStep::Comp { y, .. } => vec![Term::plain(y)],
             ProofStep::Decomp { y, x } => vec![Term::plain(x), Term { on: x, of: y }],
@@ -258,7 +267,10 @@ pub fn validate(proof: &ShannonFlowProof) -> Result<(), ProofError> {
             let e = coeff.entry(t).or_insert_with(Rat::zero);
             *e = &*e - &ws.weight;
             if e.is_negative() {
-                return Err(ProofError::NegativeCoefficient { index: idx, term: t });
+                return Err(ProofError::NegativeCoefficient {
+                    index: idx,
+                    term: t,
+                });
             }
         }
         for t in ws.step.produces() {
@@ -266,7 +278,10 @@ pub fn validate(proof: &ShannonFlowProof) -> Result<(), ProofError> {
             *e = &*e + &ws.weight;
         }
     }
-    let got = coeff.get(&Term::plain(proof.target)).cloned().unwrap_or_else(Rat::zero);
+    let got = coeff
+        .get(&Term::plain(proof.target))
+        .cloned()
+        .unwrap_or_else(Rat::zero);
     if got < proof.lambda {
         return Err(ProofError::TargetNotReached);
     }
@@ -299,25 +314,43 @@ mod tests {
             ],
             steps: vec![
                 // s_{AB,C}: consumes h(AB|∅), produces h(ABC|C)
-                WeightedStep { step: ProofStep::Sub { i: vs(&[a, b]), j: vs(&[c]) }, weight: h.clone() },
+                WeightedStep {
+                    step: ProofStep::Sub {
+                        i: vs(&[a, b]),
+                        j: vs(&[c]),
+                    },
+                    weight: h.clone(),
+                },
                 // d_{BC,C}: h(BC) → h(C) + h(BC|C)
                 WeightedStep {
-                    step: ProofStep::Decomp { y: vs(&[b, c]), x: vs(&[c]) },
+                    step: ProofStep::Decomp {
+                        y: vs(&[b, c]),
+                        x: vs(&[c]),
+                    },
                     weight: h.clone(),
                 },
                 // s_{BC,AC}: consumes h(BC|C), produces h(ABC|AC)
                 WeightedStep {
-                    step: ProofStep::Sub { i: vs(&[b, c]), j: vs(&[a, c]) },
+                    step: ProofStep::Sub {
+                        i: vs(&[b, c]),
+                        j: vs(&[a, c]),
+                    },
                     weight: h.clone(),
                 },
                 // c_{C,ABC}: h(C) + h(ABC|C) → h(ABC)
                 WeightedStep {
-                    step: ProofStep::Comp { x: vs(&[c]), y: vs(&[a, b, c]) },
+                    step: ProofStep::Comp {
+                        x: vs(&[c]),
+                        y: vs(&[a, b, c]),
+                    },
                     weight: h.clone(),
                 },
                 // c_{AC,ABC}: h(AC) + h(ABC|AC) → h(ABC)
                 WeightedStep {
-                    step: ProofStep::Comp { x: vs(&[a, c]), y: vs(&[a, b, c]) },
+                    step: ProofStep::Comp {
+                        x: vs(&[a, c]),
+                        y: vs(&[a, b, c]),
+                    },
                     weight: h,
                 },
             ],
@@ -346,13 +379,19 @@ mod tests {
         // bump the first step's weight beyond the available 1/2
         p.steps[0].weight = rat(2, 3);
         let err = validate(&p).unwrap_err();
-        assert!(matches!(err, ProofError::NegativeCoefficient { index: 0, .. }), "{err:?}");
+        assert!(
+            matches!(err, ProofError::NegativeCoefficient { index: 0, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn malformed_steps_detected() {
         let mut p = paper_triangle_proof();
-        p.steps[1].step = ProofStep::Mono { x: vs(&[0, 1]), y: vs(&[0]) }; // X ⊄ Y
+        p.steps[1].step = ProofStep::Mono {
+            x: vs(&[0, 1]),
+            y: vs(&[0]),
+        }; // X ⊄ Y
         assert_eq!(validate(&p), Err(ProofError::MalformedStep(1)));
 
         let mut p2 = paper_triangle_proof();
@@ -364,13 +403,19 @@ mod tests {
     fn step_vectors_match_paper_semantics() {
         // d_{Y,X}: -1 at (∅,Y), +1 at (∅,X) and (X,Y) — the example given
         // below Eq. (3) in the paper.
-        let d = ProofStep::Decomp { y: vs(&[1, 2]), x: vs(&[2]) };
+        let d = ProofStep::Decomp {
+            y: vs(&[1, 2]),
+            x: vs(&[2]),
+        };
         assert_eq!(d.consumes(), vec![Term::plain(vs(&[1, 2]))]);
         assert_eq!(
             d.produces(),
             vec![Term::plain(vs(&[2])), Term::cond(vs(&[2]), vs(&[1, 2]))]
         );
-        let s = ProofStep::Sub { i: vs(&[0, 1]), j: vs(&[2]) };
+        let s = ProofStep::Sub {
+            i: vs(&[0, 1]),
+            j: vs(&[2]),
+        };
         assert_eq!(s.consumes(), vec![Term::plain(vs(&[0, 1]))]);
         assert_eq!(s.produces(), vec![Term::cond(vs(&[2]), vs(&[0, 1, 2]))]);
     }
@@ -384,7 +429,10 @@ mod tests {
             lambda: Rat::one(),
             delta: vec![(Term::plain(vs(&[0, 1, 2])), Rat::one())],
             steps: vec![WeightedStep {
-                step: ProofStep::Mono { x: vs(&[0]), y: vs(&[0, 1, 2]) },
+                step: ProofStep::Mono {
+                    x: vs(&[0]),
+                    y: vs(&[0, 1, 2]),
+                },
                 weight: Rat::one(),
             }],
             order: vec![Var(0)],

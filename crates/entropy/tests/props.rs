@@ -18,10 +18,7 @@ fn vs(mask: u64) -> VarSet {
 /// bound is finite.
 fn card_dc(n: u32) -> impl Strategy<Value = DcSet> {
     let full = (1u64 << n) - 1;
-    let edges = prop::collection::vec(
-        (1..=full, 1u32..10),
-        1..5,
-    );
+    let edges = prop::collection::vec((1..=full, 1u32..10), 1..5);
     edges.prop_map(move |es| {
         let mut v: Vec<DegreeConstraint> = es
             .into_iter()
@@ -29,7 +26,10 @@ fn card_dc(n: u32) -> impl Strategy<Value = DcSet> {
             .collect();
         // guarantee coverage: one constraint per variable
         for i in 0..n {
-            v.push(DegreeConstraint::cardinality(VarSet::singleton(Var(i)), 1 << 5));
+            v.push(DegreeConstraint::cardinality(
+                VarSet::singleton(Var(i)),
+                1 << 5,
+            ));
         }
         DcSet::from_vec(v)
     })

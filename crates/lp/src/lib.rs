@@ -34,12 +34,22 @@ pub struct LpBuilder {
 impl LpBuilder {
     /// Start a maximization problem over `num_vars` non-negative variables.
     pub fn maximize(num_vars: usize) -> Self {
-        LpBuilder { num_vars, sense: Sense::Maximize, objective: Vec::new(), constraints: Vec::new() }
+        LpBuilder {
+            num_vars,
+            sense: Sense::Maximize,
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Start a minimization problem over `num_vars` non-negative variables.
     pub fn minimize(num_vars: usize) -> Self {
-        LpBuilder { num_vars, sense: Sense::Minimize, objective: Vec::new(), constraints: Vec::new() }
+        LpBuilder {
+            num_vars,
+            sense: Sense::Minimize,
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Sets the objective coefficient of variable `var`.

@@ -281,7 +281,12 @@ impl Lp {
                     Relation::Eq => Relation::Eq,
                 };
             }
-            meta.push(RowMeta { flipped, rel, slack_col: None, art_col: None });
+            meta.push(RowMeta {
+                flipped,
+                rel,
+                slack_col: None,
+                art_col: None,
+            });
             dense_rows.push(row);
             rhs.push(b);
         }
@@ -346,10 +351,22 @@ impl Lp {
                 for (i, mt) in meta.iter().enumerate() {
                     let yi = y[i].clone();
                     let yi = if mt.flipped { -yi } else { yi };
-                    dual.push(if self.sense == Sense::Minimize { -yi } else { yi });
+                    dual.push(if self.sense == Sense::Minimize {
+                        -yi
+                    } else {
+                        yi
+                    });
                 }
-                let value = if self.sense == Sense::Minimize { -value } else { value };
-                return Ok(LpOutcome::Optimal(Solution { value, primal: primal_full, dual }));
+                let value = if self.sense == Sense::Minimize {
+                    -value
+                } else {
+                    value
+                };
+                return Ok(LpOutcome::Optimal(Solution {
+                    value,
+                    primal: primal_full,
+                    dual,
+                }));
             }
         }
 
@@ -420,8 +437,16 @@ impl Lp {
             dual.push(if self.sense == Sense::Minimize { -y } else { y });
         }
 
-        let value = if self.sense == Sense::Minimize { -t.value.clone() } else { t.value.clone() };
-        Ok(LpOutcome::Optimal(Solution { value, primal, dual }))
+        let value = if self.sense == Sense::Minimize {
+            -t.value.clone()
+        } else {
+            t.value.clone()
+        };
+        Ok(LpOutcome::Optimal(Solution {
+            value,
+            primal,
+            dual,
+        }))
     }
 }
 
@@ -452,7 +477,10 @@ fn f64_guided(
     }
 
     // f64 copies.
-    let fa: Vec<Vec<f64>> = a.iter().map(|row| row.iter().map(Rat::to_f64).collect()).collect();
+    let fa: Vec<Vec<f64>> = a
+        .iter()
+        .map(|row| row.iter().map(Rat::to_f64).collect())
+        .collect();
     let frhs: Vec<f64> = rhs.iter().map(Rat::to_f64).collect();
     let fobj: Vec<f64> = obj.iter().map(Rat::to_f64).collect();
 
@@ -464,16 +492,22 @@ fn f64_guided(
             // initial basis: slack for Le rows, artificial otherwise —
             // recover it from the standardized matrix (the unit column)
             (n..num_cols)
-                .find(|&j| fa[i][j] > 0.5 && fa.iter().enumerate().all(|(k, r)| k == i || r[j].abs() < 0.5))
+                .find(|&j| {
+                    fa[i][j] > 0.5
+                        && fa
+                            .iter()
+                            .enumerate()
+                            .all(|(k, r)| k == i || r[j].abs() < 0.5)
+                })
                 .expect("standardized rows carry a unit column")
         })
         .collect();
 
     let run_phase = |t: &mut Vec<Vec<f64>>,
-                         b: &mut Vec<f64>,
-                         basis: &mut Vec<usize>,
-                         costs: &[f64],
-                         allowed: &dyn Fn(usize) -> bool|
+                     b: &mut Vec<f64>,
+                     basis: &mut Vec<usize>,
+                     costs: &[f64],
+                     allowed: &dyn Fn(usize) -> bool|
      -> Option<bool> {
         // price out
         let mut reduced: Vec<f64> = costs.to_vec();
@@ -505,21 +539,25 @@ fn f64_guided(
                     entering = Some(j);
                 }
             }
-            let Some(col) = entering else { return Some(true) };
+            let Some(col) = entering else {
+                return Some(true);
+            };
             let mut leave: Option<(usize, f64)> = None;
             for i in 0..m {
                 if t[i][col] > EPS {
                     let ratio = b[i] / t[i][col];
                     if leave.as_ref().is_none_or(|&(_, lr)| ratio < lr - EPS)
-                        || leave
-                            .as_ref()
-                            .is_some_and(|&(li, lr)| (ratio - lr).abs() <= EPS && basis[i] < basis[li])
+                        || leave.as_ref().is_some_and(|&(li, lr)| {
+                            (ratio - lr).abs() <= EPS && basis[i] < basis[li]
+                        })
                     {
                         leave = Some((i, ratio));
                     }
                 }
             }
-            let Some((row, _)) = leave else { return Some(false) };
+            let Some((row, _)) = leave else {
+                return Some(false);
+            };
             // pivot
             let p = t[row][col];
             for j in 0..num_cols {
@@ -570,8 +608,9 @@ fn f64_guided(
 
     // ---- exact reconstruction from the proposed basis ----
     // B x_B = rhs  and  Bᵀ y = c_B, both solved in rationals.
-    let bmat: Vec<Vec<Rat>> =
-        (0..m).map(|i| basis.iter().map(|&c| a[i][c].clone()).collect()).collect();
+    let bmat: Vec<Vec<Rat>> = (0..m)
+        .map(|i| basis.iter().map(|&c| a[i][c].clone()).collect())
+        .collect();
     let x_b = solve_linear(bmat.clone(), rhs.to_vec())?;
     // feasibility + artificial levels
     for (k, v) in x_b.iter().enumerate() {
@@ -590,7 +629,9 @@ fn f64_guided(
         }
     };
     let c_b: Vec<Rat> = basis.iter().map(|&j| cost_of(j)).collect();
-    let bt: Vec<Vec<Rat>> = (0..m).map(|i| (0..m).map(|k| bmat[k][i].clone()).collect()).collect();
+    let bt: Vec<Vec<Rat>> = (0..m)
+        .map(|i| (0..m).map(|k| bmat[k][i].clone()).collect())
+        .collect();
     let y = solve_linear(bt, c_b.clone())?;
     // dual optimality: reduced cost of every admissible column ≤ 0
     let in_basis: std::collections::HashSet<usize> = basis.iter().copied().collect();
@@ -675,7 +716,11 @@ mod tests {
         b.obj(0, rat(3, 1)).obj(1, rat(5, 1));
         b.constraint(vec![(0, rat(1, 1))], Relation::Le, rat(4, 1));
         b.constraint(vec![(1, rat(2, 1))], Relation::Le, rat(12, 1));
-        b.constraint(vec![(0, rat(3, 1)), (1, rat(2, 1))], Relation::Le, rat(18, 1));
+        b.constraint(
+            vec![(0, rat(3, 1)), (1, rat(2, 1))],
+            Relation::Le,
+            rat(18, 1),
+        );
         let s = must_opt(b.solve().unwrap());
         assert_eq!(s.value, rat(36, 1));
         assert_eq!(s.primal, vec![rat(2, 1), rat(6, 1)]);
@@ -690,7 +735,11 @@ mod tests {
         // min 2x + 3y s.t. x + y >= 10, x >= 2  => 20 + ... at (10, 0): 20.
         let mut b = LpBuilder::minimize(2);
         b.obj(0, rat(2, 1)).obj(1, rat(3, 1));
-        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Ge, rat(10, 1));
+        b.constraint(
+            vec![(0, rat(1, 1)), (1, rat(1, 1))],
+            Relation::Ge,
+            rat(10, 1),
+        );
         b.constraint(vec![(0, rat(1, 1))], Relation::Ge, rat(2, 1));
         let s = must_opt(b.solve().unwrap());
         assert_eq!(s.value, rat(20, 1));
@@ -705,8 +754,16 @@ mod tests {
         // max x + y s.t. x + 2y = 4, x - y = 1  => x = 2, y = 1, value 3.
         let mut b = LpBuilder::maximize(2);
         b.obj(0, rat(1, 1)).obj(1, rat(1, 1));
-        b.constraint(vec![(0, rat(1, 1)), (1, rat(2, 1))], Relation::Eq, rat(4, 1));
-        b.constraint(vec![(0, rat(1, 1)), (1, rat(-1, 1))], Relation::Eq, rat(1, 1));
+        b.constraint(
+            vec![(0, rat(1, 1)), (1, rat(2, 1))],
+            Relation::Eq,
+            rat(4, 1),
+        );
+        b.constraint(
+            vec![(0, rat(1, 1)), (1, rat(-1, 1))],
+            Relation::Eq,
+            rat(1, 1),
+        );
         let s = must_opt(b.solve().unwrap());
         assert_eq!(s.value, rat(3, 1));
         assert_eq!(s.primal, vec![rat(2, 1), rat(1, 1)]);
@@ -752,9 +809,21 @@ mod tests {
         for v in 0..3 {
             b.obj(v, rat(1, 1));
         }
-        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Ge, rat(1, 1));
-        b.constraint(vec![(0, rat(1, 1)), (2, rat(1, 1))], Relation::Ge, rat(1, 1));
-        b.constraint(vec![(1, rat(1, 1)), (2, rat(1, 1))], Relation::Ge, rat(1, 1));
+        b.constraint(
+            vec![(0, rat(1, 1)), (1, rat(1, 1))],
+            Relation::Ge,
+            rat(1, 1),
+        );
+        b.constraint(
+            vec![(0, rat(1, 1)), (2, rat(1, 1))],
+            Relation::Ge,
+            rat(1, 1),
+        );
+        b.constraint(
+            vec![(1, rat(1, 1)), (2, rat(1, 1))],
+            Relation::Ge,
+            rat(1, 1),
+        );
         let s = must_opt(b.solve().unwrap());
         assert_eq!(s.value, rat(3, 2));
     }
@@ -764,14 +833,27 @@ mod tests {
         // A classically degenerate instance (Beale-like); Bland fallback
         // must terminate with the right optimum.
         let mut b = LpBuilder::maximize(4);
-        b.obj(0, rat(3, 4)).obj(1, rat(-150, 1)).obj(2, rat(1, 50)).obj(3, rat(-6, 1));
+        b.obj(0, rat(3, 4))
+            .obj(1, rat(-150, 1))
+            .obj(2, rat(1, 50))
+            .obj(3, rat(-6, 1));
         b.constraint(
-            vec![(0, rat(1, 4)), (1, rat(-60, 1)), (2, rat(-1, 25)), (3, rat(9, 1))],
+            vec![
+                (0, rat(1, 4)),
+                (1, rat(-60, 1)),
+                (2, rat(-1, 25)),
+                (3, rat(9, 1)),
+            ],
             Relation::Le,
             rat(0, 1),
         );
         b.constraint(
-            vec![(0, rat(1, 2)), (1, rat(-90, 1)), (2, rat(-1, 50)), (3, rat(3, 1))],
+            vec![
+                (0, rat(1, 2)),
+                (1, rat(-90, 1)),
+                (2, rat(-1, 50)),
+                (3, rat(3, 1)),
+            ],
             Relation::Le,
             rat(0, 1),
         );
@@ -785,7 +867,11 @@ mod tests {
         // max x with x/2 + x/2 <= 3.
         let mut b = LpBuilder::maximize(1);
         b.obj(0, rat(1, 1));
-        b.constraint(vec![(0, rat(1, 2)), (0, rat(1, 2))], Relation::Le, rat(3, 1));
+        b.constraint(
+            vec![(0, rat(1, 2)), (0, rat(1, 2))],
+            Relation::Le,
+            rat(3, 1),
+        );
         let s = must_opt(b.solve().unwrap());
         assert_eq!(s.value, rat(3, 1));
     }
@@ -795,8 +881,16 @@ mod tests {
         // x + y = 2 stated twice; max x + 2y => (0,2) value 4.
         let mut b = LpBuilder::maximize(2);
         b.obj(0, rat(1, 1)).obj(1, rat(2, 1));
-        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Eq, rat(2, 1));
-        b.constraint(vec![(0, rat(1, 1)), (1, rat(1, 1))], Relation::Eq, rat(2, 1));
+        b.constraint(
+            vec![(0, rat(1, 1)), (1, rat(1, 1))],
+            Relation::Eq,
+            rat(2, 1),
+        );
+        b.constraint(
+            vec![(0, rat(1, 1)), (1, rat(1, 1))],
+            Relation::Eq,
+            rat(2, 1),
+        );
         let s = must_opt(b.solve().unwrap());
         assert_eq!(s.value, rat(4, 1));
     }

@@ -49,8 +49,16 @@ impl Dealer {
             let (a, b) = (rng.gen::<bool>(), rng.gen::<bool>());
             let c = a & b;
             let (a0, b0, c0) = (rng.gen::<bool>(), rng.gen::<bool>(), rng.gen::<bool>());
-            p0.push(TripleShare { a: a0, b: b0, c: c0 });
-            p1.push(TripleShare { a: a ^ a0, b: b ^ b0, c: c ^ c0 });
+            p0.push(TripleShare {
+                a: a0,
+                b: b0,
+                c: c0,
+            });
+            p1.push(TripleShare {
+                a: a ^ a0,
+                b: b ^ b0,
+                c: c ^ c0,
+            });
         }
         Dealer { triples: (p0, p1) }
     }
@@ -194,8 +202,10 @@ pub fn evaluate_shared(
                 if next_triple >= p0.triples.len() {
                     return Err(MpcError::OutOfTriples);
                 }
-                let (d0, e0) = p0.and_open(p0.shares[a as usize], p0.shares[b as usize], next_triple);
-                let (d1, e1) = p1.and_open(p1.shares[a as usize], p1.shares[b as usize], next_triple);
+                let (d0, e0) =
+                    p0.and_open(p0.shares[a as usize], p0.shares[b as usize], next_triple);
+                let (d1, e1) =
+                    p1.and_open(p1.shares[a as usize], p1.shares[b as usize], next_triple);
                 // exchange: both parties learn d = d0^d1, e = e0^e1
                 let (d, e) = (d0 ^ d1, e0 ^ e1);
                 p0.shares[i] = p0.and_close(d, e, next_triple, false);
@@ -320,7 +330,10 @@ mod tests {
         let bits = bc.pack_inputs(&[1, 2]);
         let dealer = Dealer::new(1, 3); // far too few
         let (s0, s1) = share_bits(&bits, 4);
-        assert_eq!(evaluate_shared(&bc, &s0, &s1, dealer).unwrap_err(), MpcError::OutOfTriples);
+        assert_eq!(
+            evaluate_shared(&bc, &s0, &s1, dealer).unwrap_err(),
+            MpcError::OutOfTriples
+        );
     }
 
     #[test]

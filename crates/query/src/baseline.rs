@@ -36,14 +36,17 @@ pub fn count_output(cq: &Cq, db: &Database) -> Result<usize, CqError> {
 /// intersecting the candidate sets of every atom containing the variable.
 pub fn generic_join(cq: &Cq, db: &Database) -> Result<Relation, CqError> {
     let rels = cq.bind(db)?;
-    let atoms: Vec<(VarSet, Relation)> =
-        cq.atoms.iter().map(|a| a.vars).zip(rels.into_iter().cloned()).collect();
+    let atoms: Vec<(VarSet, Relation)> = cq
+        .atoms
+        .iter()
+        .map(|a| a.vars)
+        .zip(rels.into_iter().cloned())
+        .collect();
     let order: Vec<Var> = cq.all_vars().to_vec();
     let mut out_rows: Vec<Vec<u64>> = Vec::new();
     let mut partial: Vec<u64> = Vec::new();
     recurse(&atoms, &order, 0, &mut partial, &mut out_rows);
-    let full =
-        Relation::from_rows(order.clone(), out_rows);
+    let full = Relation::from_rows(order.clone(), out_rows);
     return Ok(full.project(cq.free));
 
     fn recurse(

@@ -12,7 +12,10 @@ fn vars(n: usize, prefix: &str) -> Vec<String> {
 }
 
 fn atom(name: impl Into<String>, vs: &[u32]) -> Atom {
-    Atom { name: name.into(), vars: vs.iter().map(|&i| Var(i)).collect() }
+    Atom {
+        name: name.into(),
+        vars: vs.iter().map(|&i| Var(i)).collect(),
+    }
 }
 
 /// The triangle query `Q(a,b,c) :- R(a,b), S(b,c), T(a,c)` — the paper's
@@ -45,7 +48,9 @@ pub fn k_cycle(k: usize) -> Cq {
 /// Panics if `k < 1`.
 pub fn k_path(k: usize) -> Cq {
     assert!(k >= 1);
-    let atoms = (0..k).map(|i| atom(format!("E{i}"), &[i as u32, i as u32 + 1])).collect();
+    let atoms = (0..k)
+        .map(|i| atom(format!("E{i}"), &[i as u32, i as u32 + 1]))
+        .collect();
     Cq::new(vars(k + 1, "x"), atoms, VarSet::full(k as u32 + 1)).expect("path is well-formed")
 }
 
@@ -55,7 +60,9 @@ pub fn k_path(k: usize) -> Cq {
 /// Panics if `k < 1`.
 pub fn k_star(k: usize) -> Cq {
     assert!(k >= 1);
-    let atoms = (0..k).map(|i| atom(format!("E{i}"), &[0, i as u32 + 1])).collect();
+    let atoms = (0..k)
+        .map(|i| atom(format!("E{i}"), &[0, i as u32 + 1]))
+        .collect();
     Cq::new(vars(k + 1, "x"), atoms, VarSet::full(k as u32 + 1)).expect("star is well-formed")
 }
 
@@ -144,8 +151,14 @@ mod tests {
         let lw = loomis_whitney(3);
         let t = triangle();
         assert_eq!(
-            lw.hypergraph().edges.iter().collect::<std::collections::BTreeSet<_>>(),
-            t.hypergraph().edges.iter().collect::<std::collections::BTreeSet<_>>()
+            lw.hypergraph()
+                .edges
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>(),
+            t.hypergraph()
+                .edges
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
         );
     }
 }

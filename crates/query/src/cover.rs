@@ -48,7 +48,10 @@ pub fn fractional_cover_of(h: &Hypergraph, target: VarSet) -> Option<EdgeCover> 
         lp.constraint(coeffs, LpRel::Ge, Rat::one());
     }
     match lp.solve().expect("edge-cover LP within iteration budget") {
-        LpOutcome::Optimal(s) => Some(EdgeCover { weights: s.primal, rho_star: s.value }),
+        LpOutcome::Optimal(s) => Some(EdgeCover {
+            weights: s.primal,
+            rho_star: s.value,
+        }),
         // Covering LPs with non-empty coefficient rows are always feasible
         // and bounded below by 0.
         _ => unreachable!("covering LP is feasible and bounded"),
@@ -105,7 +108,10 @@ mod tests {
 
     #[test]
     fn uncoverable_variable_yields_none() {
-        let h = Hypergraph { num_vars: 2, edges: vec![VarSet::singleton(Var(0))] };
+        let h = Hypergraph {
+            num_vars: 2,
+            edges: vec![VarSet::singleton(Var(0))],
+        };
         assert!(fractional_edge_cover(&h).is_none());
     }
 

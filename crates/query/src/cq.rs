@@ -14,7 +14,11 @@ pub enum CqError {
     /// Evaluation could not find a relation for an atom.
     MissingRelation(String),
     /// A relation's schema does not match its atom.
-    SchemaMismatch { atom: String, expected: VarSet, got: VarSet },
+    SchemaMismatch {
+        atom: String,
+        expected: VarSet,
+        got: VarSet,
+    },
     /// Parse error with a human-readable message.
     Parse(String),
 }
@@ -27,8 +31,15 @@ impl fmt::Display for CqError {
                 write!(f, "free variable {v} does not occur in any atom")
             }
             CqError::MissingRelation(a) => write!(f, "no relation bound to atom {a}"),
-            CqError::SchemaMismatch { atom, expected, got } => {
-                write!(f, "relation for {atom} has schema {got}, expected {expected}")
+            CqError::SchemaMismatch {
+                atom,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation for {atom} has schema {got}, expected {expected}"
+                )
             }
             CqError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
@@ -143,11 +154,18 @@ impl Cq {
         for v in free.iter() {
             if !covered.contains(v) {
                 return Err(CqError::UnboundFreeVariable(
-                    var_names.get(v.index()).cloned().unwrap_or_else(|| format!("{v}")),
+                    var_names
+                        .get(v.index())
+                        .cloned()
+                        .unwrap_or_else(|| format!("{v}")),
                 ));
             }
         }
-        Ok(Cq { var_names, atoms, free })
+        Ok(Cq {
+            var_names,
+            atoms,
+            free,
+        })
     }
 
     /// Number of variables `n`.
@@ -185,7 +203,11 @@ impl Cq {
 
     /// The same query with all variables free (its *full* version).
     pub fn to_full(&self) -> Cq {
-        Cq { var_names: self.var_names.clone(), atoms: self.atoms.clone(), free: self.all_vars() }
+        Cq {
+            var_names: self.var_names.clone(),
+            atoms: self.atoms.clone(),
+            free: self.all_vars(),
+        }
     }
 
     /// Looks up each atom's relation in `db`, checking schemas.
@@ -193,8 +215,9 @@ impl Cq {
         self.atoms
             .iter()
             .map(|a| {
-                let rel =
-                    db.get(&a.name).ok_or_else(|| CqError::MissingRelation(a.name.clone()))?;
+                let rel = db
+                    .get(&a.name)
+                    .ok_or_else(|| CqError::MissingRelation(a.name.clone()))?;
                 if rel.vars() != a.vars {
                     return Err(CqError::SchemaMismatch {
                         atom: a.name.clone(),
@@ -252,9 +275,18 @@ mod tests {
         Cq::new(
             vec!["a".into(), "b".into(), "c".into()],
             vec![
-                Atom { name: "R".into(), vars: vs(&[0, 1]) },
-                Atom { name: "S".into(), vars: vs(&[1, 2]) },
-                Atom { name: "T".into(), vars: vs(&[0, 2]) },
+                Atom {
+                    name: "R".into(),
+                    vars: vs(&[0, 1]),
+                },
+                Atom {
+                    name: "S".into(),
+                    vars: vs(&[1, 2]),
+                },
+                Atom {
+                    name: "T".into(),
+                    vars: vs(&[0, 2]),
+                },
             ],
             vs(&[0, 1, 2]),
         )
@@ -275,7 +307,10 @@ mod tests {
     fn free_variable_validation() {
         let err = Cq::new(
             vec!["x".into(), "y".into()],
-            vec![Atom { name: "R".into(), vars: vs(&[0]) }],
+            vec![Atom {
+                name: "R".into(),
+                vars: vs(&[0]),
+            }],
             vs(&[1]),
         )
         .unwrap_err();
@@ -285,7 +320,10 @@ mod tests {
     #[test]
     fn acyclicity() {
         // path R(a,b), S(b,c) is acyclic
-        let path = Hypergraph { num_vars: 3, edges: vec![vs(&[0, 1]), vs(&[1, 2])] };
+        let path = Hypergraph {
+            num_vars: 3,
+            edges: vec![vs(&[0, 1]), vs(&[1, 2])],
+        };
         assert!(path.is_acyclic());
         // triangle is cyclic
         assert!(!triangle().hypergraph().is_acyclic());
@@ -320,14 +358,26 @@ mod tests {
         use qec_relation::Relation;
         let q = triangle();
         let mut db = Database::new();
-        db.insert("R", Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 2]]));
-        db.insert("S", Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 3]]));
+        db.insert(
+            "R",
+            Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 2]]),
+        );
+        db.insert(
+            "S",
+            Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 3]]),
+        );
         // T missing
         assert!(matches!(q.bind(&db), Err(CqError::MissingRelation(_))));
         // T with wrong schema
-        db.insert("T", Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 3]]));
+        db.insert(
+            "T",
+            Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 3]]),
+        );
         assert!(matches!(q.bind(&db), Err(CqError::SchemaMismatch { .. })));
-        db.insert("T", Relation::from_rows(vec![Var(0), Var(2)], vec![vec![1, 3]]));
+        db.insert(
+            "T",
+            Relation::from_rows(vec![Var(0), Var(2)], vec![vec![1, 3]]),
+        );
         assert_eq!(q.bind(&db).unwrap().len(), 3);
     }
 }

@@ -79,8 +79,9 @@ impl Ghd {
             return true;
         }
         // candidate nodes: bags entirely inside `free`
-        let cand: Vec<usize> =
-            (0..self.nodes.len()).filter(|&i| self.nodes[i].bag.is_subset(free)).collect();
+        let cand: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].bag.is_subset(free))
+            .collect();
         if cand.is_empty() {
             return false;
         }
@@ -183,7 +184,11 @@ impl Ghd {
     /// node `i` corresponds to `order[i]`, its parent is the node of the
     /// earliest variable eliminated after it that appears in its bag.
     pub fn from_elimination_order(h: &Hypergraph, order: &[Var]) -> Ghd {
-        assert_eq!(order.len() as u32, h.num_vars, "order must cover all variables");
+        assert_eq!(
+            order.len() as u32,
+            h.num_vars,
+            "order must cover all variables"
+        );
         let mut current: Vec<VarSet> = h.edges.clone();
         if current.is_empty() {
             current.push(VarSet::EMPTY);
@@ -211,7 +216,11 @@ impl Ghd {
         let pos_of = |v: Var| order.iter().position(|&o| o == v).expect("var in order");
         let mut nodes: Vec<GhdNode> = bags
             .iter()
-            .map(|&bag| GhdNode { bag, parent: None, children: Vec::new() })
+            .map(|&bag| GhdNode {
+                bag,
+                parent: None,
+                children: Vec::new(),
+            })
             .collect();
         let root = nodes.len() - 1;
         for i in 0..nodes.len() {
@@ -288,8 +297,8 @@ pub fn enumerate_ghds(h: &Hypergraph, free: VarSet, limit: usize) -> Vec<Ghd> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{k_cycle, k_path, snowflake, triangle};
     use crate::fractional_cover_of;
+    use crate::{k_cycle, k_path, snowflake, triangle};
     use qec_bignum::rat;
 
     fn vs(bits: &[u32]) -> VarSet {

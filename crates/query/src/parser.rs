@@ -69,7 +69,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 2;
                     Ok(Tok::Turnstile)
                 } else {
-                    Err(CqError::Parse(format!("expected ':-' at byte {}", self.pos)))
+                    Err(CqError::Parse(format!(
+                        "expected ':-' at byte {}",
+                        self.pos
+                    )))
                 }
             }
             _ if c.is_ascii_alphanumeric() || c == b'_' => {
@@ -121,7 +124,9 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> Result<String, CqError> {
         match self.bump()? {
             Tok::Ident(s) => Ok(s),
-            got => Err(CqError::Parse(format!("expected identifier, found {got:?}"))),
+            got => Err(CqError::Parse(format!(
+                "expected identifier, found {got:?}"
+            ))),
         }
     }
 
@@ -156,7 +161,10 @@ impl<'a> Parser<'a> {
 /// assert!(q.hypergraph().is_acyclic());
 /// ```
 pub fn parse_cq(src: &str) -> Result<Cq, CqError> {
-    let mut p = Parser { lexer: Lexer::new(src), peeked: None };
+    let mut p = Parser {
+        lexer: Lexer::new(src),
+        peeked: None,
+    };
 
     let _head_name = p.ident()?;
     p.expect(Tok::LParen)?;
@@ -200,7 +208,9 @@ pub fn parse_cq(src: &str) -> Result<Cq, CqError> {
         for v in &vars {
             let var = var_of(v, &mut var_names)?;
             if set.contains(var) {
-                return Err(CqError::MalformedAtom(format!("{name} repeats variable {v}")));
+                return Err(CqError::MalformedAtom(format!(
+                    "{name} repeats variable {v}"
+                )));
             }
             set = set.with(var);
         }
@@ -212,7 +222,11 @@ pub fn parse_cq(src: &str) -> Result<Cq, CqError> {
                 break;
             }
             Tok::Eof => break,
-            got => return Err(CqError::Parse(format!("expected ',' or end, found {got:?}"))),
+            got => {
+                return Err(CqError::Parse(format!(
+                    "expected ',' or end, found {got:?}"
+                )))
+            }
         }
     }
 

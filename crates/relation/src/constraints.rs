@@ -23,7 +23,11 @@ pub struct DegreeConstraint {
 impl DegreeConstraint {
     /// A cardinality constraint `|R_Y| ≤ bound`.
     pub fn cardinality(of: VarSet, bound: u64) -> Self {
-        DegreeConstraint { on: VarSet::EMPTY, of, bound }
+        DegreeConstraint {
+            on: VarSet::EMPTY,
+            of,
+            bound,
+        }
     }
 
     /// A general degree constraint `deg(Y|X) ≤ bound`.
@@ -31,7 +35,10 @@ impl DegreeConstraint {
     /// # Panics
     /// Panics unless `X ⊂ Y` and `bound ≥ 1`.
     pub fn degree(on: VarSet, of: VarSet, bound: u64) -> Self {
-        assert!(on.is_subset(of) && on != of, "degree constraint requires X ⊂ Y");
+        assert!(
+            on.is_subset(of) && on != of,
+            "degree constraint requires X ⊂ Y"
+        );
         assert!(bound >= 1, "degree bound must be positive");
         DegreeConstraint { on, of, bound }
     }
@@ -126,7 +133,10 @@ impl DcSet {
 
     /// The bound for an exact `(X, Y)` pair, if stated.
     pub fn bound(&self, on: VarSet, of: VarSet) -> Option<u64> {
-        self.constraints.iter().find(|c| c.on == on && c.of == of).map(|c| c.bound)
+        self.constraints
+            .iter()
+            .find(|c| c.on == on && c.of == of)
+            .map(|c| c.bound)
     }
 
     /// The cardinality bound `N_Y` for a set `Y`, if stated.
@@ -136,13 +146,19 @@ impl DcSet {
 
     /// All variables mentioned by any constraint.
     pub fn vars(&self) -> VarSet {
-        self.constraints.iter().fold(VarSet::EMPTY, |acc, c| acc.union(c.of))
+        self.constraints
+            .iter()
+            .fold(VarSet::EMPTY, |acc, c| acc.union(c.of))
     }
 
     /// Total of all cardinality bounds — the compile-time stand-in for the
     /// input size `N` (the circuit must be sized for the worst case).
     pub fn total_cardinality(&self) -> u64 {
-        self.constraints.iter().filter(|c| c.is_cardinality()).map(|c| c.bound).sum()
+        self.constraints
+            .iter()
+            .filter(|c| c.is_cardinality())
+            .map(|c| c.bound)
+            .sum()
     }
 
     /// Verifies that every constraint is satisfied by the relations in

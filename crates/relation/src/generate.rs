@@ -41,20 +41,18 @@ pub fn random_relation(schema: Vec<Var>, n: usize, seed: u64) -> Relation {
 
 /// Random binary relation `R(a, b)` with `n` tuples where no `a`-value has
 /// degree above `max_degree`.
-pub fn random_degree_bounded(
-    a: Var,
-    b: Var,
-    n: usize,
-    max_degree: usize,
-    seed: u64,
-) -> Relation {
+pub fn random_degree_bounded(a: Var, b: Var, n: usize, max_degree: usize, seed: u64) -> Relation {
     assert!(max_degree >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let groups = n.div_ceil(max_degree);
     let mut rows = Vec::with_capacity(n);
     let mut made = 0usize;
     for g in 0..groups {
-        let deg = if g + 1 == groups { n - made } else { max_degree };
+        let deg = if g + 1 == groups {
+            n - made
+        } else {
+            max_degree
+        };
         // distinct b-values within the group: sample without replacement
         // from a window comfortably larger than the degree
         let window = (4 * max_degree) as u64;
@@ -105,8 +103,9 @@ pub fn zipf_relation(a: Var, b: Var, n: usize, s: f64, seed: u64) -> Relation {
 pub fn agm_worst_case_triangle(a: Var, b: Var, c: Var, n: usize) -> (Relation, Relation, Relation) {
     let side = (n as f64).sqrt().floor() as u64;
     let side = side.max(1);
-    let grid: Vec<Vec<u64>> =
-        (0..side).flat_map(|x| (0..side).map(move |y| vec![x, y])).collect();
+    let grid: Vec<Vec<u64>> = (0..side)
+        .flat_map(|x| (0..side).map(move |y| vec![x, y]))
+        .collect();
     (
         Relation::from_rows(vec![a, b], grid.clone()),
         Relation::from_rows(vec![b, c], grid.clone()),
@@ -127,8 +126,9 @@ pub fn agm_worst_case_even_cycle(k: usize, n: usize) -> Vec<Relation> {
     assert!(k >= 4 && k.is_multiple_of(2), "even cycles only");
     let side = ((n as f64).sqrt().floor() as u64).max(1);
     // every vertex takes values in [side]; each edge is the full grid
-    let grid: Vec<Vec<u64>> =
-        (0..side).flat_map(|x| (0..side).map(move |y| vec![x, y])).collect();
+    let grid: Vec<Vec<u64>> = (0..side)
+        .flat_map(|x| (0..side).map(move |y| vec![x, y]))
+        .collect();
     (0..k)
         .map(|i| {
             let a = Var(i as u32);
@@ -152,8 +152,10 @@ pub fn agm_worst_case_loomis_whitney(n: usize, target: usize) -> Vec<Relation> {
     let side = ((target as f64).powf(1.0 / (n as f64 - 1.0)).floor() as u64).max(1);
     (0..n)
         .map(|skip| {
-            let schema: Vec<Var> =
-                (0..n).filter(|&v| v != skip).map(|v| Var(v as u32)).collect();
+            let schema: Vec<Var> = (0..n)
+                .filter(|&v| v != skip)
+                .map(|v| Var(v as u32))
+                .collect();
             let arity = schema.len();
             let mut rows = vec![vec![0u64; arity]];
             for col in 0..arity {
@@ -231,7 +233,10 @@ mod tests {
         let rels = agm_worst_case_even_cycle(4, 16);
         assert_eq!(rels.len(), 4);
         assert_eq!(rels[0].len(), 16);
-        let out = rels.iter().skip(1).fold(rels[0].clone(), |acc, r| acc.natural_join(r));
+        let out = rels
+            .iter()
+            .skip(1)
+            .fold(rels[0].clone(), |acc, r| acc.natural_join(r));
         assert_eq!(out.len(), 256); // 16^{4/2} = N^2
     }
 
@@ -240,7 +245,10 @@ mod tests {
         let rels = agm_worst_case_loomis_whitney(3, 16);
         assert_eq!(rels.len(), 3);
         assert_eq!(rels[0].len(), 16);
-        let out = rels.iter().skip(1).fold(rels[0].clone(), |acc, r| acc.natural_join(r));
+        let out = rels
+            .iter()
+            .skip(1)
+            .fold(rels[0].clone(), |acc, r| acc.natural_join(r));
         assert_eq!(out.len(), 64); // (√16)^3 = N^{3/2}
     }
 

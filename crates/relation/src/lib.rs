@@ -56,7 +56,10 @@ impl Database {
 
     /// Looks up a relation by name.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.names.iter().position(|n| n == name).map(|i| &self.relations[i])
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.relations[i])
     }
 
     /// Total number of tuples across all relations (the paper's `N`).
@@ -66,7 +69,10 @@ impl Database {
 
     /// Iterates over `(name, relation)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
-        self.names.iter().map(String::as_str).zip(self.relations.iter())
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.relations.iter())
     }
 
     /// Number of relations.

@@ -39,7 +39,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation over `vars`.
     pub fn empty(vars: VarSet) -> Relation {
-        Relation { schema: vars.to_vec(), rows: Vec::new() }
+        Relation {
+            schema: vars.to_vec(),
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a relation from rows given in the order of `schema`
@@ -66,14 +69,20 @@ impl Relation {
             assert_eq!(row.len(), schema.len(), "row arity mismatch");
             out_rows.push(perm.iter().map(|&i| row[i]).collect());
         }
-        let mut rel = Relation { schema: sorted, rows: out_rows };
+        let mut rel = Relation {
+            schema: sorted,
+            rows: out_rows,
+        };
         rel.normalize();
         rel
     }
 
     /// The Boolean relation `{()}` (true) or `{}` (false).
     pub fn boolean(value: bool) -> Relation {
-        Relation { schema: Vec::new(), rows: if value { vec![Vec::new()] } else { Vec::new() } }
+        Relation {
+            schema: Vec::new(),
+            rows: if value { vec![Vec::new()] } else { Vec::new() },
+        }
     }
 
     fn normalize(&mut self) {
@@ -118,7 +127,9 @@ impl Relation {
 
     /// Membership test.
     pub fn contains(&self, row: &[u64]) -> bool {
-        self.rows.binary_search_by(|r| r.as_slice().cmp(row)).is_ok()
+        self.rows
+            .binary_search_by(|r| r.as_slice().cmp(row))
+            .is_ok()
     }
 
     /// Selection `σ_φ(R)`.
@@ -134,11 +145,18 @@ impl Relation {
     /// # Panics
     /// Panics if `onto ⊄ schema`.
     pub fn project(&self, onto: VarSet) -> Relation {
-        assert!(onto.is_subset(self.vars()), "projection onto non-attributes");
+        assert!(
+            onto.is_subset(self.vars()),
+            "projection onto non-attributes"
+        );
         let cols: Vec<usize> = onto.iter().map(|v| self.col(v).expect("subset")).collect();
         let mut rel = Relation {
             schema: onto.to_vec(),
-            rows: self.rows.iter().map(|r| cols.iter().map(|&c| r[c]).collect()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| cols.iter().map(|&c| r[c]).collect())
+                .collect(),
         };
         rel.normalize();
         rel
@@ -147,9 +165,19 @@ impl Relation {
     /// Natural join `R ⋈ S` (cross product when schemas are disjoint).
     pub fn natural_join(&self, other: &Relation) -> Relation {
         let common = self.vars().intersect(other.vars());
-        let (build, probe) = if self.len() <= other.len() { (self, other) } else { (other, self) };
-        let bkey: Vec<usize> = common.iter().map(|v| build.col(v).expect("common")).collect();
-        let pkey: Vec<usize> = common.iter().map(|v| probe.col(v).expect("common")).collect();
+        let (build, probe) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let bkey: Vec<usize> = common
+            .iter()
+            .map(|v| build.col(v).expect("common"))
+            .collect();
+        let pkey: Vec<usize> = common
+            .iter()
+            .map(|v| probe.col(v).expect("common"))
+            .collect();
 
         let mut table: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(build.len());
         for (i, row) in build.rows.iter().enumerate() {
@@ -189,7 +217,10 @@ impl Relation {
                 }
             }
         }
-        let mut rel = Relation { schema: out_schema, rows };
+        let mut rel = Relation {
+            schema: out_schema,
+            rows,
+        };
         rel.normalize();
         rel
     }
@@ -199,7 +230,10 @@ impl Relation {
     pub fn semijoin(&self, other: &Relation) -> Relation {
         let common = self.vars().intersect(other.vars());
         let keys = other.project(common);
-        let cols: Vec<usize> = common.iter().map(|v| self.col(v).expect("common")).collect();
+        let cols: Vec<usize> = common
+            .iter()
+            .map(|v| self.col(v).expect("common"))
+            .collect();
         self.select(|row| {
             let key: Vec<u64> = cols.iter().map(|&c| row[c]).collect();
             keys.contains(&key)
@@ -214,7 +248,10 @@ impl Relation {
         assert_eq!(self.schema, other.schema, "union schema mismatch");
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        let mut rel = Relation { schema: self.schema.clone(), rows };
+        let mut rel = Relation {
+            schema: self.schema.clone(),
+            rows,
+        };
         rel.normalize();
         rel
     }
@@ -233,7 +270,10 @@ impl Relation {
     /// `Sum/Min/Max` attribute is missing.
     pub fn aggregate(&self, group: VarSet, agg: AggKind, out: Var) -> Relation {
         assert!(group.is_subset(self.vars()), "group-by on non-attributes");
-        assert!(!self.vars().contains(out), "aggregate output column collides");
+        assert!(
+            !self.vars().contains(out),
+            "aggregate output column collides"
+        );
         let gcols: Vec<usize> = group.iter().map(|v| self.col(v).expect("subset")).collect();
         let acol = match agg {
             AggKind::Count => None,
@@ -277,7 +317,10 @@ impl Relation {
                     .collect()
             })
             .collect();
-        let mut rel = Relation { schema: out_schema, rows };
+        let mut rel = Relation {
+            schema: out_schema,
+            rows,
+        };
         rel.normalize();
         rel
     }
@@ -298,7 +341,10 @@ impl Relation {
         });
         let out_vars = self.vars().with(out);
         let out_schema = out_vars.to_vec();
-        let out_pos = out_schema.iter().position(|&v| v == out).expect("out in schema");
+        let out_pos = out_schema
+            .iter()
+            .position(|&v| v == out)
+            .expect("out in schema");
         let rows = idx
             .into_iter()
             .enumerate()
@@ -316,7 +362,10 @@ impl Relation {
                 row
             })
             .collect();
-        let mut rel = Relation { schema: out_schema, rows };
+        let mut rel = Relation {
+            schema: out_schema,
+            rows,
+        };
         rel.normalize();
         rel
     }
@@ -454,7 +503,10 @@ mod tests {
     #[test]
     fn construction_normalizes() {
         // schema given as (B, A): rows are reordered into (A, B)
-        let rel = Relation::from_rows(vec![Var(1), Var(0)], vec![vec![2, 1], vec![2, 1], vec![4, 3]]);
+        let rel = Relation::from_rows(
+            vec![Var(1), Var(0)],
+            vec![vec![2, 1], vec![2, 1], vec![4, 3]],
+        );
         assert_eq!(rel.schema(), &[Var(0), Var(1)]);
         assert_eq!(rel.rows(), &[vec![1, 2], vec![3, 4]]);
         assert_eq!(rel.len(), 2);
@@ -571,10 +623,23 @@ mod tests {
         assert_eq!(back, rel);
         // comments and blank lines
         let with_noise = format!("# header\n\n{text}\n  # trailing\n");
-        assert_eq!(Relation::from_csv(vec![Var(0), Var(1)], &with_noise).unwrap(), rel);
+        assert_eq!(
+            Relation::from_csv(vec![Var(0), Var(1)], &with_noise).unwrap(),
+            rel
+        );
         // errors carry line numbers
-        assert_eq!(Relation::from_csv(vec![Var(0), Var(1)], "1,2\nx,9\n").unwrap_err().0, 2);
-        assert_eq!(Relation::from_csv(vec![Var(0), Var(1)], "1\n").unwrap_err().0, 1);
+        assert_eq!(
+            Relation::from_csv(vec![Var(0), Var(1)], "1,2\nx,9\n")
+                .unwrap_err()
+                .0,
+            2
+        );
+        assert_eq!(
+            Relation::from_csv(vec![Var(0), Var(1)], "1\n")
+                .unwrap_err()
+                .0,
+            1
+        );
     }
 
     #[test]

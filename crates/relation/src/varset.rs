@@ -121,7 +121,11 @@ impl VarSet {
         let mut cur: Option<u64> = Some(0);
         std::iter::from_fn(move || {
             let out = cur?;
-            cur = if out == full { None } else { Some(((out | !full).wrapping_add(1)) & full) };
+            cur = if out == full {
+                None
+            } else {
+                Some(((out | !full).wrapping_add(1)) & full)
+            };
             Some(VarSet(out))
         })
     }

@@ -5,9 +5,8 @@ use qec_relation::{AggKind, Relation, Var, VarSet};
 
 fn rel_strategy(vars: &'static [u32], max_rows: usize) -> impl Strategy<Value = Relation> {
     let arity = vars.len();
-    prop::collection::vec(prop::collection::vec(0u64..6, arity..=arity), 0..max_rows).prop_map(
-        move |rows| Relation::from_rows(vars.iter().map(|&i| Var(i)).collect(), rows),
-    )
+    prop::collection::vec(prop::collection::vec(0u64..6, arity..=arity), 0..max_rows)
+        .prop_map(move |rows| Relation::from_rows(vars.iter().map(|&i| Var(i)).collect(), rows))
 }
 
 fn vs(bits: &[u32]) -> VarSet {

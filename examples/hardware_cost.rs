@@ -25,7 +25,10 @@ fn main() {
     for e in [4u32, 5, 6, 7] {
         let n = 1u64 << e;
         let dc = DcSet::from_vec(
-            q.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+            q.atoms
+                .iter()
+                .map(|a| DegreeConstraint::cardinality(a.vars, n))
+                .collect(),
         );
         let p = compile_fcq(&q, &dc).expect("compiles");
         // gate counts scale with the Sec. 4.3 cost model times the same
@@ -50,7 +53,10 @@ fn main() {
     // Latency on P parallel lanes (Brent's theorem, Sec. 1): W/P + D.
     let n = 1u64 << 6;
     let dc = DcSet::from_vec(
-        q.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+        q.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n))
+            .collect(),
     );
     let p = compile_fcq(&q, &dc).expect("compiles");
     let lowered = p.rc.lower(Mode::Count);
@@ -64,7 +70,14 @@ fn main() {
     for lanes in [1u64, 16, 256, 4096, 1 << 20] {
         let steps = brent_steps(c, lanes);
         let bound = c.size() / lanes + u64::from(c.depth());
-        println!("{:>8} {:>12} {:>13.2}x", lanes, steps, steps as f64 / bound as f64);
+        println!(
+            "{:>8} {:>12} {:>13.2}x",
+            lanes,
+            steps,
+            steps as f64 / bound as f64
+        );
     }
-    println!("\ngoing wide pays until the depth floor: at ≥4096 lanes the query runs in ~D cycles.");
+    println!(
+        "\ngoing wide pays until the depth floor: at ≥4096 lanes the query runs in ~D cycles."
+    );
 }

@@ -21,13 +21,15 @@ use query_circuits::relation::{random_relation, Database, DcSet, DegreeConstrain
 fn main() {
     // Q(user, region) :- Visits(user, page), Links(page, site), Hosted(site, region)
     // parser indices: user=0, region=1 (free), page=2, site=3 (bound)
-    let q = parse_cq(
-        "Q(user, region) :- Visits(user, page), Links(page, site), Hosted(site, region)",
-    )
-    .expect("well-formed");
+    let q =
+        parse_cq("Q(user, region) :- Visits(user, page), Links(page, site), Hosted(site, region)")
+            .expect("well-formed");
     let n = 64u64;
     let dc = DcSet::from_vec(
-        q.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+        q.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n))
+            .collect(),
     );
 
     let mut db = Database::new();
@@ -61,7 +63,10 @@ fn main() {
     let result = &lowered.run(&db).expect("conforming")[0];
     let expected = evaluate_pairwise(&q, &db).expect("baseline");
     assert_eq!(*result, expected);
-    println!("result   : {} (user, region) pairs — oblivious circuit agrees with RAM", result.len());
+    println!(
+        "result   : {} (user, region) pairs — oblivious circuit agrees with RAM",
+        result.len()
+    );
 
     // Bonus: a semiring aggregate on the same data — cheapest 3-hop route
     // where each edge carries a cost annotation (MinTropical: ⊕ = min,

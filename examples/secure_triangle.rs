@@ -18,13 +18,18 @@ use query_circuits::circuit::Mode;
 use query_circuits::core::compile_fcq;
 use query_circuits::mpc::{evaluate_shared, share_bits, Dealer};
 use query_circuits::query::{baseline::evaluate_pairwise, parse_cq};
-use query_circuits::relation::{random_relation_with_domain, Database, DcSet, DegreeConstraint, Var};
+use query_circuits::relation::{
+    random_relation_with_domain, Database, DcSet, DegreeConstraint, Var,
+};
 
 fn main() {
     let q = parse_cq("Q(a, b, c) :- R(a, b), S(b, c), T(a, c)").expect("well-formed");
     let n = 10u64;
     let dc = DcSet::from_vec(
-        q.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect(),
+        q.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n))
+            .collect(),
     );
 
     // The public circuit: PANDA-C, lowered all the way to AND/XOR/NOT.
@@ -42,9 +47,18 @@ fn main() {
     // Private inputs (simulated): each party fills its relations' slots;
     // the joint input vector is secret-shared bit by bit.
     let mut db = Database::new();
-    db.insert("R", random_relation_with_domain(vec![Var(0), Var(1)], 9, 5, 7)); // party 0
-    db.insert("S", random_relation_with_domain(vec![Var(1), Var(2)], 9, 5, 8)); // party 1
-    db.insert("T", random_relation_with_domain(vec![Var(0), Var(2)], 9, 5, 9)); // party 1
+    db.insert(
+        "R",
+        random_relation_with_domain(vec![Var(0), Var(1)], 9, 5, 7),
+    ); // party 0
+    db.insert(
+        "S",
+        random_relation_with_domain(vec![Var(1), Var(2)], 9, 5, 8),
+    ); // party 1
+    db.insert(
+        "T",
+        random_relation_with_domain(vec![Var(0), Var(2)], 9, 5, 9),
+    ); // party 1
     let words = lowered.layout.values(&db).expect("conforming");
     let bits = boolean.pack_inputs(&words);
     let (share0, share1) = share_bits(&bits, 0xC0FFEE);
@@ -62,9 +76,11 @@ fn main() {
     // Reconstruct and verify against a plaintext RAM evaluation.
     let out_words = boolean.unpack_outputs(&output_bits);
     let (schema, start, len) = &lowered.outputs[0];
-    let result =
-        query_circuits::circuit::decode_relation(schema, &out_words[*start..start + len]);
+    let result = query_circuits::circuit::decode_relation(schema, &out_words[*start..start + len]);
     let expected = evaluate_pairwise(&q, &db).expect("baseline");
     assert_eq!(result, expected);
-    println!("secure result: {} triangles — matches the plaintext evaluation", result.len());
+    println!(
+        "secure result: {} triangles — matches the plaintext evaluation",
+        result.len()
+    );
 }

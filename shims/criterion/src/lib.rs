@@ -34,12 +34,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Just the parameter (the group name prefixes it at print time).
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -198,8 +202,10 @@ fn record(id: &str, sample: &Sample, throughput: Option<Throughput>) {
             "{{\"id\":\"{id}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters\":{}{tp}}}\n",
             sample.mean_ns, sample.min_ns, sample.max_ns, sample.iters
         );
-        if let Ok(mut f) =
-            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
         {
             let _ = f.write_all(line.as_bytes());
         }
@@ -247,9 +253,16 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let mut result = None;
-        f(&mut Bencher { settings: self.settings, result: &mut result });
+        f(&mut Bencher {
+            settings: self.settings,
+            result: &mut result,
+        });
         if let Some(sample) = result {
-            record(&format!("{}/{}", self.name, id.id), &sample, self.throughput);
+            record(
+                &format!("{}/{}", self.name, id.id),
+                &sample,
+                self.throughput,
+            );
         }
         self
     }
@@ -263,9 +276,19 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let mut result = None;
-        f(&mut Bencher { settings: self.settings, result: &mut result }, input);
+        f(
+            &mut Bencher {
+                settings: self.settings,
+                result: &mut result,
+            },
+            input,
+        );
         if let Some(sample) = result {
-            record(&format!("{}/{}", self.name, id.id), &sample, self.throughput);
+            record(
+                &format!("{}/{}", self.name, id.id),
+                &sample,
+                self.throughput,
+            );
         }
         self
     }
@@ -284,7 +307,12 @@ impl Criterion {
     /// Opens a settings-scoped group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let settings = self.settings;
-        BenchmarkGroup { name: name.into(), settings, throughput: None, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            throughput: None,
+            _criterion: self,
+        }
     }
 
     /// Runs one ungrouped benchmark.
@@ -295,7 +323,10 @@ impl Criterion {
     ) -> &mut Self {
         let id = id.into();
         let mut result = None;
-        f(&mut Bencher { settings: self.settings, result: &mut result });
+        f(&mut Bencher {
+            settings: self.settings,
+            result: &mut result,
+        });
         if let Some(sample) = result {
             record(&id.id, &sample, None);
         }

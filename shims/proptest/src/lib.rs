@@ -77,7 +77,9 @@ impl TestRunner {
                 h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
             }
         }
-        TestRunner { rng: StdRng::seed_from_u64(h) }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+        }
     }
 
     /// The underlying RNG.
@@ -112,7 +114,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Filter { inner: self, whence, pred }
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
     }
 
     /// Chains a dependent strategy.
@@ -181,7 +187,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter({:?}) rejected 10000 consecutive samples", self.whence);
+        panic!(
+            "prop_filter({:?}) rejected 10000 consecutive samples",
+            self.whence
+        );
     }
 }
 
@@ -435,7 +444,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             l != r,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

@@ -29,9 +29,7 @@ use std::process::ExitCode;
 use query_circuits::circuit::Mode;
 use query_circuits::core::{compile_fcq, naive_circuit, paper_cost, OutputSensitive};
 use query_circuits::query::{baseline::evaluate_pairwise, parse_cq, Cq};
-use query_circuits::relation::{
-    random_relation, Database, DcSet, DegreeConstraint, Var, VarSet,
-};
+use query_circuits::relation::{random_relation, Database, DcSet, DegreeConstraint, Var, VarSet};
 
 struct Options {
     query: String,
@@ -78,7 +76,8 @@ fn parse_args() -> Result<Options, String> {
                     return Err(format!("--deg expects atom:var:bound, got {spec}"));
                 }
                 let bound = parts[2].parse().map_err(|e| format!("--deg bound: {e}"))?;
-                opts.degs.push((parts[0].to_string(), parts[1].to_string(), bound));
+                opts.degs
+                    .push((parts[0].to_string(), parts[1].to_string(), bound));
             }
             "--lower" => opts.lower = true,
             "--plan" => opts.plan = true,
@@ -86,8 +85,7 @@ fn parse_args() -> Result<Options, String> {
             "--dot" => opts.dot = Some(args.next().ok_or("--dot needs a path")?),
             "--load" => {
                 let spec = args.next().ok_or("--load needs name=path.csv")?;
-                let (name, path) =
-                    spec.split_once('=').ok_or("--load expects name=path.csv")?;
+                let (name, path) = spec.split_once('=').ok_or("--load expects name=path.csv")?;
                 opts.loads.push((name.to_string(), path.to_string()));
             }
             "--netlist" => opts.netlist = Some(args.next().ok_or("--netlist needs a path")?),
@@ -113,8 +111,11 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn build_dc(cq: &Cq, opts: &Options) -> Result<DcSet, String> {
-    let mut v: Vec<DegreeConstraint> =
-        cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, opts.n)).collect();
+    let mut v: Vec<DegreeConstraint> = cq
+        .atoms
+        .iter()
+        .map(|a| DegreeConstraint::cardinality(a.vars, opts.n))
+        .collect();
     for (atom_name, var_name, bound) in &opts.degs {
         let atom = cq
             .atoms
@@ -128,7 +129,9 @@ fn build_dc(cq: &Cq, opts: &Options) -> Result<DcSet, String> {
             .ok_or_else(|| format!("--deg: no variable named {var_name}"))?;
         let on = VarSet::singleton(Var(var_idx as u32));
         if !on.is_subset(atom.vars) {
-            return Err(format!("--deg: {var_name} is not an attribute of {atom_name}"));
+            return Err(format!(
+                "--deg: {var_name} is not an attribute of {atom_name}"
+            ));
         }
         v.push(DegreeConstraint::degree(on, atom.vars, *bound));
     }
@@ -140,7 +143,13 @@ fn run() -> Result<(), String> {
     let cq = parse_cq(&opts.query).map_err(|e| e.to_string())?;
     let dc = build_dc(&cq, &opts)?;
     println!("query      : {cq}");
-    println!("constraints: {}", dc.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", "));
+    println!(
+        "constraints: {}",
+        dc.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     if cq.is_full() {
         let compiled = compile_fcq(&cq, &dc).map_err(|e| e.to_string())?;
@@ -182,7 +191,11 @@ fn run() -> Result<(), String> {
             paper_cost(&naive).to_f64() / paper_cost(&compiled.rc).to_f64()
         );
         if opts.lower || opts.netlist.is_some() {
-            let mode = if opts.netlist.is_some() { Mode::Build } else { Mode::Count };
+            let mode = if opts.netlist.is_some() {
+                Mode::Build
+            } else {
+                Mode::Count
+            };
             let lowered = compiled.rc.lower(mode);
             println!(
                 "word circuit: {} gates, depth {}",
@@ -202,7 +215,10 @@ fn run() -> Result<(), String> {
             if got[0] != expect {
                 return Err("MISMATCH against RAM baseline (bug)".into());
             }
-            println!("evaluate   : {} result tuples — matches the RAM baseline", got[0].len());
+            println!(
+                "evaluate   : {} result tuples — matches the RAM baseline",
+                got[0].len()
+            );
         }
     } else {
         let os = OutputSensitive::build(&cq, &dc, 10_000).map_err(|e| e.to_string())?;
@@ -219,11 +235,17 @@ fn run() -> Result<(), String> {
             if got != expect {
                 return Err("MISMATCH against RAM baseline (bug)".into());
             }
-            println!("evaluate   : {} result tuples — matches the RAM baseline", got.len());
+            println!(
+                "evaluate   : {} result tuples — matches the RAM baseline",
+                got.len()
+            );
         } else {
             let query_rc = os.query_circuit(opts.n).map_err(|e| e.to_string())?;
-            println!("family 2   : cost {} at OUT = {} (pass --evaluate for the real OUT)",
-                paper_cost(&query_rc), opts.n);
+            println!(
+                "family 2   : cost {} at OUT = {} (pass --evaluate for the real OUT)",
+                paper_cost(&query_rc),
+                opts.n
+            );
         }
     }
     Ok(())
@@ -232,7 +254,10 @@ fn run() -> Result<(), String> {
 fn random_db(cq: &Cq, rows: usize, seed: u64) -> Database {
     let mut db = Database::new();
     for (i, a) in cq.atoms.iter().enumerate() {
-        db.insert(a.name.clone(), random_relation(a.vars.to_vec(), rows, seed * 37 + i as u64));
+        db.insert(
+            a.name.clone(),
+            random_relation(a.vars.to_vec(), rows, seed * 37 + i as u64),
+        );
     }
     db
 }
@@ -247,9 +272,8 @@ fn build_db(cq: &Cq, opts: &Options) -> Result<Database, String> {
             .find(|a| &a.name == name)
             .ok_or_else(|| format!("--load: no atom named {name}"))?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("--load {path}: {e}"))?;
-        let rel =
-            query_circuits::relation::Relation::from_csv(atom.vars.to_vec(), &text)
-                .map_err(|(line, msg)| format!("--load {path}:{line}: {msg}"))?;
+        let rel = query_circuits::relation::Relation::from_csv(atom.vars.to_vec(), &text)
+            .map_err(|(line, msg)| format!("--load {path}:{line}: {msg}"))?;
         if rel.len() as u64 > opts.n {
             return Err(format!(
                 "--load {name}: {} tuples exceed the declared bound {} (raise --n)",

@@ -9,10 +9,19 @@ fn qec() -> Command {
 #[test]
 fn compiles_and_evaluates_a_full_query() {
     let out = qec()
-        .args(["Q(a, b, c) :- R(a, b), S(b, c), T(a, c)", "--n", "16", "--evaluate"])
+        .args([
+            "Q(a, b, c) :- R(a, b), S(b, c), T(a, c)",
+            "--n",
+            "16",
+            "--evaluate",
+        ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("LOGDAPB"), "{text}");
     assert!(text.contains("matches the RAM baseline"), "{text}");
@@ -24,7 +33,11 @@ fn projective_query_uses_two_families() {
         .args(["Q(a, c) :- R(a, b), S(b, c)", "--n", "16", "--evaluate"])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("da-fhtw"), "{text}");
     assert!(text.contains("family 2"), "{text}");
@@ -52,7 +65,11 @@ fn csv_loading_and_proof_printing() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("≥  1·h(ABC)"), "{text}"); // the Shannon-flow inequality
     assert!(text.contains("1 result tuples"), "{text}"); // the one triangle
@@ -62,10 +79,10 @@ fn csv_loading_and_proof_printing() {
 #[test]
 fn bad_arguments_fail_cleanly() {
     for args in [
-        vec!["Q(a) :- R(a, a)"],                       // repeated variable
-        vec!["Q(a) :- R(a)", "--deg", "nonsense"],     // malformed --deg
+        vec!["Q(a) :- R(a, a)"],                   // repeated variable
+        vec!["Q(a) :- R(a)", "--deg", "nonsense"], // malformed --deg
         vec!["Q(a) :- R(a)", "--load", "Z=/no/file", "--evaluate"], // unknown atom
-        vec!["--n", "8"],                              // missing query
+        vec!["--n", "8"],                          // missing query
     ] {
         let out = qec().args(&args).output().expect("runs");
         assert!(!out.status.success(), "args {args:?} should fail");
@@ -91,7 +108,11 @@ fn netlist_and_dot_outputs() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dot_text = std::fs::read_to_string(&dot).unwrap();
     assert!(dot_text.starts_with("digraph rc {"));
     assert!(dot_text.contains("shape=box"));

@@ -5,18 +5,24 @@
 use query_circuits::core::{compile_fcq, paper_cost};
 use query_circuits::query::baseline::evaluate_pairwise;
 use query_circuits::query::{bowtie, full_star, k_cycle, k_path, k_star, loomis_whitney, Cq};
-use query_circuits::relation::{
-    random_relation, Database, DcSet, DegreeConstraint, Var,
-};
+use query_circuits::relation::{random_relation, Database, DcSet, DegreeConstraint, Var};
 
 fn uniform_dc(cq: &Cq, n: u64) -> DcSet {
-    DcSet::from_vec(cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect())
+    DcSet::from_vec(
+        cq.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n))
+            .collect(),
+    )
 }
 
 fn uniform_db(cq: &Cq, n: usize, seed: u64) -> Database {
     let mut db = Database::new();
     for (i, a) in cq.atoms.iter().enumerate() {
-        db.insert(a.name.clone(), random_relation(a.vars.to_vec(), n, seed * 131 + i as u64));
+        db.insert(
+            a.name.clone(),
+            random_relation(a.vars.to_vec(), n, seed * 131 + i as u64),
+        );
     }
     db
 }
@@ -31,7 +37,10 @@ fn check_fcq(q: &Cq, n: u64, rows: usize, seeds: u64) {
     );
     for seed in 0..seeds {
         let db = uniform_db(q, rows, seed);
-        let got = compiled.rc.evaluate_ram(&db).unwrap_or_else(|e| panic!("{q}: {e}"));
+        let got = compiled
+            .rc
+            .evaluate_ram(&db)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
         let expect = evaluate_pairwise(q, &db).expect("baseline");
         assert_eq!(got[0], expect, "{q} seed {seed}");
     }
@@ -96,7 +105,10 @@ fn degree_constrained_corpus() {
     ));
     let free = compile_fcq(&q, &uniform_dc(&q, n)).expect("compiles");
     let opp = compile_fcq(&q, &opposite).expect("compiles");
-    assert_eq!(opp.bound.log_value, free.bound.log_value, "opposite bounds do not chain");
+    assert_eq!(
+        opp.bound.log_value, free.bound.log_value,
+        "opposite bounds do not chain"
+    );
 
     let mut dc = uniform_dc(&q, n);
     dc.add(DegreeConstraint::degree(

@@ -13,13 +13,21 @@ use query_circuits::relation::{
 };
 
 fn uniform_dc(cq: &Cq, n: u64) -> DcSet {
-    DcSet::from_vec(cq.atoms.iter().map(|a| DegreeConstraint::cardinality(a.vars, n)).collect())
+    DcSet::from_vec(
+        cq.atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n))
+            .collect(),
+    )
 }
 
 fn uniform_db(cq: &Cq, n: usize, seed: u64) -> Database {
     let mut db = Database::new();
     for (i, a) in cq.atoms.iter().enumerate() {
-        db.insert(a.name.clone(), random_relation(a.vars.to_vec(), n, seed * 101 + i as u64));
+        db.insert(
+            a.name.clone(),
+            random_relation(a.vars.to_vec(), n, seed * 101 + i as u64),
+        );
     }
     db
 }
@@ -80,7 +88,10 @@ fn skewed_data_through_decompositions() {
 #[test]
 fn output_sensitive_pipeline_matches_yannakakis_baseline() {
     let q0 = snowflake(2);
-    let q = Cq { free: [Var(0), Var(1)].into_iter().collect::<VarSet>(), ..q0 };
+    let q = Cq {
+        free: [Var(0), Var(1)].into_iter().collect::<VarSet>(),
+        ..q0
+    };
     let dc = uniform_dc(&q, 24);
     let os = OutputSensitive::build(&q, &dc, 5_000).unwrap();
     for seed in 0..3 {
@@ -89,7 +100,11 @@ fn output_sensitive_pipeline_matches_yannakakis_baseline() {
         let ram_yk = yannakakis(&q, &db).unwrap().expect("acyclic");
         assert_eq!(ram_yk, expect);
         assert_eq!(os.evaluate_ram(&db).unwrap(), expect, "seed {seed}");
-        assert_eq!(os.count_ram(&db).unwrap(), expect.len() as u64, "seed {seed}");
+        assert_eq!(
+            os.count_ram(&db).unwrap(),
+            expect.len() as u64,
+            "seed {seed}"
+        );
     }
 }
 
@@ -114,7 +129,10 @@ fn panda_cost_beats_naive_asymptotically() {
         paper_cost(&naive).to_f64() / paper_cost(&p.rc).to_f64()
     };
     let (r6, r10) = (ratio_at(6), ratio_at(10));
-    assert!(r10 > 4.0 * r6, "speedup must grow ~N^1.5/polylog: {r6} → {r10}");
+    assert!(
+        r10 > 4.0 * r6,
+        "speedup must grow ~N^1.5/polylog: {r6} → {r10}"
+    );
 }
 
 #[test]
@@ -129,7 +147,10 @@ fn secure_two_party_join_end_to_end() {
     let c = b.finish(j.flatten());
     let bc = lower(&c, 16);
 
-    let r = Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 5], vec![2, 6], vec![3, 5]]);
+    let r = Relation::from_rows(
+        vec![Var(0), Var(1)],
+        vec![vec![1, 5], vec![2, 6], vec![3, 5]],
+    );
     let s = Relation::from_rows(vec![Var(1), Var(2)], vec![vec![5, 100], vec![7, 200]]);
     let mut inputs = relation_to_values(&r, m).unwrap();
     inputs.extend(relation_to_values(&s, m).unwrap());
@@ -214,9 +235,18 @@ fn single_bit_secure_triangle_existence() {
 
     // a triangle-free database (bipartite-style shift)
     let mut db_no = Database::new();
-    db_no.insert("R", Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 2], vec![3, 4]]));
-    db_no.insert("S", Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 5], vec![4, 6]]));
-    db_no.insert("T", Relation::from_rows(vec![Var(0), Var(2)], vec![vec![1, 6], vec![3, 5]]));
+    db_no.insert(
+        "R",
+        Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 2], vec![3, 4]]),
+    );
+    db_no.insert(
+        "S",
+        Relation::from_rows(vec![Var(1), Var(2)], vec![vec![2, 5], vec![4, 6]]),
+    );
+    db_no.insert(
+        "T",
+        Relation::from_rows(vec![Var(0), Var(2)], vec![vec![1, 6], vec![3, 5]]),
+    );
     assert!(!run(&db_no));
     assert!(evaluate_pairwise(&q, &db_no).unwrap().is_empty());
 }
@@ -265,7 +295,11 @@ fn disconnected_query_cross_product() {
     for seed in 0..2 {
         let db = uniform_db(&q, 6, seed + 31);
         let expect = evaluate_pairwise(&q, &db).unwrap();
-        assert_eq!(os.count_ram(&db).unwrap(), expect.len() as u64, "seed {seed}");
+        assert_eq!(
+            os.count_ram(&db).unwrap(),
+            expect.len() as u64,
+            "seed {seed}"
+        );
         assert_eq!(os.evaluate_ram(&db).unwrap(), expect, "seed {seed}");
     }
     // PANDA handles the same query directly (its c-steps cross-product)

@@ -12,8 +12,11 @@ use query_circuits::relation::{
 /// A random connected-ish FCQ over `n ∈ 3..=4` variables with 2–4 binary
 /// or ternary atoms covering every variable.
 fn cq_strategy() -> impl Strategy<Value = Cq> {
-    (3u32..=4, prop::collection::vec((any::<u64>(), 2usize..=3), 2..=4)).prop_map(
-        |(n, seeds)| {
+    (
+        3u32..=4,
+        prop::collection::vec((any::<u64>(), 2usize..=3), 2..=4),
+    )
+        .prop_map(|(n, seeds)| {
             let mut atoms = Vec::new();
             for (i, (seed, arity)) in seeds.iter().enumerate() {
                 // pick `arity` distinct variables deterministically from the seed
@@ -21,9 +24,14 @@ fn cq_strategy() -> impl Strategy<Value = Cq> {
                 let mut s = *seed;
                 while (vars.len() as usize) < *arity {
                     vars = vars.with(Var((s % u64::from(n)) as u32));
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                 }
-                atoms.push(Atom { name: format!("R{i}"), vars });
+                atoms.push(Atom {
+                    name: format!("R{i}"),
+                    vars,
+                });
             }
             // ensure every variable is covered (append singleton-covering
             // binary atoms if needed)
@@ -31,12 +39,14 @@ fn cq_strategy() -> impl Strategy<Value = Cq> {
             for v in VarSet::full(n).minus(covered).iter() {
                 let other = if v.0 == 0 { Var(1) } else { Var(0) };
                 let name = format!("C{}", v.0);
-                atoms.push(Atom { name, vars: VarSet::singleton(v).with(other) });
+                atoms.push(Atom {
+                    name,
+                    vars: VarSet::singleton(v).with(other),
+                });
             }
             let names = (0..n).map(|i| format!("x{i}")).collect();
             Cq::new(names, atoms, VarSet::full(n)).expect("well-formed")
-        },
-    )
+        })
 }
 
 proptest! {
