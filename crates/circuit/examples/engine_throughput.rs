@@ -8,7 +8,8 @@
 //!
 //! `--no-opt` compiles the raw circuit ([`CompiledCircuit::compile_raw`]),
 //! skipping the optimizer pass, so the cost of not optimizing is directly
-//! measurable; `--threads <n>` runs the batch on `n` worker threads.
+//! measurable; `--threads <n>` runs the batch on `n` worker threads, and
+//! `--threads 0` auto-detects the machine's parallelism.
 //!
 //! Prints the compiled tape's statistics (per-kind gate counts, level
 //! widths, peak registers) and the measured throughput of the batched
@@ -28,14 +29,16 @@ fn main() {
         match a.as_str() {
             "--no-opt" => no_opt = true,
             "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads needs a positive integer argument");
-                        std::process::exit(2);
-                    });
+                let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a non-negative integer argument");
+                    std::process::exit(2);
+                });
+                // 0 means "use every core the OS will give us".
+                threads = if n == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    n
+                };
             }
             other => {
                 let v: usize = other.parse().unwrap_or_else(|_| {

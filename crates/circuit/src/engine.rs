@@ -214,8 +214,11 @@ pub struct CompiledCircuit {
 
 impl CompiledCircuit {
     /// Compiles `c` into a tape, running the offline optimizer
-    /// ([`crate::opt::optimize`]) first. Assertion failures are still
-    /// reported with **source** gate indices (via
+    /// ([`crate::opt::optimize`]) first — scheduled across the
+    /// `QEC_THREADS` worker pool when one is configured (the optimizer's
+    /// parallel pass is byte-identical to the sequential one, so the
+    /// compiled tape does not depend on the worker count). Assertion
+    /// failures are still reported with **source** gate indices (via
     /// [`OptStats::assert_origin`]), so the engine's observable behavior
     /// is gate-for-gate identical to [`Circuit::evaluate`] on `c`. Fails
     /// with [`EvalError::CountOnly`] if the circuit was built in
@@ -224,7 +227,7 @@ impl CompiledCircuit {
         if !c.is_evaluable() {
             return Err(EvalError::CountOnly);
         }
-        let (opt, st) = crate::opt::optimize(c);
+        let (opt, st) = crate::opt::optimize_with_pool(c, &qec_par::Pool::from_env());
         let mut eng = Self::compile_inner(&opt, Some(&st))?;
         eng.stats.circuit_size = c.size();
         eng.stats.circuit_depth = c.depth();

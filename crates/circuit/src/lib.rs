@@ -44,6 +44,7 @@ pub mod opt;
 mod rel;
 mod scan;
 mod schedule;
+mod shared;
 mod sort;
 
 pub use decompose::{decompose, DecomposedPart};
@@ -51,10 +52,13 @@ pub use engine::{CompiledCircuit, EngineStats, EvalMetrics, GATE_KINDS};
 pub use ir::{Builder, Circuit, EvalError, Gate, Mode, WireId};
 pub use join::{join_degree_bounded, join_pk, semijoin};
 pub use join_out::join_output_bounded;
-pub use lower::{lower, optimize_bits, BitCircuit, BitOptStats};
+pub use lower::{
+    lower, lower_with_pool, optimize_bits, optimize_bits_with_pool, BitCircuit, BitOptStats,
+};
 pub use netlist::{read_netlist, write_netlist, NetlistError};
 pub use ops::{aggregate, project, select, truncate, union, AggOp};
-pub use opt::{optimize, OptStats};
+pub use opt::{optimize, optimize_with_pool, OptStats};
+pub use qec_par::Pool;
 pub use rel::{
     decode_relation, encode_database, encode_relation, relation_to_values, InputLayout, RelWires,
     SlotWires,

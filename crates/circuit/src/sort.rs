@@ -186,25 +186,61 @@ pub fn sort_slots_network(
     }
 
     // Instantiate the comparator schedule; each comparator is a
-    // lexicographic compare plus a mux per carried wire.
-    for (i, j, ascending) in comparators(network, padded) {
-        let swap_raw = b.lex_lt(&elems[j].key, &elems[i].key);
-        let swap = if ascending { swap_raw } else { b.not(swap_raw) };
-        // split borrows: copy out, mux, write back
-        let (ei_f, ej_f) = (elems[i].fields.clone(), elems[j].fields.clone());
-        let new_i = b.vec_mux(swap, &ej_f, &ei_f);
-        let new_j = b.vec_mux(swap, &ei_f, &ej_f);
-        elems[i].fields = new_i;
-        elems[j].fields = new_j;
-        let (vi, vj) = (elems[i].valid, elems[j].valid);
-        elems[i].valid = b.mux(swap, vj, vi);
-        elems[j].valid = b.mux(swap, vi, vj);
-        let (xi, xj) = (elems[i].extra.clone(), elems[j].extra.clone());
-        elems[i].extra = b.vec_mux(swap, &xj, &xi);
-        elems[j].extra = b.vec_mux(swap, &xi, &xj);
-        let (ki, kj) = (elems[i].key.clone(), elems[j].key.clone());
-        elems[i].key = b.vec_mux(swap, &kj, &ki);
-        elems[j].key = b.vec_mux(swap, &ki, &kj);
+    // lexicographic compare plus a mux per carried wire. A comparator
+    // depends only on the latest earlier comparator touching either of
+    // its lanes, so a greedy pass groups the schedule into conflict-free
+    // layers: the data-flow DAG is unchanged, and `fork_join` can emit
+    // each layer's comparators from multiple workers (on a sequential
+    // builder the layers simply run in order).
+    let schedule = comparators(network, padded);
+    let mut layer_of = vec![0usize; schedule.len()];
+    let mut last_on_lane = vec![usize::MAX; padded];
+    let mut num_layers = 0usize;
+    for (k, &(i, j, _)) in schedule.iter().enumerate() {
+        let after = |lane: usize| match last_on_lane[lane] {
+            usize::MAX => 0,
+            prev => layer_of[prev] + 1,
+        };
+        let l = after(i).max(after(j));
+        layer_of[k] = l;
+        last_on_lane[i] = k;
+        last_on_lane[j] = k;
+        num_layers = num_layers.max(l + 1);
+    }
+    let mut layers: Vec<Vec<usize>> = vec![Vec::new(); num_layers];
+    for (k, &l) in layer_of.iter().enumerate() {
+        layers[l].push(k);
+    }
+
+    for layer in &layers {
+        let swapped = b.fork_join(layer.len(), |t, bb| {
+            let (i, j, ascending) = schedule[layer[t]];
+            let (ei, ej) = (&elems[i], &elems[j]);
+            let swap_raw = bb.lex_lt(&ej.key, &ei.key);
+            let swap = if ascending {
+                swap_raw
+            } else {
+                bb.not(swap_raw)
+            };
+            let new_i = Elem {
+                fields: bb.vec_mux(swap, &ej.fields, &ei.fields),
+                valid: bb.mux(swap, ej.valid, ei.valid),
+                extra: bb.vec_mux(swap, &ej.extra, &ei.extra),
+                key: bb.vec_mux(swap, &ej.key, &ei.key),
+            };
+            let new_j = Elem {
+                fields: bb.vec_mux(swap, &ei.fields, &ej.fields),
+                valid: bb.mux(swap, ei.valid, ej.valid),
+                extra: bb.vec_mux(swap, &ei.extra, &ej.extra),
+                key: bb.vec_mux(swap, &ei.key, &ej.key),
+            };
+            (new_i, new_j)
+        });
+        for (t, (new_i, new_j)) in swapped.into_iter().enumerate() {
+            let (i, j, _) = schedule[layer[t]];
+            elems[i] = new_i;
+            elems[j] = new_j;
+        }
     }
 
     // Real slots all sort before padding (padding keys are maximal), so

@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use qec_circuit::{
     aggregate as c_aggregate, decompose as c_decompose, join_degree_bounded, join_output_bounded,
     join_pk, project as c_project, select as c_select, semijoin as c_semijoin,
-    truncate as c_truncate, union as c_union, AggOp, Builder, Circuit, InputLayout, Mode, RelWires,
-    SlotWires,
+    truncate as c_truncate, union as c_union, AggOp, Builder, Circuit, InputLayout, Mode, Pool,
+    RelWires, SlotWires,
 };
 use qec_relation::{AggKind, Database, Relation, Var, VarSet};
 
@@ -561,7 +561,20 @@ impl RelationalCircuit {
     /// (Sec. 5): each gate becomes the corresponding `qec-circuit`
     /// construction sized by this circuit's wire bounds.
     pub fn lower(&self, mode: Mode) -> LoweredCircuit {
-        let mut b = Builder::new(mode);
+        self.lower_with_pool(mode, Pool::from_env())
+    }
+
+    /// [`RelCircuit::lower`] with an explicit worker pool: with more than
+    /// one worker the word builder runs in its parallel mode (sharded
+    /// hash-consing plus deterministic replay), so per-operator circuit
+    /// blocks can be emitted from multiple workers while the finished
+    /// circuit stays byte-identical to the sequential build.
+    pub fn lower_with_pool(&self, mode: Mode, pool: Pool) -> LoweredCircuit {
+        let mut b = if pool.is_sequential() {
+            Builder::new(mode)
+        } else {
+            Builder::with_pool(mode, pool)
+        };
         let mut layout = InputLayout::new();
         // Declare inputs first (layout order = node order of Input gates).
         let mut wires: Vec<Option<RelWires>> = vec![None; self.nodes.len()];

@@ -157,26 +157,26 @@ pub fn evaluate_shared(
     shares1: &[bool],
     dealer: Dealer,
 ) -> Result<(Vec<bool>, ProtocolStats), MpcError> {
-    if shares0.len() != circuit.num_inputs || shares1.len() != circuit.num_inputs {
+    if shares0.len() != circuit.num_inputs() || shares1.len() != circuit.num_inputs() {
         return Err(MpcError::InputLength {
-            expected: circuit.num_inputs,
+            expected: circuit.num_inputs(),
             got: shares0.len().min(shares1.len()),
         });
     }
     let mut p0 = Party {
-        shares: vec![false; circuit.gates.len()],
+        shares: vec![false; circuit.gates().len()],
         triples: dealer.triples.0,
         input_shares: shares0.to_vec(),
     };
     let mut p1 = Party {
-        shares: vec![false; circuit.gates.len()],
+        shares: vec![false; circuit.gates().len()],
         triples: dealer.triples.1,
         input_shares: shares1.to_vec(),
     };
     let mut stats = ProtocolStats::default();
     let mut next_triple = 0usize;
 
-    for (i, g) in circuit.gates.iter().enumerate() {
+    for (i, g) in circuit.gates().iter().enumerate() {
         match *g {
             BGate::Input(idx) => {
                 p0.shares[i] = p0.input_shares[idx];
@@ -223,7 +223,7 @@ pub fn evaluate_shared(
         }
     }
     let outputs = circuit
-        .outputs
+        .outputs()
         .iter()
         .map(|&w| p0.shares[w as usize] ^ p1.shares[w as usize])
         .collect();
@@ -256,7 +256,7 @@ pub fn garbling_cost(circuit: &qec_circuit::lower::BitCircuit) -> GarblingCost {
         and_gates,
         ciphertexts,
         table_bytes: ciphertexts * 16,
-        input_label_bytes: circuit.num_inputs as u64 * 16,
+        input_label_bytes: circuit.num_inputs() as u64 * 16,
     }
 }
 
@@ -366,7 +366,7 @@ mod tests {
         assert_eq!(g.and_gates, bc.and_count());
         assert_eq!(g.ciphertexts, 2 * g.and_gates);
         assert_eq!(g.table_bytes, 32 * g.and_gates);
-        assert_eq!(g.input_label_bytes, 16 * bc.num_inputs as u64);
+        assert_eq!(g.input_label_bytes, 16 * bc.num_inputs() as u64);
     }
 
     #[test]
