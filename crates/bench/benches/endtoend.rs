@@ -2,7 +2,7 @@
 //! the secure two-party protocol, against the RAM baselines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qec_circuit::{encode_relation, join_pk, lower::lower, Builder, Mode};
+use qec_circuit::{encode_relation, join_pk, lower_with, Builder, CompileOptions, Mode};
 use qec_core::compile_fcq;
 use qec_query::baseline::{evaluate_pairwise, generic_join};
 use qec_query::triangle;
@@ -58,7 +58,7 @@ fn bench_mpc(c: &mut Criterion) {
     let s = encode_relation(&mut b, vec![Var(1), Var(2)], m);
     let j = join_pk(&mut b, &r, &s);
     let circ = b.finish(j.flatten());
-    let bc = lower(&circ, 16);
+    let bc = lower_with(&circ, 16, &CompileOptions::from_env());
     let rr = random_relation(vec![Var(0), Var(1)], m, 7);
     let ss = qec_relation::random_degree_bounded(Var(1), Var(2), m, 1, 8);
     let mut inputs = qec_circuit::relation_to_values(&rr, m).unwrap();

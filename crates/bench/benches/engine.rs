@@ -7,7 +7,9 @@
 //! (`CRITERION_JSON=...`) carries absolute rates, not just times.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qec_circuit::{encode_relation, join_degree_bounded, Builder, Circuit, CompiledCircuit, Mode};
+use qec_circuit::{
+    encode_relation, join_degree_bounded, Builder, Circuit, CompileOptions, CompiledCircuit, Mode,
+};
 use qec_relation::Var;
 
 const CAP: usize = 16;
@@ -47,7 +49,9 @@ fn bench_engine(c: &mut Criterion) {
         circuit.size() >= 100_000,
         "bench circuit must stay ≥ 1e5 gates"
     );
-    let engine = CompiledCircuit::compile(&circuit).expect("build-mode circuit");
+    let engine = CompiledCircuit::compile_with(&circuit, &CompileOptions::from_env())
+        .expect("build-mode circuit")
+        .0;
     assert!(
         engine.stats().peak_registers < circuit.num_wires(),
         "register allocation must beat the O(size) value buffer"
@@ -90,8 +94,9 @@ fn bench_engine(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.bench_function("compile", |b| {
         b.iter(|| {
-            CompiledCircuit::compile(&circuit)
+            CompiledCircuit::compile_with(&circuit, &CompileOptions::from_env())
                 .expect("build-mode circuit")
+                .0
                 .stats()
                 .tape_len
         })

@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qec_circuit::{
-    encode_relation, join_degree_bounded, optimize, Builder, Circuit, CompiledCircuit, Mode,
+    encode_relation, join_degree_bounded, optimize_with, Builder, Circuit, CompileOptions,
+    CompiledCircuit, Mode,
 };
 use qec_relation::Var;
 
@@ -46,7 +47,7 @@ fn instances(c: &Circuit, batch: usize) -> Vec<Vec<u64>> {
 fn bench_opt(c: &mut Criterion) {
     let raw = raw_join_circuit();
     assert!(raw.size() >= 100_000, "bench circuit must stay ≥ 1e5 gates");
-    let (opt, st) = optimize(&raw);
+    let (opt, st) = optimize_with(&raw, &CompileOptions::from_env());
     assert!(
         st.gate_reduction() >= 0.25,
         "optimizer must keep cutting ≥ 25% of the join circuit's gates"
@@ -58,11 +59,18 @@ fn bench_opt(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     // one iteration = one full optimization of the raw circuit
     g.throughput(Throughput::Elements(raw.size()));
-    g.bench_function("word_pass", |b| b.iter(|| optimize(&raw).0.size()));
+    g.bench_function("word_pass", |b| {
+        b.iter(|| optimize_with(&raw, &CompileOptions::from_env()).0.size())
+    });
     g.finish();
 
-    let eng_raw = CompiledCircuit::compile_raw(&raw).expect("build-mode circuit");
-    let eng_opt = CompiledCircuit::compile(&raw).expect("build-mode circuit");
+    let eng_raw =
+        CompiledCircuit::compile_with(&raw, &CompileOptions::from_env().with_optimize(false))
+            .expect("build-mode circuit")
+            .0;
+    let eng_opt = CompiledCircuit::compile_with(&raw, &CompileOptions::from_env())
+        .expect("build-mode circuit")
+        .0;
     assert!(eng_opt.stats().tape_len <= opt.num_wires());
     let batch = instances(&raw, BATCH);
     assert_eq!(

@@ -8,10 +8,17 @@
 //!
 //! With `--json`, each experiment additionally writes a
 //! `BENCH_<ID>.json` artifact (to `--json-dir <dir>`, default the
-//! current directory) containing the table (`title`/`headers`/`rows`/
-//! `verdict`) plus the wall-clock `elapsed_ms` of the run.
+//! current directory): a fixed-key-order object (`schema_version`,
+//! `experiment`, `elapsed_ms`, `table`, `pipeline`) where `table` is
+//! the printed table (`title`/`headers`/`rows`/`verdict`) and
+//! `pipeline` is the `qec-obs` metrics document captured during the
+//! run — per-pass spans (build/optimize/tape/lower) and counters from
+//! the builder, optimizer, and pool. A fresh enabled recorder is
+//! installed per experiment, so each artifact's breakdown covers only
+//! its own run.
 
-use qec_bench::all_experiments;
+use qec_bench::{all_experiments, BENCH_SCHEMA_VERSION};
+use qec_obs::Recorder;
 
 fn main() {
     let mut json = false;
@@ -40,21 +47,35 @@ fn main() {
             .filter(|(id, _)| ids.iter().any(|a| a == id))
             .collect();
         if sel.is_empty() {
-            eprintln!("unknown experiment id(s); valid: x1..x17 or `all`");
+            eprintln!("unknown experiment id(s); valid: x1..x18 or `all`");
             std::process::exit(2);
         }
         sel
     };
     for (id, run) in selected {
+        // Route the run's builder/pool/driver instrumentation into a
+        // per-experiment recorder so the JSON artifact carries its own
+        // per-pass breakdown (experiments built on
+        // `CompileOptions::from_env` inherit it as their driver sink).
+        let rec = if json {
+            qec_obs::install(Recorder::new(true))
+        } else {
+            Recorder::disabled()
+        };
         let start = std::time::Instant::now();
         let table = run();
         let elapsed = start.elapsed();
+        let pipeline = if json {
+            qec_obs::install(rec).metrics_json()
+        } else {
+            String::new()
+        };
         println!("{table}");
         println!("[{id} completed in {elapsed:.1?}]\n");
         if json {
             let path = format!("{json_dir}/BENCH_{}.json", id.to_uppercase());
             let payload = format!(
-                "{{\"experiment\":\"{id}\",\"elapsed_ms\":{:.1},\"table\":{}}}\n",
+                "{{\"schema_version\":{BENCH_SCHEMA_VERSION},\"experiment\":\"{id}\",\"elapsed_ms\":{:.1},\"table\":{},\"pipeline\":{pipeline}}}\n",
                 elapsed.as_secs_f64() * 1e3,
                 table.to_json()
             );

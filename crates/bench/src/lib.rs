@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment of
-//! `EXPERIMENTS.md` (X1–X16), each regenerating the table that checks a
+//! `EXPERIMENTS.md` (X1–X18), each regenerating the table that checks a
 //! figure/theorem of the paper against measured circuit sizes.
 //!
 //! Every experiment returns a [`Table`]; the `report` binary prints them,
@@ -12,11 +12,18 @@ mod table;
 
 pub use experiments::{
     all_experiments, x10_semiring, x11_mpc, x12_primitive_scaling, x13_brent, x14_bound_tightness,
-    x15_engine_throughput, x16_optimizer, x17_parallel_pipeline, x1_heavy_light, x2_panda_triangle,
-    x3_proof_sequences, x4_panda_cost, x5_project_aggregate, x6_pk_join, x7_degree_join,
-    x8_output_join, x9_output_sensitive,
+    x15_engine_throughput, x16_optimizer, x17_parallel_pipeline, x18_obs_overhead, x1_heavy_light,
+    x2_panda_triangle, x3_proof_sequences, x4_panda_cost, x5_project_aggregate, x6_pk_join,
+    x7_degree_join, x8_output_join, x9_output_sensitive,
 };
 pub use table::Table;
+
+/// Schema version stamped into every `BENCH_*.json` artifact written by
+/// `report --json`. The artifact is a single JSON object whose keys are
+/// emitted in a fixed order (`schema_version`, `experiment`,
+/// `elapsed_ms`, `table`, `pipeline`), so trajectory diffs across PRs
+/// compare content, not serializer whims. Bump on any key change.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
 
 use qec_relation::{random_relation, Database, DcSet, DegreeConstraint, Var, VarSet};
 

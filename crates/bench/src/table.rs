@@ -44,10 +44,12 @@ impl Table {
         self.rows[row][col].parse().expect("numeric cell")
     }
 
-    /// Serializes the table as a JSON object (`title`, `headers`,
-    /// `rows`, `verdict`) — the payload of the `BENCH_*.json` artifacts
-    /// written by `report --json`. Numeric-looking cells are emitted as
-    /// JSON numbers, everything else as strings.
+    /// Serializes the table as a JSON object with keys in the fixed
+    /// order `title`, `headers`, `rows`, `verdict` — the `table` member
+    /// of the `BENCH_*.json` artifacts written by `report --json`,
+    /// which diff cleanly across PRs because the ordering never
+    /// depends on serializer state. Numeric-looking cells are emitted
+    /// as JSON numbers, everything else as strings.
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {
             let mut out = String::with_capacity(s.len() + 2);

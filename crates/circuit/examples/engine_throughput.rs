@@ -3,31 +3,43 @@
 //!
 //! ```text
 //! cargo run -p qec-circuit --release --example engine_throughput \
-//!     [cap] [batch] [--no-opt] [--threads <n>]
+//!     [cap] [batch] [--no-opt] [--threads <n>] [--trace-out <path>]
 //! ```
 //!
-//! `--no-opt` compiles the raw circuit ([`CompiledCircuit::compile_raw`]),
-//! skipping the optimizer pass, so the cost of not optimizing is directly
-//! measurable; `--threads <n>` runs the batch on `n` worker threads, and
-//! `--threads 0` auto-detects the machine's parallelism.
+//! `--no-opt` compiles the raw circuit (`optimize: false`), skipping the
+//! optimizer pass, so the cost of not optimizing is directly measurable;
+//! `--threads <n>` runs the batch on `n` worker threads, and `--threads 0`
+//! auto-detects the machine's parallelism. `--trace-out <path>` writes a
+//! Chrome trace-event document for the compile (load it in
+//! `chrome://tracing` or Perfetto); combine with `QEC_TRACE=1` to also
+//! capture pool and builder counters from the process-global recorder.
 //!
 //! Prints the compiled tape's statistics (per-kind gate counts, level
 //! widths, peak registers) and the measured throughput of the batched
 //! engine against the per-instance interpreter.
 
-use qec_circuit::{encode_relation, join_degree_bounded, Builder, CompiledCircuit, Mode};
+use qec_circuit::{
+    encode_relation, join_degree_bounded, Builder, CompileOptions, CompiledCircuit, Mode,
+};
 use qec_relation::Var;
 
 fn main() {
     let mut cap: usize = 48;
     let mut batch: usize = 64;
     let mut no_opt = false;
+    let mut trace_out: Option<String> = None;
     let mut threads: usize = 1;
     let mut positional = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-opt" => no_opt = true,
+            "--trace-out" => {
+                trace_out = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a file path argument");
+                    std::process::exit(2);
+                }));
+            }
             "--threads" => {
                 let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--threads needs a non-negative integer argument");
@@ -42,7 +54,7 @@ fn main() {
             }
             other => {
                 let v: usize = other.parse().unwrap_or_else(|_| {
-                    eprintln!("unexpected argument {other:?}; usage: [cap] [batch] [--no-opt] [--threads <n>]");
+                    eprintln!("unexpected argument {other:?}; usage: [cap] [batch] [--no-opt] [--threads <n>] [--trace-out <path>]");
                     std::process::exit(2);
                 });
                 match positional {
@@ -65,11 +77,16 @@ fn main() {
     let j = join_degree_bounded(&mut b, &r, &s, 4);
     let circuit = b.finish(j.flatten());
 
-    let engine = if no_opt {
-        CompiledCircuit::compile_raw(&circuit).expect("build-mode circuit")
+    // When a trace is requested, force an enabled recorder even without
+    // QEC_TRACE=1 so the compile spans land somewhere exportable.
+    let opts = CompileOptions::from_env().with_optimize(!no_opt);
+    let opts = if trace_out.is_some() && !opts.recorder.is_enabled() {
+        opts.with_metrics(true)
     } else {
-        CompiledCircuit::compile(&circuit).expect("build-mode circuit")
+        opts
     };
+    let (engine, report) =
+        CompiledCircuit::compile_with(&circuit, &opts).expect("build-mode circuit");
     let stats = engine.stats();
     println!(
         "circuit: {} gates, depth {}",
@@ -99,6 +116,18 @@ fn main() {
     );
     for (kind, count) in stats.gate_count_pairs() {
         println!("         {kind:<12} {count}");
+    }
+    println!(
+        "compile: {:.2} ms total ({:.0}% in measured stages)",
+        report.total_ns as f64 / 1e6,
+        100.0 * report.coverage()
+    );
+    if let Some(path) = &trace_out {
+        std::fs::write(path, report.chrome_trace()).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("trace:   wrote Chrome trace events to {path}");
     }
 
     // One synthetic instance per lane: tuples (i, i % 7), all valid.

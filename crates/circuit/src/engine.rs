@@ -36,6 +36,7 @@
 //! because gate values are pure functions of the inputs so the engine
 //! can keep evaluating past a failure and take the minimum.
 
+use crate::driver::CompileOptions;
 use crate::ir::{Circuit, EvalError, Gate, WireId};
 use crate::opt::OptStats;
 
@@ -209,40 +210,40 @@ pub struct CompiledCircuit {
     output_regs: Vec<Reg>,
     num_inputs: usize,
     num_regs: usize,
-    stats: EngineStats,
+    pub(crate) stats: EngineStats,
 }
 
 impl CompiledCircuit {
-    /// Compiles `c` into a tape, running the offline optimizer
-    /// ([`crate::opt::optimize`]) first — scheduled across the
-    /// `QEC_THREADS` worker pool when one is configured (the optimizer's
-    /// parallel pass is byte-identical to the sequential one, so the
-    /// compiled tape does not depend on the worker count). Assertion
-    /// failures are still reported with **source** gate indices (via
-    /// [`OptStats::assert_origin`]), so the engine's observable behavior
-    /// is gate-for-gate identical to [`Circuit::evaluate`] on `c`. Fails
-    /// with [`EvalError::CountOnly`] if the circuit was built in
-    /// [`crate::Mode::Count`] (no gates to compile).
+    /// Compiles `c` with the optimizer under environment defaults —
+    /// equivalent to [`CompiledCircuit::compile_with`] with
+    /// [`CompileOptions::from_env`], discarding the report.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CompiledCircuit::compile_with(c, &CompileOptions::from_env())`"
+    )]
     pub fn compile(c: &Circuit) -> Result<CompiledCircuit, EvalError> {
-        if !c.is_evaluable() {
-            return Err(EvalError::CountOnly);
-        }
-        let (opt, st) = crate::opt::optimize_with_pool(c, &qec_par::Pool::from_env());
-        let mut eng = Self::compile_inner(&opt, Some(&st))?;
-        eng.stats.circuit_size = c.size();
-        eng.stats.circuit_depth = c.depth();
-        eng.stats.circuit_wires = c.num_wires();
-        eng.stats.opt = Some(st);
-        Ok(eng)
+        Self::compile_with(c, &CompileOptions::from_env()).map(|(eng, _)| eng)
     }
 
-    /// Compiles `c` exactly as written, without the optimizer pass. Used
-    /// for A/B measurements (X16, `engine_throughput --no-opt`).
+    /// Compiles `c` exactly as written, without the optimizer pass —
+    /// equivalent to [`CompiledCircuit::compile_with`] with
+    /// `optimize` off, discarding the report.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `CompiledCircuit::compile_with(c, &opts.with_optimize(false))`"
+    )]
     pub fn compile_raw(c: &Circuit) -> Result<CompiledCircuit, EvalError> {
-        Self::compile_inner(c, None)
+        Self::compile_with(c, &CompileOptions::sequential().with_optimize(false))
+            .map(|(eng, _)| eng)
     }
 
-    fn compile_inner(c: &Circuit, origin: Option<&OptStats>) -> Result<CompiledCircuit, EvalError> {
+    /// The tape/register-allocation stage, shared by every compile entry
+    /// point. `origin` carries the optimizer's assert-origin map when the
+    /// input circuit is an optimized image of some source circuit.
+    pub(crate) fn compile_inner(
+        c: &Circuit,
+        origin: Option<&OptStats>,
+    ) -> Result<CompiledCircuit, EvalError> {
         if !c.is_evaluable() {
             return Err(EvalError::CountOnly);
         }
@@ -872,6 +873,10 @@ mod tests {
     use super::*;
     use crate::ir::{Builder, Mode};
 
+    fn compile(c: &Circuit) -> Result<CompiledCircuit, EvalError> {
+        CompiledCircuit::compile_with(c, &CompileOptions::sequential()).map(|(eng, _)| eng)
+    }
+
     fn adder_chain(n: usize) -> Circuit {
         let mut bld = Builder::new(Mode::Build);
         let x = bld.input();
@@ -886,7 +891,7 @@ mod tests {
     #[test]
     fn matches_interpreter_on_simple_circuits() {
         let c = adder_chain(10);
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         for inputs in [[3u64, 5], [0, 0], [u64::MAX, 1]] {
             assert_eq!(eng.evaluate(&inputs).unwrap(), c.evaluate(&inputs).unwrap());
         }
@@ -895,7 +900,7 @@ mod tests {
     #[test]
     fn register_reuse_engages_on_chains() {
         let c = adder_chain(100);
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         // a pure chain needs only a handful of registers, not 102
         assert!(
             eng.stats().peak_registers <= 4,
@@ -916,7 +921,7 @@ mod tests {
         let m = bld.mux(lt, s, p);
         let n = bld.not(lt);
         let c = bld.finish(vec![s, p, lt, m, n]);
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         let instances: Vec<Vec<u64>> = (0..37)
             .map(|i| vec![i * 7 % 13, (i * 3 + 1) % 11])
             .collect();
@@ -934,7 +939,7 @@ mod tests {
         bld.assert_zero(x); // gate 2
         bld.assert_zero(y); // gate 3
         let c = bld.finish(vec![]);
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         let instances: Vec<Vec<u64>> = vec![
             vec![0, 0], // ok
             vec![5, 0], // gate 2 fires
@@ -964,7 +969,7 @@ mod tests {
     #[test]
     fn arity_errors_are_per_lane() {
         let c = adder_chain(3);
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         let instances: Vec<Vec<u64>> = vec![vec![1, 2], vec![1], vec![4, 5]];
         let got = eng.evaluate_batch(&instances);
         assert!(got[0].is_ok());
@@ -984,17 +989,14 @@ mod tests {
         let x = bld.input();
         let y = bld.not(x);
         let c = bld.finish(vec![y]);
-        assert!(matches!(
-            CompiledCircuit::compile(&c),
-            Err(EvalError::CountOnly)
-        ));
+        assert!(matches!(compile(&c), Err(EvalError::CountOnly)));
     }
 
     #[test]
     fn empty_circuit_evaluates_to_nothing() {
         let bld = Builder::new(Mode::Build);
         let c = bld.finish(vec![]);
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         assert_eq!(eng.evaluate(&[]), Ok(vec![]));
     }
 
@@ -1020,7 +1022,7 @@ mod tests {
             bld.assert_zero(x); // fires whenever the sum is nonzero
         }
         let c = bld.finish(layer.clone());
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         assert!(
             eng.stats().tape_len >= 4096,
             "test must exercise the threaded path"
@@ -1049,7 +1051,7 @@ mod tests {
     #[test]
     fn stats_account_every_gate() {
         let c = adder_chain(10);
-        let eng = CompiledCircuit::compile(&c).unwrap();
+        let eng = compile(&c).unwrap();
         let s = eng.stats();
         assert_eq!(s.tape_len, c.num_wires());
         assert_eq!(s.gate_counts.iter().sum::<u64>(), c.num_wires() as u64);

@@ -147,6 +147,8 @@ struct SeqBuilder {
     const_cache: HashMap<u64, WireId>,
     cse: bool,
     cse_cache: HashMap<Gate, WireId>,
+    /// Logic pushes answered from `cse_cache` (online dedup hits).
+    cse_hits: u64,
 }
 
 /// Sorts the operands of commutative gates so `add(a, b)` and
@@ -175,6 +177,7 @@ impl SeqBuilder {
             const_cache: HashMap::new(),
             cse: true,
             cse_cache: HashMap::new(),
+            cse_hits: 0,
         }
     }
 
@@ -209,6 +212,7 @@ impl SeqBuilder {
         }
         let key = canon(gate);
         if let Some(&w) = self.cse_cache.get(&key) {
+            self.cse_hits += 1;
             return w;
         }
         let w = self.push(key, depth, true);
@@ -321,6 +325,12 @@ impl SeqBuilder {
 
     /// Finalizes the circuit with the given output wires.
     fn finish(self, outputs: Vec<WireId>) -> Circuit {
+        let rec = qec_obs::global();
+        if rec.is_enabled() {
+            rec.add("build.gates", self.size);
+            rec.add("build.wires", self.depths.len() as u64);
+            rec.add("build.cse_hits", self.cse_hits);
+        }
         let depth = self.depth();
         let num_wires = self.depths.len();
         Circuit {
@@ -575,6 +585,14 @@ impl ParBuilder {
     fn finish(self, outputs: Vec<WireId>) -> Circuit {
         assert!(self.root, "finish must be called on the root builder");
         let core = &self.core;
+        let rec = qec_obs::global();
+        if rec.is_enabled() {
+            rec.add("build.gates", core.size.load(Ordering::Relaxed));
+            rec.add("build.wires", core.next_id.load(Ordering::Relaxed) as u64);
+            let (hits, misses) = core.table.hit_stats();
+            rec.add("build.cons_hits", hits);
+            rec.add("build.cons_misses", misses);
+        }
         let num_inputs = core.num_inputs.load(Ordering::Relaxed);
         if core.mode == Mode::Count {
             return Circuit {
@@ -588,6 +606,7 @@ impl ParBuilder {
                 num_wires: core.next_id.load(Ordering::Relaxed) as usize,
             };
         }
+        let replay_start = rec.is_enabled().then(std::time::Instant::now);
         const UNSET: u32 = u32::MAX;
         let total = core.next_id.load(Ordering::Relaxed) as usize;
         let mut remap = vec![UNSET; total];
@@ -622,6 +641,9 @@ impl ParBuilder {
             gates.push(canon(g));
         }
         let outputs = outputs.iter().map(|&w| map(&remap, w)).collect();
+        if let Some(t0) = replay_start {
+            rec.record_span("build.replay", t0, t0.elapsed().as_nanos() as u64);
+        }
         Circuit::from_raw(gates, outputs, num_inputs)
     }
 }
@@ -827,6 +849,11 @@ impl Builder {
     {
         match &mut self.inner {
             BuilderInner::Par(p) if p.root && p.pool.threads() > 1 && n > 1 => {
+                let rec = qec_obs::global();
+                if rec.is_enabled() {
+                    rec.add("build.fork_joins", 1);
+                    rec.add("build.fork_tasks", n as u64);
+                }
                 let core = &p.core;
                 let pool = p.pool;
                 let results = pool.map(n, |i| {

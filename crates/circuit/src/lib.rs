@@ -33,6 +33,7 @@
 //! | output-bounded join ([`join_output_bounded`]) | Alg. 10 | `Õ(M+N+OUT)` | `Õ(1)` |
 
 mod decompose;
+pub mod driver;
 mod engine;
 mod ir;
 mod join;
@@ -48,16 +49,19 @@ mod shared;
 mod sort;
 
 pub use decompose::{decompose, DecomposedPart};
+pub use driver::{CompileOptions, PipelineReport};
 pub use engine::{CompiledCircuit, EngineStats, EvalMetrics, GATE_KINDS};
 pub use ir::{Builder, Circuit, EvalError, Gate, Mode, WireId};
 pub use join::{join_degree_bounded, join_pk, semijoin};
 pub use join_out::join_output_bounded;
-pub use lower::{
-    lower, lower_with_pool, optimize_bits, optimize_bits_with_pool, BitCircuit, BitOptStats,
-};
+#[allow(deprecated)]
+pub use lower::{lower, lower_with_pool, optimize_bits, optimize_bits_with_pool};
+pub use lower::{lower_with, optimize_bits_with, BitCircuit, BitOptStats};
 pub use netlist::{read_netlist, write_netlist, NetlistError};
 pub use ops::{aggregate, project, select, truncate, union, AggOp};
-pub use opt::{optimize, optimize_with_pool, OptStats};
+#[allow(deprecated)]
+pub use opt::{optimize, optimize_with_pool};
+pub use opt::{optimize_with, OptStats};
 pub use qec_par::Pool;
 pub use rel::{
     decode_relation, encode_database, encode_relation, relation_to_values, InputLayout, RelWires,

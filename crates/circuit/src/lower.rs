@@ -14,6 +14,7 @@ use std::sync::OnceLock;
 
 use qec_par::Pool;
 
+use crate::driver::CompileOptions;
 use crate::shared::{InternTable, Pages};
 use crate::{Circuit, Gate, WireId};
 
@@ -526,7 +527,7 @@ fn lower_gate<S: BitRewrite>(lw: &mut S, g: Gate, word_bits: &[Vec<u32>], w: usi
 ///
 /// # Panics
 /// Panics if the circuit was built in count-only mode.
-pub fn lower(c: &Circuit, width: u32) -> BitCircuit {
+fn lower_seq(c: &Circuit, width: u32) -> BitCircuit {
     assert!(c.is_evaluable(), "cannot lower a count-only circuit");
     let w = width as usize;
     let mut lw = Lowerer::new();
@@ -590,7 +591,7 @@ impl BitOptStats {
 /// online, so this pass mostly pays off on hand-assembled or
 /// deserialized bit circuits — and as the place where AND-count/AND-depth
 /// deltas are measured.
-pub fn optimize_bits(bc: &BitCircuit) -> (BitCircuit, BitOptStats) {
+fn optimize_bits_seq(bc: &BitCircuit) -> (BitCircuit, BitOptStats) {
     let out = rewrite_bits_seq(bc);
     let live = mark_live_bits_seq(bc, &out);
     assemble_bits(bc, out, &live)
@@ -865,10 +866,10 @@ impl BitRewrite for ParTaskStore<'_> {
 ///
 /// # Panics
 /// Panics if the circuit was built in count-only mode.
-pub fn lower_with_pool(c: &Circuit, width: u32, pool: &Pool) -> BitCircuit {
+fn lower_pooled(c: &Circuit, width: u32, pool: &Pool) -> BitCircuit {
     assert!(c.is_evaluable(), "cannot lower a count-only circuit");
     if pool.is_sequential() {
-        return lower(c, width);
+        return lower_seq(c, width);
     }
     let w = width as usize;
     let src = c.gates();
@@ -934,6 +935,49 @@ pub fn lower_with_pool(c: &Circuit, width: u32, pool: &Pool) -> BitCircuit {
         .flat_map(|&wid: &WireId| word_bits[wid as usize].iter().map(|&bw| renum[bw as usize]))
         .collect();
     BitCircuit::new(gates, outputs, num_input_bits, width)
+}
+
+/// Lowers a word circuit to bits under `opts`, scheduled across
+/// `opts.pool` (byte-identical [`BitCircuit`] for every worker count).
+/// See [`lower_seq`]'s width contract: every domain value must fit in
+/// `width` bits, with the all-ones word reserved for the `?` sentinel.
+///
+/// When `opts.recorder` is enabled the pass records a `lower` span and
+/// the headline bit-level gate counts; the produced circuit never
+/// depends on whether tracing was on.
+///
+/// # Panics
+/// Panics if the circuit was built in count-only mode.
+pub fn lower_with(c: &Circuit, width: u32, opts: &CompileOptions) -> BitCircuit {
+    let rec = &opts.recorder;
+    let _span = rec.span("lower");
+    let bc = lower_pooled(c, width, &opts.pool);
+    if rec.is_enabled() {
+        rec.add("lower.bit_gates", bc.gate_count());
+        rec.add("lower.and_gates", bc.and_count());
+        rec.add("lower.xor_gates", bc.xor_count());
+        rec.gauge_max("lower.and_depth", bc.and_depth() as u64);
+    }
+    bc
+}
+
+/// Sequential alias for [`lower_with`], kept for source compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `lower_with(c, width, &CompileOptions::sequential())`"
+)]
+pub fn lower(c: &Circuit, width: u32) -> BitCircuit {
+    lower_with(c, width, &CompileOptions::sequential())
+}
+
+/// Pool-selecting alias for [`lower_with`], kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `lower_with(c, width, &CompileOptions::sequential().with_pool(pool))`"
+)]
+pub fn lower_with_pool(c: &Circuit, width: u32, pool: &Pool) -> BitCircuit {
+    lower_with(c, width, &CompileOptions::sequential().with_pool(*pool))
 }
 
 // ===================== parallel bit optimizer =====================
@@ -1172,16 +1216,63 @@ fn mark_live_bits_par(bc: &BitCircuit, out: &BitRewriteOut, pool: &Pool) -> Vec<
     live.into_iter().map(|b| b.into_inner()).collect()
 }
 
-/// [`optimize_bits`], scheduled across `pool`'s workers. Produces the
-/// byte-identical `(BitCircuit, BitOptStats)` for every circuit; a
+/// [`optimize_bits_seq`], scheduled across `pool`'s workers. Produces
+/// the byte-identical `(BitCircuit, BitOptStats)` for every circuit; a
 /// single-worker pool delegates to the sequential pass directly.
-pub fn optimize_bits_with_pool(bc: &BitCircuit, pool: &Pool) -> (BitCircuit, BitOptStats) {
+fn optimize_bits_pooled(bc: &BitCircuit, pool: &Pool) -> (BitCircuit, BitOptStats) {
     if pool.is_sequential() {
-        return optimize_bits(bc);
+        return optimize_bits_seq(bc);
     }
     let out = rewrite_bits_par(bc, pool);
     let live = mark_live_bits_par(bc, &out, pool);
     assemble_bits(bc, out, &live)
+}
+
+/// Offline optimizer for bit circuits under `opts`: XOR/AND/NOT constant
+/// folding and identity rewrites, structural CSE, and assertion-safe DCE
+/// (asserts are roots; only an assert whose input folds to constant
+/// `false` is dropped), scheduled across `opts.pool` (byte-identical
+/// result for every worker count). Circuits freshly produced by
+/// [`lower_with`] are already folded online, so this pass mostly pays
+/// off on hand-assembled or deserialized bit circuits — and as the place
+/// where AND-count/AND-depth deltas are measured. Runs regardless of
+/// `opts.optimize` (that flag gates the *word-level* pass inside the
+/// compile driver; calling this function is already the opt-in).
+///
+/// When `opts.recorder` is enabled the pass records an `opt_bits` span
+/// and its headline counters.
+pub fn optimize_bits_with(bc: &BitCircuit, opts: &CompileOptions) -> (BitCircuit, BitOptStats) {
+    let rec = &opts.recorder;
+    let _span = rec.span("opt_bits");
+    let (opt, st) = optimize_bits_pooled(bc, &opts.pool);
+    if rec.is_enabled() {
+        rec.add("opt_bits.gates_before", st.gates_before);
+        rec.add("opt_bits.gates_after", st.gates_after);
+        rec.add("opt_bits.cse_hits", st.cse_hits);
+        rec.add("opt_bits.folds", st.folds);
+        rec.add("opt_bits.dead", st.dead);
+    }
+    (opt, st)
+}
+
+/// Sequential alias for [`optimize_bits_with`], kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `optimize_bits_with(bc, &CompileOptions::sequential())`"
+)]
+pub fn optimize_bits(bc: &BitCircuit) -> (BitCircuit, BitOptStats) {
+    optimize_bits_with(bc, &CompileOptions::sequential())
+}
+
+/// Pool-selecting alias for [`optimize_bits_with`], kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `optimize_bits_with(bc, &CompileOptions::sequential().with_pool(pool))`"
+)]
+pub fn optimize_bits_with_pool(bc: &BitCircuit, pool: &Pool) -> (BitCircuit, BitOptStats) {
+    optimize_bits_with(bc, &CompileOptions::sequential().with_pool(*pool))
 }
 
 #[cfg(test)]
@@ -1198,7 +1289,7 @@ mod tests {
         let outs = build(&mut b);
         let c = b.finish(outs);
         let word_result = c.evaluate(inputs).unwrap();
-        let bc = lower(&c, width);
+        let bc = lower_with(&c, width, &CompileOptions::sequential());
         let bit_result = bc.unpack_outputs(&bc.evaluate(&bc.pack_inputs(inputs)).unwrap());
         let mask = if width == 64 {
             u64::MAX
@@ -1258,7 +1349,7 @@ mod tests {
         let x = b.input();
         b.assert_zero(x);
         let c = b.finish(vec![]);
-        let bc = lower(&c, 8);
+        let bc = lower_with(&c, 8, &CompileOptions::sequential());
         assert!(bc.evaluate(&bc.pack_inputs(&[0])).is_ok());
         assert!(bc.evaluate(&bc.pack_inputs(&[4])).is_err());
     }
@@ -1270,7 +1361,7 @@ mod tests {
         let y = b.input();
         let s = b.add(x, y);
         let c = b.finish(vec![s]);
-        let bc = lower(&c, 16);
+        let bc = lower_with(&c, 16, &CompileOptions::sequential());
         // ripple-carry: 2 ANDs per bit (generate + propagate), except
         // the LSB where carry-in = 0 folds the propagate AND away
         assert_eq!(bc.and_count(), 31);
@@ -1312,7 +1403,7 @@ mod tests {
             BGate::And(2, 5), // 6: (x & y) & 1 = x & y
         ];
         let bc = BitCircuit::new(gates, vec![6], 2, 1);
-        let (opt, st) = optimize_bits(&bc);
+        let (opt, st) = optimize_bits_with(&bc, &CompileOptions::sequential());
         assert_eq!(st.and_before, 3);
         assert_eq!(st.and_after, 1, "only one real AND remains");
         assert!(st.cse_hits >= 1);
@@ -1335,7 +1426,7 @@ mod tests {
             BGate::AssertFalse(1),
         ];
         let bc = BitCircuit::new(gates, vec![], 0, 1);
-        let (opt, _) = optimize_bits(&bc);
+        let (opt, _) = optimize_bits_with(&bc, &CompileOptions::sequential());
         assert!(
             opt.evaluate(&[]).is_err(),
             "always-fail assert must survive"
@@ -1347,7 +1438,7 @@ mod tests {
             BGate::AssertFalse(0),
         ];
         let bc = BitCircuit::new(gates, vec![], 0, 1);
-        let (opt, _) = optimize_bits(&bc);
+        let (opt, _) = optimize_bits_with(&bc, &CompileOptions::sequential());
         assert!(opt.evaluate(&[]).is_ok());
         assert_eq!(opt.gate_count(), 0);
     }
@@ -1386,8 +1477,12 @@ mod tests {
     }
 
     fn assert_same_lower(c: &Circuit, width: u32, threads: usize) {
-        let seq = lower(c, width);
-        let par = lower_with_pool(c, width, &Pool::new(threads));
+        let seq = lower_with(c, width, &CompileOptions::sequential());
+        let par = lower_with(
+            c,
+            width,
+            &CompileOptions::sequential().with_pool(Pool::new(threads)),
+        );
         assert_eq!(par.gates(), seq.gates(), "threads={threads}");
         assert_eq!(par.outputs(), seq.outputs(), "threads={threads}");
         assert_eq!(par.num_inputs(), seq.num_inputs());
@@ -1450,8 +1545,11 @@ mod tests {
     }
 
     fn assert_same_bitopt(bc: &BitCircuit, threads: usize) {
-        let (seq, seq_st) = optimize_bits(bc);
-        let (par, par_st) = optimize_bits_with_pool(bc, &Pool::new(threads));
+        let (seq, seq_st) = optimize_bits_with(bc, &CompileOptions::sequential());
+        let (par, par_st) = optimize_bits_with(
+            bc,
+            &CompileOptions::sequential().with_pool(Pool::new(threads)),
+        );
         assert_eq!(par.gates(), seq.gates(), "threads={threads}");
         assert_eq!(par.outputs(), seq.outputs(), "threads={threads}");
         assert_eq!(par.num_inputs(), seq.num_inputs());
@@ -1474,7 +1572,7 @@ mod tests {
     fn parallel_bit_optimizer_matches_on_lowered_circuits() {
         // Already folded online: exercises the Input/assert push paths
         // and the passthrough-heavy rewrite.
-        let lowered = lower(&gnarly_word_circuit(), 10);
+        let lowered = lower_with(&gnarly_word_circuit(), 10, &CompileOptions::sequential());
         for threads in [2, 8] {
             assert_same_bitopt(&lowered, threads);
         }
@@ -1488,7 +1586,7 @@ mod tests {
         let s = b.add(x, y);
         let p = b.mul(s, y);
         let c = b.finish(vec![p]);
-        let bc = lower(&c, 8);
+        let bc = lower_with(&c, 8, &CompileOptions::sequential());
         // Prime the metrics cache, then recount from the sealed
         // accessors: the gate list is immutable after construction, so
         // the cache can never disagree with it.

@@ -27,6 +27,7 @@ use std::collections::{HashMap, HashSet};
 
 use qec_par::Pool;
 
+use crate::driver::CompileOptions;
 use crate::ir::{canon, Circuit, Gate, WireId};
 
 /// Counters describing one [`optimize`] run.
@@ -63,6 +64,12 @@ pub struct OptStats {
     /// `(optimized gate index, source gate index)` for every surviving
     /// assert, sorted by optimized index.
     pub assert_origin: Vec<(u32, u32)>,
+    /// Per-phase `(name, logic gates before, logic gates after)` in
+    /// execution order — currently `rewrite` (fold/identity/CSE) then
+    /// `dce`. Deterministic: the sequential and parallel passes produce
+    /// identical vectors, and no timing data lives here (wall times
+    /// belong to the recorder, not to stats that parity tests compare).
+    pub phase_gates: Vec<(&'static str, u64, u64)>,
 }
 
 impl OptStats {
@@ -369,14 +376,9 @@ trait Rewrite {
     }
 }
 
-/// Optimizes a circuit: constant folding, algebraic identity rewrites,
-/// structural CSE, and assertion-safe mark-and-sweep DCE.
-///
-/// Count-only circuits pass through unchanged (there are no gates to
-/// rewrite). Output order and input arity are always preserved; every
-/// declared input wire survives even if unused, so optimized circuits
-/// accept the exact same input vectors.
-pub fn optimize(c: &Circuit) -> (Circuit, OptStats) {
+/// The sequential rewrite + DCE pass (see [`optimize_with`] for the
+/// public entry point and the semantics contract).
+fn optimize_seq(c: &Circuit) -> (Circuit, OptStats) {
     if !c.is_evaluable() {
         return (c.clone(), OptStats::passthrough(c));
     }
@@ -513,6 +515,13 @@ fn assemble(c: &Circuit, out: RewriteOut, live: &[bool]) -> (Circuit, OptStats) 
         .collect();
     let asserts_after = assert_origin.len() as u64;
 
+    // Logic-gate count of the rewritten-but-unswept list: the boundary
+    // between the rewrite and DCE phases.
+    let pre_dce_gates = out
+        .gates
+        .iter()
+        .filter(|g| !matches!(g, Gate::Input(_) | Gate::Const(_)))
+        .count() as u64;
     let opt = Circuit::from_raw(out_gates, outputs, c.num_inputs());
     let stats = OptStats {
         gates_before: c.size(),
@@ -529,6 +538,10 @@ fn assemble(c: &Circuit, out: RewriteOut, live: &[bool]) -> (Circuit, OptStats) 
         asserts_after,
         always_fail: out.always_fail,
         assert_origin,
+        phase_gates: vec![
+            ("rewrite", c.size(), pre_dce_gates),
+            ("dce", pre_dce_gates, opt.size()),
+        ],
     };
     (opt, stats)
 }
@@ -955,25 +968,76 @@ fn mark_live_par(c: &Circuit, out: &RewriteOut, pool: &Pool) -> Vec<bool> {
     live.into_iter().map(|b| b.into_inner()).collect()
 }
 
-/// [`optimize`], scheduled across `pool`'s workers. Produces the
+/// [`optimize_seq`], scheduled across `pool`'s workers. Produces the
 /// byte-identical `(Circuit, OptStats)` — including [`OptStats::assert_origin`]
 /// — for every circuit; a single-worker pool (and the rare circuit that
 /// feeds an assert's own wire into a later gate) delegates to the
 /// sequential pass directly.
-pub fn optimize_with_pool(c: &Circuit, pool: &Pool) -> (Circuit, OptStats) {
+fn optimize_pooled(c: &Circuit, pool: &Pool) -> (Circuit, OptStats) {
     if !c.is_evaluable() {
         return (c.clone(), OptStats::passthrough(c));
     }
     if pool.is_sequential() {
-        return optimize(c);
+        return optimize_seq(c);
     }
     match rewrite_par(c, pool) {
         Some(out) => {
             let live = mark_live_par(c, &out, pool);
             assemble(c, out, &live)
         }
-        None => optimize(c),
+        None => optimize_seq(c),
     }
+}
+
+/// Optimizes a circuit under `opts`: constant folding, algebraic
+/// identity rewrites, structural CSE, and assertion-safe mark-and-sweep
+/// DCE, scheduled across `opts.pool` (byte-identical result — including
+/// [`OptStats::assert_origin`] — for every worker count).
+///
+/// Count-only circuits, and any circuit when `opts.optimize` is off,
+/// pass through unchanged. Output order and input arity are always
+/// preserved; every declared input wire survives even if unused, so
+/// optimized circuits accept the exact same input vectors.
+///
+/// When `opts.recorder` is enabled the pass records an `optimize` span
+/// and its headline counters; the produced [`OptStats`] never depends on
+/// whether tracing was on.
+pub fn optimize_with(c: &Circuit, opts: &CompileOptions) -> (Circuit, OptStats) {
+    if !opts.optimize {
+        return (c.clone(), OptStats::passthrough(c));
+    }
+    let rec = &opts.recorder;
+    let _span = rec.span("optimize");
+    let (opt, st) = optimize_pooled(c, &opts.pool);
+    if rec.is_enabled() {
+        rec.add("opt.gates_before", st.gates_before);
+        rec.add("opt.gates_after", st.gates_after);
+        rec.add("opt.folded", st.folded);
+        rec.add("opt.identities", st.identities);
+        rec.add("opt.cse_hits", st.cse_hits);
+        rec.add("opt.dead", st.dead);
+    }
+    (opt, st)
+}
+
+/// Sequential alias for [`optimize_with`], kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `optimize_with(c, &CompileOptions::sequential())`"
+)]
+pub fn optimize(c: &Circuit) -> (Circuit, OptStats) {
+    optimize_with(c, &CompileOptions::sequential())
+}
+
+/// Pool-selecting alias for [`optimize_with`], kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `optimize_with(c, &CompileOptions::sequential().with_pool(pool))`"
+)]
+pub fn optimize_with_pool(c: &Circuit, pool: &Pool) -> (Circuit, OptStats) {
+    optimize_with(c, &CompileOptions::sequential().with_pool(*pool))
 }
 
 #[cfg(test)]
@@ -995,7 +1059,7 @@ mod tests {
         let s = b.sub(x, x); // x - x → 0
         let k = b.add(e, s); // 1 + 0 → 1
         let c = b.finish(vec![a, m, k]);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(opt.size(), 0, "everything folds away");
         assert!(st.folded > 0);
         for inp in [[0u64], [5], [u64::MAX]] {
@@ -1011,7 +1075,7 @@ mod tests {
         let x = b.input();
         let a = b.and(x, x);
         let c = b.finish(vec![a]);
-        let (opt, _) = optimize(&c);
+        let (opt, _) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(opt.evaluate(&[5]).unwrap(), vec![1]);
         assert_eq!(opt.evaluate(&[0]).unwrap(), vec![0]);
         // But And(e, e) for boolean e is e itself.
@@ -1021,7 +1085,7 @@ mod tests {
         let e = b.eq(x, y);
         let a = b.and(e, e);
         let c = b.finish(vec![a]);
-        let (opt, _) = optimize(&c);
+        let (opt, _) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(opt.size(), 1, "only the Eq survives");
         assert_eq!(opt.evaluate(&[3, 3]).unwrap(), vec![1]);
     }
@@ -1033,7 +1097,7 @@ mod tests {
         let n1 = b.not(x);
         let n2 = b.not(n1); // bool(x), x not provably boolean
         let c = b.finish(vec![n2]);
-        let (opt, _) = optimize(&c);
+        let (opt, _) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(opt.evaluate(&[7]).unwrap(), vec![1]);
         assert_eq!(opt.evaluate(&[0]).unwrap(), vec![0]);
         assert!(
@@ -1054,7 +1118,7 @@ mod tests {
         let csel = b.mux(one, x, y); // → x
         let boolify = b.mux(s, one, zero); // → bool(s)
         let c = b.finish(vec![same, csel, boolify]);
-        let (opt, _) = optimize(&c);
+        let (opt, _) = optimize_with(&c, &CompileOptions::sequential());
         for inp in [[0u64, 4, 9], [2, 4, 9]] {
             assert_eq!(c.evaluate(&inp).unwrap(), opt.evaluate(&inp).unwrap());
         }
@@ -1069,7 +1133,7 @@ mod tests {
         let _dead = b.mul(x, y); // unused
         let live = b.add(x, y);
         let c = b.finish(vec![live]);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(opt.size(), 1);
         assert_eq!(opt.num_inputs(), 2);
         assert_eq!(st.dead, 1);
@@ -1084,7 +1148,7 @@ mod tests {
         b.assert_zero(z);
         let out = b.add(x, x);
         let c = b.finish(vec![out]);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(st.asserts_before, 1);
         assert_eq!(st.asserts_after, 0);
         assert_eq!(opt.evaluate(&[4]).unwrap(), vec![8]);
@@ -1098,7 +1162,7 @@ mod tests {
         let k = b.mul(one, one); // folds to const 1
         b.assert_zero(k); // always fails with value 1
         let c = b.finish(vec![x]);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(st.always_fail, 1);
         assert_eq!(st.asserts_after, 1);
         match opt.evaluate(&[0]) {
@@ -1117,7 +1181,7 @@ mod tests {
         b.assert_zero(d1);
         b.assert_zero(d2);
         let c = b.finish(vec![]);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(st.asserts_before, 2);
         assert_eq!(st.asserts_after, 1);
         // The surviving assert maps to the FIRST source assert.
@@ -1149,7 +1213,7 @@ mod tests {
         let n = b.not(e);
         b.assert_zero(n);
         let c = b.finish(vec![]);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         // Fail the first assert: both circuits must report corresponding
         // gates and identical values.
         let (src_err, opt_err) = (
@@ -1180,7 +1244,7 @@ mod tests {
         let x = b.input();
         let y = b.not(x);
         let c = b.finish(vec![y]);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         assert!(!opt.is_evaluable());
         assert_eq!(opt.size(), c.size());
         assert_eq!(st.gates_before, st.gates_after);
@@ -1229,8 +1293,11 @@ mod tests {
     }
 
     fn assert_same_opt(c: &Circuit, threads: usize) {
-        let (seq_c, seq_st) = optimize(c);
-        let (par_c, par_st) = optimize_with_pool(c, &Pool::new(threads));
+        let (seq_c, seq_st) = optimize_with(c, &CompileOptions::sequential());
+        let (par_c, par_st) = optimize_with(
+            c,
+            &CompileOptions::sequential().with_pool(Pool::new(threads)),
+        );
         assert_eq!(par_c.gates(), seq_c.gates(), "threads={threads}");
         assert_eq!(par_c.outputs(), seq_c.outputs(), "threads={threads}");
         assert_eq!(par_c.num_inputs(), seq_c.num_inputs());
@@ -1296,7 +1363,7 @@ mod tests {
         let a = b.add(x, y);
         let m = b.mul(x, y);
         let c = b.finish(vec![m, a, x]);
-        let (opt, _) = optimize(&c);
+        let (opt, _) = optimize_with(&c, &CompileOptions::sequential());
         assert_eq!(opt.num_inputs(), 3);
         assert_eq!(opt.evaluate(&[2, 3, 99]).unwrap(), vec![6, 5, 2]);
     }

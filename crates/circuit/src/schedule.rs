@@ -2,6 +2,7 @@
 //! depth `D` runs on a `P`-processor PRAM in `O(W/P + D)` steps by
 //! executing it level by level.
 
+use crate::driver::CompileOptions;
 use crate::engine::CompiledCircuit;
 use crate::{Circuit, EvalError};
 
@@ -29,7 +30,7 @@ pub fn evaluate_levelized(
     if c.gates().is_empty() {
         return c.evaluate(inputs); // count-only or trivial: delegate
     }
-    let compiled = CompiledCircuit::compile(c)?;
+    let (compiled, _) = CompiledCircuit::compile_with(c, &CompileOptions::from_env())?;
     compiled
         .evaluate_batch_threaded(std::slice::from_ref(&inputs), threads)
         .pop()

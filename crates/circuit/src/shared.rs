@@ -76,6 +76,10 @@ struct Shard {
     keys: Vec<u128>,
     ids: Vec<u32>,
     len: usize,
+    /// Lookups that found an existing key (the hash-cons doing its job).
+    hits: u64,
+    /// Lookups that created a new entry.
+    misses: u64,
 }
 
 const SHARD_INIT_CAP: usize = 16;
@@ -86,6 +90,8 @@ impl Shard {
             keys: vec![0; SHARD_INIT_CAP],
             ids: vec![0; SHARD_INIT_CAP],
             len: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -152,13 +158,31 @@ impl InternTable {
         s.maybe_grow();
         let i = s.slot(key, h);
         if s.keys[i] != 0 {
+            s.hits += 1;
             return (s.ids[i], false);
         }
+        s.misses += 1;
         let id = create();
         s.keys[i] = key;
         s.ids[i] = id;
         s.len += 1;
         (id, true)
+    }
+
+    /// `(hits, misses)` summed over all shards since construction. Hits
+    /// are dedup lookups that returned an existing wire; the hit *rate*
+    /// `hits / (hits + misses)` is the online-CSE effectiveness the
+    /// observability layer exports. Counted under the shard locks the
+    /// lookups already take, so the untraced cost is one integer add.
+    pub(crate) fn hit_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in self.shards.iter() {
+            let s = s.lock().unwrap();
+            hits += s.hits;
+            misses += s.misses;
+        }
+        (hits, misses)
     }
 
     /// Total interned entries (test/diagnostic use).

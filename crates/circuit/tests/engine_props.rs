@@ -6,7 +6,9 @@
 //! count.
 
 use proptest::prelude::*;
-use qec_circuit::{evaluate_levelized, Builder, Circuit, CompiledCircuit, EvalError, Mode};
+use qec_circuit::{
+    evaluate_levelized, Builder, Circuit, CompileOptions, CompiledCircuit, EvalError, Mode,
+};
 
 /// Raw material for one random gate: kind selector plus operand seeds,
 /// reduced modulo the live wire count at build time.
@@ -68,7 +70,9 @@ proptest! {
             (prop::collection::vec(0u64..16, 0..8), any::<bool>()), 1..12),
     ) {
         let c = build_random(Mode::Build, num_inputs, &seeds);
-        let eng = CompiledCircuit::compile(&c).expect("build-mode circuits compile");
+        let eng = CompiledCircuit::compile_with(&c, &CompileOptions::from_env())
+            .expect("build-mode circuits compile")
+            .0;
 
         // register allocation must beat the interpreter's O(wires) buffer
         // whenever there is anything to reuse; never exceed it. The tape
@@ -119,7 +123,7 @@ proptest! {
     ) {
         let c = build_random(Mode::Count, num_inputs, &seeds);
         prop_assert_eq!(
-            CompiledCircuit::compile(&c).err(),
+            CompiledCircuit::compile_with(&c, &CompileOptions::from_env()).err(),
             Some(EvalError::CountOnly)
         );
         prop_assert_eq!(c.evaluate(&vec![0; num_inputs]).err(), Some(EvalError::CountOnly));
@@ -137,7 +141,7 @@ fn mid_batch_assertion_failure_is_isolated() {
     b.assert_zero(y); // gate 3
     let s = b.add(x, y);
     let c = b.finish(vec![s]);
-    let eng = CompiledCircuit::compile(&c).unwrap();
+    let (eng, _) = CompiledCircuit::compile_with(&c, &CompileOptions::from_env()).unwrap();
     let instances: Vec<Vec<u64>> = vec![vec![0, 0], vec![9, 9], vec![0, 4]];
     let got = eng.evaluate_batch(&instances);
     assert_eq!(got[0], Ok(vec![0]));
@@ -160,7 +164,7 @@ fn mid_batch_assertion_failure_is_isolated() {
 fn empty_circuit_batches() {
     let b = Builder::new(Mode::Build);
     let c = b.finish(vec![]);
-    let eng = CompiledCircuit::compile(&c).unwrap();
+    let (eng, _) = CompiledCircuit::compile_with(&c, &CompileOptions::from_env()).unwrap();
     let instances: Vec<Vec<u64>> = vec![vec![], vec![1], vec![]];
     let got = eng.evaluate_batch(&instances);
     assert_eq!(got[0], Ok(vec![]));

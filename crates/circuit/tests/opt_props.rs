@@ -7,8 +7,10 @@
 //! exact source-level lowest-gate-index failure for 1–8 threads.
 
 use proptest::prelude::*;
-use qec_circuit::lower::{lower, optimize_bits};
-use qec_circuit::{optimize, Builder, Circuit, CompiledCircuit, EvalError, Mode};
+use qec_circuit::{
+    lower_with, optimize_bits_with, optimize_with, Builder, Circuit, CompileOptions,
+    CompiledCircuit, EvalError, Mode,
+};
 
 /// Raw material for one random gate: kind selector plus operand seeds,
 /// reduced modulo the live wire count at build time.
@@ -103,7 +105,7 @@ proptest! {
             prop::collection::vec(0u64..16, 0..8), 1..10),
     ) {
         let c = build_random(Mode::Build, num_inputs, &seeds);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         prop_assert!(opt.size() <= c.size(), "optimization never grows the circuit");
         prop_assert!(opt.depth() <= c.depth(), "optimization never deepens the circuit");
         prop_assert_eq!(opt.num_inputs(), c.num_inputs());
@@ -126,7 +128,7 @@ proptest! {
         seeds in prop::collection::vec(any::<GateSeed>(), 1..60),
     ) {
         let c = build_random(Mode::Count, num_inputs, &seeds);
-        let (opt, st) = optimize(&c);
+        let (opt, st) = optimize_with(&c, &CompileOptions::sequential());
         prop_assert!(!opt.is_evaluable());
         prop_assert_eq!(opt.size(), c.size());
         prop_assert_eq!(opt.depth(), c.depth());
@@ -145,7 +147,8 @@ proptest! {
             prop::collection::vec(0u64..16, 0..8), 1..10),
     ) {
         let c = build_random(Mode::Build, num_inputs, &seeds);
-        let eng = CompiledCircuit::compile(&c).expect("build-mode circuits compile");
+        let (eng, _) = CompiledCircuit::compile_with(&c, &CompileOptions::from_env())
+            .expect("build-mode circuits compile");
         prop_assert!(eng.stats().tape_len <= c.num_wires());
         prop_assert!(eng.stats().opt.is_some(), "compile runs the optimizer");
         let instances: Vec<Vec<u64>> = raw_instances
@@ -170,8 +173,8 @@ proptest! {
             prop::collection::vec(0u64..16, 0..6), 1..6),
     ) {
         let c = build_random(Mode::Build, num_inputs, &seeds);
-        let bc = lower(&c, 8);
-        let (opt, st) = optimize_bits(&bc);
+        let bc = lower_with(&c, 8, &CompileOptions::sequential());
+        let (opt, st) = optimize_bits_with(&bc, &CompileOptions::sequential());
         prop_assert!(st.and_after <= st.and_before);
         prop_assert!(st.gates_after <= st.gates_before);
         prop_assert!(st.and_depth_after <= st.and_depth_before);

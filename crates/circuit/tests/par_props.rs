@@ -1,15 +1,17 @@
 //! Property tests pinning the parallel compile pipeline to its
 //! sequential reference on random gate DAGs: `Builder::with_pool` +
-//! `fork_join`, `lower_with_pool`, `optimize_with_pool`, and
-//! `optimize_bits_with_pool` must each produce **byte-identical**
-//! results — gate lists, outputs, depths, AND counts, `OptStats`
+//! `fork_join`, `lower_with`, `optimize_with`, and `optimize_bits_with`
+//! under a multi-worker `CompileOptions` must each produce
+//! **byte-identical** results — gate lists, outputs, depths, AND counts, `OptStats`
 //! (including `assert_origin`), and the first-failing-assert index — at
 //! every worker count from 1 to 8. A 16-thread stress variant runs
 //! under `--ignored`.
 
 use proptest::prelude::*;
-use qec_circuit::lower::{lower, lower_with_pool, optimize_bits, optimize_bits_with_pool, BGate};
-use qec_circuit::{optimize, optimize_with_pool, Builder, Circuit, Mode, Pool};
+use qec_circuit::lower::BGate;
+use qec_circuit::{
+    lower_with, optimize_bits_with, optimize_with, Builder, Circuit, CompileOptions, Mode, Pool,
+};
 
 /// Raw material for one random gate: kind selector plus operand seeds,
 /// reduced modulo the live wire count at build time.
@@ -145,12 +147,14 @@ fn check_all_stages(
 
     // Stages 2–4 reference: lowering and both optimizer passes.
     let raw = build_random(Mode::Build, num_inputs, seeds);
-    let bc = lower(&raw, 8);
-    let (opt_seq, st_seq) = optimize(&raw);
-    let (bopt_seq, bst_seq) = optimize_bits(&bc);
+    let seq_opts = CompileOptions::sequential();
+    let bc = lower_with(&raw, 8, &seq_opts);
+    let (opt_seq, st_seq) = optimize_with(&raw, &seq_opts);
+    let (bopt_seq, bst_seq) = optimize_bits_with(&bc, &seq_opts);
 
     for &t in threads {
         let pool = Pool::new(t);
+        let par_opts = CompileOptions::sequential().with_pool(pool);
 
         let built_par = build_forked(Builder::with_pool(Mode::Build, pool), num_inputs, seeds);
         assert_same_circuit(&built_seq, &built_par, "build")?;
@@ -166,13 +170,13 @@ fn check_all_stages(
         prop_assert_eq!(counted_seq.size(), counted_par.size(), "count-mode size");
         prop_assert_eq!(counted_seq.depth(), counted_par.depth(), "count-mode depth");
 
-        let bc_par = lower_with_pool(&raw, 8, &pool);
+        let bc_par = lower_with(&raw, 8, &par_opts);
         prop_assert_eq!(bc.gates(), bc_par.gates(), "lowered gate lists diverge");
         prop_assert_eq!(bc.outputs(), bc_par.outputs());
         prop_assert_eq!(bc.num_inputs(), bc_par.num_inputs());
         prop_assert_eq!(and_count(bc.gates()), and_count(bc_par.gates()));
 
-        let (opt_par, st_par) = optimize_with_pool(&raw, &pool);
+        let (opt_par, st_par) = optimize_with(&raw, &par_opts);
         assert_same_circuit(&opt_seq, &opt_par, "optimize")?;
         prop_assert_eq!(
             format!("{st_seq:?}"),
@@ -186,7 +190,7 @@ fn check_all_stages(
             prop_assert_eq!(opt_seq.evaluate(inst), opt_par.evaluate(inst));
         }
 
-        let (bopt_par, bst_par) = optimize_bits_with_pool(&bc, &pool);
+        let (bopt_par, bst_par) = optimize_bits_with(&bc, &par_opts);
         prop_assert_eq!(
             bopt_seq.gates(),
             bopt_par.gates(),

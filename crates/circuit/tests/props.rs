@@ -225,7 +225,7 @@ proptest! {
         r in rel_strategy(&[0, 1], 6),
         s in rel_strategy(&[1, 2], 6),
     ) {
-        use qec_circuit::lower::lower;
+        use qec_circuit::{lower_with, CompileOptions};
         let mut b = Builder::new(Mode::Build);
         let rw = qec_circuit::encode_relation(&mut b, r.schema().to_vec(), 6);
         let sw = qec_circuit::encode_relation(&mut b, s.schema().to_vec(), 6);
@@ -238,7 +238,7 @@ proptest! {
         // lowering — only valid slots carry meaning
         let schema = r.schema().to_vec();
         let word = decode_relation(&schema, &c.evaluate(&vals).unwrap());
-        let bc = lower(&c, 16);
+        let bc = lower_with(&c, 16, &CompileOptions::sequential());
         let bits = bc.pack_inputs(&vals);
         let bit_words = bc.unpack_outputs(&bc.evaluate(&bits).unwrap());
         prop_assert_eq!(decode_relation(&schema, &bit_words), word);

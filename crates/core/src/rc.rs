@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use qec_circuit::{
     aggregate as c_aggregate, decompose as c_decompose, join_degree_bounded, join_output_bounded,
     join_pk, project as c_project, select as c_select, semijoin as c_semijoin,
-    truncate as c_truncate, union as c_union, AggOp, Builder, Circuit, InputLayout, Mode, Pool,
-    RelWires, SlotWires,
+    truncate as c_truncate, union as c_union, AggOp, Builder, Circuit, CompileOptions, InputLayout,
+    Mode, Pool, RelWires, SlotWires,
 };
 use qec_relation::{AggKind, Database, Relation, Var, VarSet};
 
@@ -558,18 +558,23 @@ impl RelationalCircuit {
     }
 
     /// Lowers the relational circuit to a word-level oblivious circuit
-    /// (Sec. 5): each gate becomes the corresponding `qec-circuit`
-    /// construction sized by this circuit's wire bounds.
+    /// (Sec. 5) under environment defaults (`QEC_THREADS`, `QEC_TRACE`):
+    /// each gate becomes the corresponding `qec-circuit` construction
+    /// sized by this circuit's wire bounds.
     pub fn lower(&self, mode: Mode) -> LoweredCircuit {
-        self.lower_with_pool(mode, Pool::from_env())
+        self.lower_with(mode, &CompileOptions::from_env())
     }
 
-    /// [`RelCircuit::lower`] with an explicit worker pool: with more than
-    /// one worker the word builder runs in its parallel mode (sharded
-    /// hash-consing plus deterministic replay), so per-operator circuit
-    /// blocks can be emitted from multiple workers while the finished
-    /// circuit stays byte-identical to the sequential build.
-    pub fn lower_with_pool(&self, mode: Mode, pool: Pool) -> LoweredCircuit {
+    /// [`RelationalCircuit::lower`] under explicit [`CompileOptions`]:
+    /// with a multi-worker pool the word builder runs in its parallel
+    /// mode (sharded hash-consing plus deterministic replay), so
+    /// per-operator circuit blocks can be emitted from multiple workers
+    /// while the finished circuit stays byte-identical to the sequential
+    /// build. When `opts.recorder` is enabled the whole word-circuit
+    /// construction is recorded as a `build` span.
+    pub fn lower_with(&self, mode: Mode, opts: &CompileOptions) -> LoweredCircuit {
+        let _span = opts.recorder.span("build");
+        let pool = opts.pool;
         let mut b = if pool.is_sequential() {
             Builder::new(mode)
         } else {
@@ -826,6 +831,16 @@ impl RelationalCircuit {
             outputs: out_meta,
         }
     }
+
+    /// Pool-selecting alias for [`RelationalCircuit::lower_with`], kept
+    /// for source compatibility.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `lower_with(mode, &CompileOptions::sequential().with_pool(pool))`"
+    )]
+    pub fn lower_with_pool(&self, mode: Mode, pool: Pool) -> LoweredCircuit {
+        self.lower_with(mode, &CompileOptions::sequential().with_pool(pool))
+    }
 }
 
 /// RAM mirror of one decomposition part (Alg. 2 semantics; tie-breaking
@@ -1014,7 +1029,19 @@ impl LoweredCircuit {
     /// value and amortizes compilation over many [`Self::run_batch`]
     /// calls.
     pub fn compile_engine(&self) -> Result<qec_circuit::CompiledCircuit, qec_circuit::EvalError> {
-        qec_circuit::CompiledCircuit::compile(&self.circuit)
+        self.compile_engine_with(&CompileOptions::from_env())
+            .map(|(eng, _)| eng)
+    }
+
+    /// [`Self::compile_engine`] under explicit [`CompileOptions`],
+    /// returning the engine together with the pipeline's timing/metrics
+    /// report.
+    pub fn compile_engine_with(
+        &self,
+        opts: &CompileOptions,
+    ) -> Result<(qec_circuit::CompiledCircuit, qec_circuit::PipelineReport), qec_circuit::EvalError>
+    {
+        qec_circuit::CompiledCircuit::compile_with(&self.circuit, opts)
     }
 
     /// Evaluates one circuit over many databases in a single batched

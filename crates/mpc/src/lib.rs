@@ -275,8 +275,8 @@ pub fn run_two_party(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qec_circuit::lower::lower;
-    use qec_circuit::{Builder, Mode};
+    use qec_circuit::lower::lower_with;
+    use qec_circuit::{Builder, CompileOptions, Mode};
 
     fn adder_circuit() -> BitCircuit {
         let mut b = Builder::new(Mode::Build);
@@ -285,7 +285,7 @@ mod tests {
         let s = b.add(x, y);
         let lt = b.lt(x, y);
         let c = b.finish(vec![s, lt]);
-        lower(&c, 16)
+        lower_with(&c, 16, &CompileOptions::sequential())
     }
 
     #[test]
@@ -352,7 +352,7 @@ mod tests {
         let x = b.input();
         b.assert_zero(x);
         let c = b.finish(vec![]);
-        let bc = lower(&c, 4);
+        let bc = lower_with(&c, 4, &CompileOptions::sequential());
         let ok = run_two_party(&bc, &bc.pack_inputs(&[0]), 9);
         assert!(ok.is_ok());
         let bad = run_two_party(&bc, &bc.pack_inputs(&[5]), 9);

@@ -24,7 +24,9 @@
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Environment variable controlling the default worker count used by
 /// [`Pool::from_env`] (and therefore by every pool-aware entry point that
@@ -115,11 +117,21 @@ impl Pool {
         // Rounding can leave fewer blocks than workers; spawn one worker
         // per block, never more.
         let per = chunks.len().div_ceil(workers);
+        let num_chunks = chunks.len();
         let queues: Vec<ChunkQueue> = chunks
             .chunks(per)
             .map(|block| Mutex::new(block.iter().cloned().collect()))
             .collect();
         let workers = queues.len();
+        // Observability: when the process-global recorder is live, count
+        // tasks/steals and accumulate per-worker busy nanoseconds. The
+        // untraced path pays exactly one recorder-enabled check per
+        // parallel region — nothing per chunk.
+        let rec = qec_obs::global();
+        let traced = rec.is_enabled();
+        let busy_ns: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let steals: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let region_start = Instant::now();
         let work = |me: usize| loop {
             let mine = queues[me].lock().unwrap().pop_front();
             let job = match mine {
@@ -134,12 +146,23 @@ impl Pool {
                         }
                     }
                     match stolen {
-                        Some(j) => j,
+                        Some(j) => {
+                            if traced {
+                                steals[me].fetch_add(1, Ordering::Relaxed);
+                            }
+                            j
+                        }
                         None => return,
                     }
                 }
             };
-            f(job);
+            if traced {
+                let t0 = Instant::now();
+                f(job);
+                busy_ns[me].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            } else {
+                f(job);
+            }
         };
         std::thread::scope(|s| {
             for w in 1..workers {
@@ -148,6 +171,22 @@ impl Pool {
             }
             work(0);
         });
+        if traced {
+            rec.add("pool.regions", 1);
+            rec.add("pool.tasks", num_chunks as u64);
+            let total_steals: u64 = steals.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+            rec.add("pool.steals", total_steals);
+            for (w, busy) in busy_ns.iter().enumerate() {
+                let ns = busy.load(Ordering::Relaxed);
+                rec.add(&format!("pool.worker.{w}.busy_ns"), ns);
+                rec.add("pool.busy_ns", ns);
+            }
+            rec.record_span(
+                "pool.region",
+                region_start,
+                region_start.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     /// Computes `f(i)` for every `i in 0..n` across the pool's workers and

@@ -13,8 +13,8 @@
 //! cargo run --release --example secure_triangle
 //! ```
 
-use query_circuits::circuit::lower::lower;
 use query_circuits::circuit::Mode;
+use query_circuits::circuit::{lower_with, CompileOptions};
 use query_circuits::core::compile_fcq;
 use query_circuits::mpc::{evaluate_shared, share_bits, Dealer};
 use query_circuits::query::{baseline::evaluate_pairwise, parse_cq};
@@ -35,7 +35,7 @@ fn main() {
     // The public circuit: PANDA-C, lowered all the way to AND/XOR/NOT.
     let compiled = compile_fcq(&q, &dc).expect("compiles");
     let lowered = compiled.rc.lower(Mode::Build);
-    let boolean = lower(&lowered.circuit, 16);
+    let boolean = lower_with(&lowered.circuit, 16, &CompileOptions::from_env());
     println!(
         "public circuit: {} word gates → {} boolean gates ({} AND, AND-depth {})",
         lowered.circuit.size(),

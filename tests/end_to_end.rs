@@ -2,7 +2,7 @@
 //! sequences → PANDA-C → word-circuit lowering → evaluation → MPC, all
 //! cross-checked against the RAM baselines.
 
-use query_circuits::circuit::{lower::lower, Mode};
+use query_circuits::circuit::{lower_with, CompileOptions, Mode};
 use query_circuits::core::{compile_fcq, paper_cost, OutputSensitive};
 use query_circuits::entropy::{polymatroid_bound, prove_bound, validate};
 use query_circuits::query::baseline::{evaluate_pairwise, generic_join, yannakakis};
@@ -145,7 +145,7 @@ fn secure_two_party_join_end_to_end() {
     let j = join_pk(&mut b, &rw, &sw);
     let schema = j.schema.clone();
     let c = b.finish(j.flatten());
-    let bc = lower(&c, 16);
+    let bc = lower_with(&c, 16, &CompileOptions::from_env());
 
     let r = Relation::from_rows(
         vec![Var(0), Var(1)],
@@ -214,7 +214,7 @@ fn single_bit_secure_triangle_existence() {
     let lowered = rc.lower(Mode::Build);
     // the circuit's entire output is one word: arity-0 slot = validity bit
     assert_eq!(lowered.circuit.outputs().len(), 1);
-    let bc = lower(&lowered.circuit, 16);
+    let bc = lower_with(&lowered.circuit, 16, &CompileOptions::from_env());
 
     let run = |db: &Database| -> bool {
         let words = lowered.layout.values(db).unwrap();
