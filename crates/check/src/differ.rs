@@ -1,0 +1,454 @@
+//! The differential driver.
+//!
+//! [`run_case`] pushes one [`Case`] through every layer of the stack and
+//! cross-checks the results:
+//!
+//! 1. RAM references: `evaluate_pairwise` (ground truth), `generic_join`,
+//!    the flat `yannakakis` baseline (acyclic queries), and
+//!    `OutputSensitive::evaluate_ram` must all agree.
+//! 2. The naive relational circuit's RAM interpreter must match.
+//! 3. The lowered word circuit is structurally validated, checked for
+//!    parallel-lowering parity, then compiled and evaluated under every
+//!    [`EngineOptions`] point in the sweep matrix; each decoded output
+//!    must equal the RAM ground truth.
+//! 4. Optionally the bit-level lowering and bit optimizer run under the
+//!    structural validator as well.
+//!
+//! Any disagreement comes back as a [`Divergence`] naming the stage and
+//! configuration, ready for the shrinker.
+
+use crate::case::{Case, EngineOptions};
+use qec_circuit::{
+    decode_relation, lower_with, optimize_bits_with, read_netlist, validate, validate_bits,
+    write_netlist, Circuit, CompileOptions, CompiledCircuit, Mode, Pool,
+};
+use qec_core::{naive_circuit, OutputSensitive};
+use qec_query::baseline::{evaluate_pairwise, generic_join, yannakakis};
+use qec_relation::Relation;
+use std::fmt;
+
+/// Why a case failed. Every variant names the stage precisely enough to
+/// replay by hand.
+#[derive(Clone, Debug)]
+pub enum Divergence {
+    /// The harness itself could not set the case up (unparseable query,
+    /// missing rows, …) — a generator or corpus bug, not an engine bug.
+    Harness(String),
+    /// Two RAM-level reference evaluators disagree.
+    Baseline {
+        /// Which reference broke ranks with `evaluate_pairwise`.
+        family: &'static str,
+        /// Human-readable got/want detail.
+        detail: String,
+    },
+    /// A structural validator rejected a circuit.
+    Validator {
+        /// Pipeline stage that produced the rejected circuit.
+        stage: &'static str,
+        /// The validator's error.
+        error: String,
+    },
+    /// Compilation or evaluation errored under one configuration.
+    Engine {
+        /// The failing configuration.
+        options: EngineOptions,
+        /// `compile` or `evaluate`.
+        stage: &'static str,
+        /// The engine's error.
+        error: String,
+    },
+    /// The decoded circuit output differs from the RAM ground truth.
+    Output {
+        /// The failing configuration.
+        options: EngineOptions,
+        /// Decoded circuit output.
+        got: String,
+        /// RAM reference output.
+        want: String,
+    },
+}
+
+impl Divergence {
+    /// The engine configuration implicated, when the failure is tied to
+    /// one; the shrinker pins replay to it.
+    pub fn options(&self) -> Option<EngineOptions> {
+        match self {
+            Divergence::Engine { options, .. } | Divergence::Output { options, .. } => {
+                Some(*options)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for real engine bugs (anything except a harness setup
+    /// failure).
+    pub fn is_real(&self) -> bool {
+        !matches!(self, Divergence::Harness(_))
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Harness(msg) => write!(f, "harness error: {msg}"),
+            Divergence::Baseline { family, detail } => {
+                write!(f, "RAM baseline {family} disagrees: {detail}")
+            }
+            Divergence::Validator { stage, error } => {
+                write!(f, "validator rejected {stage} circuit: {error}")
+            }
+            Divergence::Engine {
+                options,
+                stage,
+                error,
+            } => write!(f, "{stage} failed under {options:?}: {error}"),
+            Divergence::Output { options, got, want } => {
+                write!(
+                    f,
+                    "output mismatch under {options:?}: got {got}, want {want}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Statistics from one passed case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CaseOutcome {
+    /// Engine configurations compiled and evaluated.
+    pub configs: usize,
+    /// Word-level gate count of the lowered circuit.
+    pub word_gates: usize,
+    /// Bit-level gate count, when the bit pipeline was checked.
+    pub bit_gates: usize,
+}
+
+/// The sweep matrix for one case: optimizer {off, on} × threads
+/// {1, 2 + seed mod 7} × tracing {off, on} — eight configurations, with
+/// the thread count varied by seed so the whole 1..=8 range gets
+/// exercised across a run.
+pub fn options_matrix(seed: u64) -> Vec<EngineOptions> {
+    let alt_threads = 2 + (seed % 7) as usize;
+    let mut matrix = Vec::with_capacity(8);
+    for optimize in [false, true] {
+        for threads in [1, alt_threads] {
+            for traced in [false, true] {
+                matrix.push(EngineOptions {
+                    optimize,
+                    threads,
+                    traced,
+                });
+            }
+        }
+    }
+    matrix
+}
+
+/// Test-only miscompile injection: swaps the opcode of one gate (the
+/// `index`-th swappable one, wrapping) so the acceptance check "an
+/// injected miscompile is caught and shrunk" has a hook. Goes through
+/// the public netlist round-trip on purpose — the mutated circuit is
+/// re-parsed and so stays structurally well-formed; only its semantics
+/// change, which is exactly what the differential layer must catch.
+#[derive(Clone, Copy, Debug)]
+pub struct Mutation {
+    /// Index into the circuit's swappable gates (taken modulo their
+    /// count).
+    pub index: usize,
+}
+
+const OPCODE_SWAPS: [(&str, &str); 8] = [
+    ("add", "sub"),
+    ("sub", "add"),
+    ("mul", "add"),
+    ("eq", "lt"),
+    ("lt", "eq"),
+    ("and", "or"),
+    ("or", "and"),
+    ("xor", "or"),
+];
+
+/// Applies `m` to `c`; `None` when the circuit has no swappable gate.
+pub fn mutate_circuit(c: &Circuit, m: &Mutation) -> Option<Circuit> {
+    let text = write_netlist(c);
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let mut candidates: Vec<(usize, &str)> = Vec::new();
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let mut toks = line.split_whitespace();
+        let (Some(_id), Some(op)) = (toks.next(), toks.next()) else {
+            continue;
+        };
+        if let Some(&(_, to)) = OPCODE_SWAPS.iter().find(|(from, _)| *from == op) {
+            candidates.push((i, to));
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (line_idx, to) = candidates[m.index % candidates.len()];
+    let mut parts: Vec<&str> = lines[line_idx].split_whitespace().collect();
+    parts[1] = to;
+    lines[line_idx] = parts.join(" ");
+    let mutated = lines.join("\n") + "\n";
+    read_netlist(&mutated).ok()
+}
+
+fn digest(r: &Relation) -> String {
+    let rows: Vec<String> = r
+        .rows()
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+            format!("({})", cells.join(","))
+        })
+        .collect();
+    format!("{:?}{{{}}}", r.schema(), rows.join(" "))
+}
+
+fn harness(msg: impl fmt::Display) -> Divergence {
+    Divergence::Harness(msg.to_string())
+}
+
+/// Runs one case through the full differential stack.
+///
+/// `matrix` is the engine-option sweep; `mutation` optionally injects a
+/// miscompile into the word circuit before the sweep; `check_bits` also
+/// pushes the circuit through the bit-level lowering and optimizer under
+/// the structural validator (markedly slower, so the fuzz loop samples
+/// it).
+pub fn run_case(
+    case: &Case,
+    matrix: &[EngineOptions],
+    mutation: Option<&Mutation>,
+    check_bits: bool,
+) -> Result<CaseOutcome, Divergence> {
+    let (cq, db, dc) = case.materialize().map_err(harness)?;
+
+    // Stage 1: RAM references against ground truth.
+    let expect = evaluate_pairwise(&cq, &db).map_err(harness)?;
+    let gj = generic_join(&cq, &db).map_err(harness)?;
+    if gj != expect {
+        return Err(Divergence::Baseline {
+            family: "generic-join",
+            detail: format!("got {}, want {}", digest(&gj), digest(&expect)),
+        });
+    }
+    if let Some(y) = yannakakis(&cq, &db).map_err(harness)? {
+        if y != expect {
+            return Err(Divergence::Baseline {
+                family: "yannakakis",
+                detail: format!("got {}, want {}", digest(&y), digest(&expect)),
+            });
+        }
+    }
+    if let Ok(os) = OutputSensitive::build(&cq, &dc, 8) {
+        match os.evaluate_ram(&db) {
+            Ok(r) if r != expect => {
+                return Err(Divergence::Baseline {
+                    family: "output-sensitive-ram",
+                    detail: format!("got {}, want {}", digest(&r), digest(&expect)),
+                });
+            }
+            Ok(_) => {}
+            Err(e) => {
+                return Err(Divergence::Baseline {
+                    family: "output-sensitive-ram",
+                    detail: format!("evaluation error: {e}"),
+                });
+            }
+        }
+    }
+
+    // Stage 2: the naive relational circuit, RAM-interpreted.
+    let (rc, _) = naive_circuit(&cq, &dc).map_err(harness)?;
+    let ram = rc.evaluate_ram(&db).map_err(|e| Divergence::Baseline {
+        family: "naive-ram",
+        detail: format!("evaluation error: {e}"),
+    })?;
+    if ram.len() != 1 || ram[0] != expect {
+        let got = ram.first().map(digest).unwrap_or_else(|| "<none>".into());
+        return Err(Divergence::Baseline {
+            family: "naive-ram",
+            detail: format!("got {got}, want {}", digest(&expect)),
+        });
+    }
+
+    // Stage 3: lower to the word IR, validate, and check that parallel
+    // lowering is bit-for-bit equal to sequential lowering.
+    let lowered = rc.lower_with(Mode::Build, &CompileOptions::sequential());
+    validate(&lowered.circuit).map_err(|e| Divergence::Validator {
+        stage: "lower",
+        error: e.to_string(),
+    })?;
+    let max_threads = matrix.iter().map(|o| o.threads).max().unwrap_or(1);
+    if max_threads > 1 {
+        let par = rc.lower_with(
+            Mode::Build,
+            &CompileOptions::sequential().with_pool(Pool::new(max_threads)),
+        );
+        if write_netlist(&par.circuit) != write_netlist(&lowered.circuit) {
+            return Err(Divergence::Validator {
+                stage: "parallel-lowering-parity",
+                error: format!("lowering under {max_threads} threads produced a different netlist"),
+            });
+        }
+    }
+
+    let circuit = match mutation {
+        Some(m) => mutate_circuit(&lowered.circuit, m)
+            .ok_or_else(|| harness("circuit has no swappable gate to mutate"))?,
+        None => lowered.circuit.clone(),
+    };
+    let inputs = lowered.layout.values(&db).map_err(harness)?;
+
+    // Stage 4: the engine-option sweep.
+    let mut outcome = CaseOutcome {
+        word_gates: circuit.size() as usize,
+        ..CaseOutcome::default()
+    };
+    for opts in matrix {
+        let co = opts.compile_options();
+        let (engine, _report) =
+            CompiledCircuit::compile_with(&circuit, &co).map_err(|e| Divergence::Engine {
+                options: *opts,
+                stage: "compile",
+                error: e.to_string(),
+            })?;
+        let raw = engine.evaluate(&inputs).map_err(|e| Divergence::Engine {
+            options: *opts,
+            stage: "evaluate",
+            error: e.to_string(),
+        })?;
+        for (schema, start, len) in &lowered.outputs {
+            let got = decode_relation(schema, &raw[*start..*start + *len]);
+            if got != expect {
+                return Err(Divergence::Output {
+                    options: *opts,
+                    got: digest(&got),
+                    want: digest(&expect),
+                });
+            }
+        }
+        outcome.configs += 1;
+    }
+
+    // Stage 5 (sampled): bit-level lowering + optimizer under the
+    // structural validator.
+    if check_bits {
+        let bits = lower_with(&circuit, 64, &CompileOptions::sequential());
+        validate_bits(&bits).map_err(|e| Divergence::Validator {
+            stage: "bit-lower",
+            error: e.to_string(),
+        })?;
+        let (opt_bits, _) = optimize_bits_with(&bits, &CompileOptions::sequential());
+        validate_bits(&opt_bits).map_err(|e| Divergence::Validator {
+            stage: "bit-optimize",
+            error: e.to_string(),
+        })?;
+        outcome.bit_gates = opt_bits.gates().len();
+    }
+
+    Ok(outcome)
+}
+
+/// Aggregate result of a fuzz sweep.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    /// Cases that passed the full matrix.
+    pub cases_passed: usize,
+    /// Engine configurations compiled+evaluated across all cases.
+    pub configs: usize,
+    /// Total word gates across lowered circuits (a work proxy).
+    pub word_gates: usize,
+    /// The first failing case, if any, with its divergence.
+    pub failure: Option<(Case, Divergence)>,
+}
+
+/// Runs `cases` generated cases starting at `seed`, stopping at the
+/// first divergence. Every `bits_every`-th case (0 disables) also runs
+/// the bit-level pipeline checks.
+pub fn fuzz_many(seed: u64, cases: usize, bits_every: usize) -> FuzzSummary {
+    let mut summary = FuzzSummary::default();
+    for i in 0..cases {
+        let case_seed = seed.wrapping_add(i as u64);
+        let case = crate::gen::gen_case(case_seed);
+        let matrix = options_matrix(case_seed);
+        let check_bits = bits_every != 0 && i % bits_every == 0;
+        match run_case(&case, &matrix, None, check_bits) {
+            Ok(o) => {
+                summary.cases_passed += 1;
+                summary.configs += o.configs;
+                summary.word_gates += o.word_gates;
+            }
+            Err(d) => {
+                summary.failure = Some((case, d));
+                break;
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::EngineOptions;
+
+    #[test]
+    fn matrix_has_eight_distinct_points() {
+        let m = options_matrix(3);
+        assert_eq!(m.len(), 8);
+        for (i, a) in m.iter().enumerate() {
+            for b in &m[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(m.iter().any(|o| o.threads > 1));
+        assert!(m.iter().any(|o| o.optimize));
+        assert!(m.iter().any(|o| o.traced));
+    }
+
+    #[test]
+    fn a_known_good_case_passes_the_full_matrix() {
+        let case = crate::gen::gen_case(11);
+        let matrix = options_matrix(11);
+        let outcome = run_case(&case, &matrix, None, true).unwrap();
+        assert_eq!(outcome.configs, 8);
+        assert!(outcome.word_gates > 0);
+        assert!(outcome.bit_gates > 0);
+    }
+
+    #[test]
+    fn mutation_produces_a_structurally_valid_different_circuit() {
+        let case = crate::gen::gen_case(5);
+        let (cq, _db, dc) = case.materialize().unwrap();
+        let (rc, _) = naive_circuit(&cq, &dc).unwrap();
+        let lowered = rc.lower_with(Mode::Build, &CompileOptions::sequential());
+        let mutated = mutate_circuit(&lowered.circuit, &Mutation { index: 0 }).unwrap();
+        assert!(validate(&mutated).is_ok());
+        assert_ne!(
+            write_netlist(&mutated),
+            write_netlist(&lowered.circuit),
+            "mutation must change the netlist"
+        );
+    }
+
+    #[test]
+    fn divergence_reports_carry_the_failing_options() {
+        let opts = EngineOptions {
+            optimize: true,
+            threads: 3,
+            traced: false,
+        };
+        let d = Divergence::Output {
+            options: opts,
+            got: "g".into(),
+            want: "w".into(),
+        };
+        assert_eq!(d.options(), Some(opts));
+        assert!(d.is_real());
+        assert!(!Divergence::Harness("x".into()).is_real());
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal deterministic PRNG (splitmix64).
+//!
+//! The harness must be reproducible from a single `u64` seed and the
+//! crate is dependency-free, so we carry our own generator instead of
+//! pulling in the `rand` shim. Splitmix64 passes BigCrush and is the
+//! standard choice for seeding; its statistical quality is far beyond
+//! what workload sampling needs.
+
+/// Splitmix64 state.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator seeded with `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`. The modulo bias is irrelevant at the
+    /// tiny ranges the generator uses (`n` ≤ a few dozen).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_plausibly_uniform() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+
+        let mut r = Rng::new(42);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[r.below(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fuzzes the text front ends: `parse_cq` and `read_netlist` must
+//! return errors on malformed input, never panic.
+
+use qec_check::Rng;
+use qec_circuit::{read_netlist, write_netlist};
+use qec_query::{parse_cq, CqError};
+
+/// Random byte soup, lossily decoded. Exercises the lexer's handling of
+/// arbitrary garbage.
+#[test]
+fn parse_cq_survives_random_bytes() {
+    let mut rng = Rng::new(0xB17E5);
+    for _ in 0..1500 {
+        let len = rng.below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_cq(&text);
+    }
+}
+
+/// Random strings over the token alphabet — much likelier to get deep
+/// into the parser than raw bytes.
+#[test]
+fn parse_cq_survives_token_soup() {
+    const ALPHABET: &[&str] = &[
+        "Q", "R", "a", "b", "c", "abc", "R0", "(", ")", ",", ":-", ".", " ", "\t", "\n", "1", "_",
+        "é", ":", "-",
+    ];
+    let mut rng = Rng::new(0x50FA);
+    for _ in 0..2000 {
+        let len = rng.below(24) as usize;
+        let text: String = (0..len)
+            .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+            .collect();
+        let _ = parse_cq(&text);
+    }
+}
+
+/// Mutations of valid queries: deletions, duplications, and swaps of
+/// single bytes. These reach the error paths closest to accepting
+/// states.
+#[test]
+fn parse_cq_survives_mutated_valid_queries() {
+    const SEEDS: &[&str] = &[
+        "Q(a, b, c) :- R(a, b), S(b, c), T(a, c).",
+        "Q() :- R(a, b), S(b)",
+        "Q(x) :- Edge(x, y), Edge(y, z), Edge(z, x)",
+    ];
+    let mut rng = Rng::new(0xD00D);
+    for _ in 0..2000 {
+        let base = SEEDS[rng.below(SEEDS.len() as u64) as usize]
+            .as_bytes()
+            .to_vec();
+        let mut bytes = base.clone();
+        for _ in 0..1 + rng.below(3) {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = rng.below(bytes.len() as u64) as usize;
+            match rng.below(3) {
+                0 => {
+                    bytes.remove(i);
+                }
+                1 => {
+                    let b = bytes[i];
+                    bytes.insert(i, b);
+                }
+                _ => bytes[i] = base[rng.below(base.len() as u64) as usize],
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_cq(&text);
+    }
+}
+
+#[test]
+fn duplicate_head_variables_are_a_typed_error() {
+    let err = parse_cq("Q(a, a) :- R(a, b)").unwrap_err();
+    match err {
+        CqError::Parse(msg) => assert!(
+            msg.contains("repeated head variable a"),
+            "unexpected message: {msg}"
+        ),
+        other => panic!("expected CqError::Parse, got {other:?}"),
+    }
+}
+
+/// Netlist reader under the same treatment: mutate a real serialized
+/// circuit and demand graceful rejection.
+#[test]
+fn read_netlist_survives_mutated_netlists() {
+    let case = qec_check::gen_case(3);
+    let (cq, _db, dc) = case.materialize().unwrap();
+    let (rc, _) = qec_core::naive_circuit(&cq, &dc).unwrap();
+    let lowered = rc.lower_with(
+        qec_circuit::Mode::Build,
+        &qec_circuit::CompileOptions::sequential(),
+    );
+    let base = write_netlist(&lowered.circuit);
+    assert!(read_netlist(&base).is_ok());
+
+    let mut rng = Rng::new(0x2E7);
+    let bytes = base.as_bytes();
+    for _ in 0..800 {
+        let mut mutated = bytes.to_vec();
+        for _ in 0..1 + rng.below(4) {
+            let i = rng.below(mutated.len() as u64) as usize;
+            match rng.below(3) {
+                0 => {
+                    mutated.remove(i);
+                }
+                1 => mutated[i] = rng.next_u64() as u8,
+                _ => {
+                    // truncate — exercises the "header declares more" path
+                    mutated.truncate(i);
+                }
+            }
+            if mutated.is_empty() {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&mutated);
+        let _ = read_netlist(&text);
+    }
+}

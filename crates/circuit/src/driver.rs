@@ -52,6 +52,13 @@ pub struct CompileOptions {
     /// when `recorder` is disabled: the driver substitutes a private
     /// enabled recorder for the duration of the call.
     pub collect_metrics: bool,
+    /// Run the structural validator ([`crate::validate`]) on the circuit
+    /// after every driver stage (on the source before anything runs, and
+    /// on the optimizer's output together with its assertion-provenance
+    /// map). A violation aborts the compile with
+    /// [`EvalError::Invalid`]. Off by default — it is a harness/debug
+    /// knob, also reachable via `QEC_VALIDATE=1` in the environment.
+    pub validate: bool,
     /// Span/counter sink for the driver stages. Disabled by default —
     /// the fast path costs one boolean check per stage.
     pub recorder: Recorder,
@@ -67,6 +74,7 @@ impl CompileOptions {
             pool: Pool::from_env(),
             optimize: true,
             collect_metrics: false,
+            validate: std::env::var("QEC_VALIDATE").is_ok_and(|v| !v.is_empty() && v != "0"),
             recorder: qec_obs::global(),
         }
     }
@@ -78,6 +86,7 @@ impl CompileOptions {
             pool: Pool::sequential(),
             optimize: true,
             collect_metrics: false,
+            validate: false,
             recorder: Recorder::disabled(),
         }
     }
@@ -98,6 +107,12 @@ impl CompileOptions {
     /// enabled recorder.
     pub fn with_metrics(mut self, collect_metrics: bool) -> CompileOptions {
         self.collect_metrics = collect_metrics;
+        self
+    }
+
+    /// Switches the after-every-stage structural validator on or off.
+    pub fn with_validate(mut self, validate: bool) -> CompileOptions {
+        self.validate = validate;
         self
     }
 
@@ -196,6 +211,9 @@ impl CompiledCircuit {
         if !c.is_evaluable() {
             return Err(EvalError::CountOnly);
         }
+        if opts.validate {
+            crate::validate::validate(c).map_err(EvalError::Invalid)?;
+        }
         let recorder = opts.effective_recorder();
         let eff = opts.clone().with_recorder(recorder.clone());
         let root = recorder.span("compile");
@@ -205,6 +223,10 @@ impl CompiledCircuit {
         let optimized = if eff.optimize {
             let t = Instant::now();
             let (opt_c, st) = crate::opt::optimize_with(c, &eff);
+            if eff.validate {
+                crate::validate::validate(&opt_c).map_err(EvalError::Invalid)?;
+                crate::validate::validate_opt(c, &opt_c, &st).map_err(EvalError::Invalid)?;
+            }
             stages.push(("optimize", t.elapsed().as_nanos() as u64));
             Some((opt_c, st))
         } else {

@@ -92,6 +92,10 @@ pub enum EvalError {
     },
     /// The circuit was built in [`Mode::Count`] and has no gates.
     CountOnly,
+    /// A structural invariant violation found by the validator
+    /// ([`crate::validate`]) when compiling with
+    /// [`CompileOptions::with_validate`](crate::CompileOptions::with_validate).
+    Invalid(crate::validate::ValidateError),
 }
 
 impl fmt::Display for EvalError {
@@ -104,6 +108,7 @@ impl fmt::Display for EvalError {
                 write!(f, "assertion gate {gate} observed non-zero value {value}")
             }
             EvalError::CountOnly => write!(f, "circuit was built in count-only mode"),
+            EvalError::Invalid(e) => write!(f, "circuit failed structural validation: {e}"),
         }
     }
 }

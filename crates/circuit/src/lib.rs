@@ -47,6 +47,7 @@ mod scan;
 mod schedule;
 mod shared;
 mod sort;
+pub mod validate;
 
 pub use decompose::{decompose, DecomposedPart};
 pub use driver::{CompileOptions, PipelineReport};
@@ -70,3 +71,4 @@ pub use rel::{
 pub use scan::{scan, segmented_scan};
 pub use schedule::{brent_steps, evaluate_levelized, level_widths};
 pub use sort::{sort_slots, sort_slots_network, SortKey, SortNetwork};
+pub use validate::{validate, validate_bits, validate_opt, ValidateError};

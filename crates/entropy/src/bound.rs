@@ -29,6 +29,9 @@ pub enum BoundError {
     Unbounded,
     /// A degree constraint mentions variables outside `[n]`.
     VariableOutOfRange,
+    /// The underlying LP solver failed (iteration limit, or an outcome
+    /// that contradicts the dual LP's structure).
+    Solver(qec_lp::LpError),
 }
 
 impl std::fmt::Display for BoundError {
@@ -43,6 +46,7 @@ impl std::fmt::Display for BoundError {
             BoundError::VariableOutOfRange => {
                 write!(f, "degree constraint mentions a variable outside the query")
             }
+            BoundError::Solver(e) => write!(f, "polymatroid LP failed: {e}"),
         }
     }
 }
@@ -218,7 +222,7 @@ pub fn polymatroid_bound(num_vars: u32, dc: &DcSet, target: VarSet) -> Result<Bo
         lp.constraint(coeffs, LpRel::Ge, rhs);
     }
 
-    match lp.solve().expect("polymatroid LP within iteration budget") {
+    match lp.solve().map_err(BoundError::Solver)? {
         LpOutcome::Optimal(sol) => {
             let delta = sol.primal[..num_dc].to_vec();
             Ok(Bound {
@@ -230,7 +234,9 @@ pub fn polymatroid_bound(num_vars: u32, dc: &DcSet, target: VarSet) -> Result<Bo
         }
         // the dual is infeasible exactly when the primal is unbounded
         LpOutcome::Infeasible => Err(BoundError::Unbounded),
-        LpOutcome::Unbounded => unreachable!("dual objective is bounded below by 0"),
+        // The dual objective is bounded below by 0, so an unbounded
+        // outcome can only be a solver defect — report it, don't abort.
+        LpOutcome::Unbounded => Err(BoundError::Solver(qec_lp::LpError::Unbounded)),
     }
 }
 

@@ -423,7 +423,10 @@ fn solve_order(
         );
     }
 
-    match lp.solve().expect("chain LP within iteration budget") {
+    // A solver failure (iteration limit) simply means no plan for this
+    // variable order — the search over orders continues; it must not
+    // abort the whole proof construction.
+    match lp.solve().ok()? {
         LpOutcome::Optimal(sol) => Some(OrderPlan {
             order: order.to_vec(),
             plans,

@@ -76,12 +76,22 @@ impl LpBuilder {
 
     /// Finalizes and solves the program.
     pub fn solve(&self) -> Result<LpOutcome, LpError> {
-        let lp = Lp {
+        self.lp().solve()
+    }
+
+    /// Finalizes and solves a program the caller knows to be feasible and
+    /// bounded, returning the optimum directly; infeasible/unbounded
+    /// outcomes surface as typed [`LpError`]s (see [`Lp::solve_optimal`]).
+    pub fn solve_optimal(&self) -> Result<Solution, LpError> {
+        self.lp().solve_optimal()
+    }
+
+    fn lp(&self) -> Lp {
+        Lp {
             num_vars: self.num_vars,
             sense: self.sense,
             objective: self.objective.clone(),
             constraints: self.constraints.clone(),
-        };
-        lp.solve()
+        }
     }
 }

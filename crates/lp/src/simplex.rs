@@ -69,18 +69,27 @@ pub enum LpOutcome {
     Unbounded,
 }
 
-/// Solver failure (resource limits — never silent wrong answers).
+/// Solver failure (resource limits or an outcome the caller declared
+/// impossible — never silent wrong answers).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LpError {
     /// Pivot limit exceeded (should not happen with Bland's rule; kept as a
     /// hard backstop).
     IterationLimit,
+    /// [`Lp::solve_optimal`] was called but the program has no feasible
+    /// point.
+    Infeasible,
+    /// [`Lp::solve_optimal`] was called but the objective is unbounded in
+    /// the stated sense.
+    Unbounded,
 }
 
 impl std::fmt::Display for LpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::Infeasible => write!(f, "expected an optimum, but the LP is infeasible"),
+            LpError::Unbounded => write!(f, "expected an optimum, but the LP is unbounded"),
         }
     }
 }
@@ -231,6 +240,19 @@ impl Lp {
     /// useful for paranoia and for testing that both paths agree.
     pub fn solve_exact(&self) -> Result<LpOutcome, LpError> {
         self.solve_with(false)
+    }
+
+    /// Solves a program the caller knows to be feasible and bounded
+    /// (e.g. a covering LP with non-empty rows), returning the optimal
+    /// solution directly. An infeasible or unbounded outcome becomes a
+    /// typed [`LpError`] instead of forcing every such call site to
+    /// write its own `unreachable!` arm.
+    pub fn solve_optimal(&self) -> Result<Solution, LpError> {
+        match self.solve()? {
+            LpOutcome::Optimal(s) => Ok(s),
+            LpOutcome::Infeasible => Err(LpError::Infeasible),
+            LpOutcome::Unbounded => Err(LpError::Unbounded),
+        }
     }
 
     fn solve_with(&self, allow_f64: bool) -> Result<LpOutcome, LpError> {
@@ -702,13 +724,6 @@ mod tests {
     use crate::LpBuilder;
     use qec_bignum::rat;
 
-    fn must_opt(o: LpOutcome) -> Solution {
-        match o {
-            LpOutcome::Optimal(s) => s,
-            other => panic!("expected optimal, got {other:?}"),
-        }
-    }
-
     #[test]
     fn textbook_max() {
         // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => 36 at (2, 6).
@@ -721,7 +736,7 @@ mod tests {
             Relation::Le,
             rat(18, 1),
         );
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(36, 1));
         assert_eq!(s.primal, vec![rat(2, 1), rat(6, 1)]);
         // strong duality
@@ -741,7 +756,7 @@ mod tests {
             rat(10, 1),
         );
         b.constraint(vec![(0, rat(1, 1))], Relation::Ge, rat(2, 1));
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(20, 1));
         assert_eq!(s.primal[0], rat(10, 1));
         // duality: y1*10 + y2*2 == 20
@@ -764,7 +779,7 @@ mod tests {
             Relation::Eq,
             rat(1, 1),
         );
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(3, 1));
         assert_eq!(s.primal, vec![rat(2, 1), rat(1, 1)]);
         let dv = &(&s.dual[0] * &rat(4, 1)) + &(&s.dual[1] * &rat(1, 1));
@@ -778,6 +793,7 @@ mod tests {
         b.constraint(vec![(0, rat(1, 1))], Relation::Le, rat(1, 1));
         b.constraint(vec![(0, rat(1, 1))], Relation::Ge, rat(2, 1));
         assert!(matches!(b.solve().unwrap(), LpOutcome::Infeasible));
+        assert_eq!(b.solve_optimal().unwrap_err(), LpError::Infeasible);
     }
 
     #[test]
@@ -786,6 +802,7 @@ mod tests {
         b.obj(0, rat(1, 1));
         b.constraint(vec![(1, rat(1, 1))], Relation::Le, rat(5, 1));
         assert!(matches!(b.solve().unwrap(), LpOutcome::Unbounded));
+        assert_eq!(b.solve_optimal().unwrap_err(), LpError::Unbounded);
     }
 
     #[test]
@@ -794,7 +811,7 @@ mod tests {
         let mut b = LpBuilder::maximize(1);
         b.obj(0, rat(-1, 1));
         b.constraint(vec![(0, rat(-1, 1))], Relation::Le, rat(-3, 1));
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(-3, 1));
         assert_eq!(s.primal[0], rat(3, 1));
         let dv = &s.dual[0] * &rat(-3, 1);
@@ -824,7 +841,7 @@ mod tests {
             Relation::Ge,
             rat(1, 1),
         );
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(3, 2));
     }
 
@@ -858,7 +875,7 @@ mod tests {
             rat(0, 1),
         );
         b.constraint(vec![(2, rat(1, 1))], Relation::Le, rat(1, 1));
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(1, 20));
     }
 
@@ -872,7 +889,7 @@ mod tests {
             Relation::Le,
             rat(3, 1),
         );
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(3, 1));
     }
 
@@ -891,14 +908,14 @@ mod tests {
             Relation::Eq,
             rat(2, 1),
         );
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(4, 1));
     }
 
     #[test]
     fn zero_variable_problem() {
         let b = LpBuilder::maximize(0);
-        let s = must_opt(b.solve().unwrap());
+        let s = b.solve_optimal().unwrap();
         assert_eq!(s.value, rat(0, 1));
     }
 }

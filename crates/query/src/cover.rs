@@ -1,8 +1,8 @@
 //! Fractional edge covers (the AGM bound's certificate).
 
 use qec_bignum::Rat;
-use qec_lp::{LpBuilder, LpOutcome, Relation as LpRel};
-use qec_relation::VarSet;
+use qec_lp::{LpBuilder, LpError, Relation as LpRel};
+use qec_relation::{Var, VarSet};
 
 use crate::Hypergraph;
 
@@ -15,10 +15,40 @@ pub struct EdgeCover {
     pub rho_star: Rat,
 }
 
+/// Why no fractional edge cover was produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverError {
+    /// A target variable occurs in no hyperedge, so no cover exists.
+    Uncoverable(Var),
+    /// The LP solver failed (iteration limit, or an outcome that
+    /// contradicts the covering-LP structure).
+    Lp(LpError),
+}
+
+impl std::fmt::Display for CoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverError::Uncoverable(v) => {
+                write!(f, "variable {v} occurs in no hyperedge; no cover exists")
+            }
+            CoverError::Lp(e) => write!(f, "edge-cover LP failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+impl From<LpError> for CoverError {
+    fn from(e: LpError) -> CoverError {
+        CoverError::Lp(e)
+    }
+}
+
 /// Minimum fractional edge cover of all variables of `h`.
 ///
-/// Returns `None` if some variable is uncoverable (occurs in no edge).
-pub fn fractional_edge_cover(h: &Hypergraph) -> Option<EdgeCover> {
+/// Fails with [`CoverError::Uncoverable`] if some variable occurs in no
+/// edge.
+pub fn fractional_edge_cover(h: &Hypergraph) -> Result<EdgeCover, CoverError> {
     fractional_cover_of(h, h.all_vars())
 }
 
@@ -28,7 +58,7 @@ pub fn fractional_edge_cover(h: &Hypergraph) -> Option<EdgeCover> {
 ///
 /// This is the bag-cost functional of the *fractional hypertree width*:
 /// `fhtw = min over GHDs of max over bags of ρ*(bag)`.
-pub fn fractional_cover_of(h: &Hypergraph, target: VarSet) -> Option<EdgeCover> {
+pub fn fractional_cover_of(h: &Hypergraph, target: VarSet) -> Result<EdgeCover, CoverError> {
     let m = h.edges.len();
     let mut lp = LpBuilder::minimize(m);
     for (i, _) in h.edges.iter().enumerate() {
@@ -43,19 +73,18 @@ pub fn fractional_cover_of(h: &Hypergraph, target: VarSet) -> Option<EdgeCover> 
             .map(|(i, _)| (i, Rat::one()))
             .collect();
         if coeffs.is_empty() {
-            return None;
+            return Err(CoverError::Uncoverable(v));
         }
         lp.constraint(coeffs, LpRel::Ge, Rat::one());
     }
-    match lp.solve().expect("edge-cover LP within iteration budget") {
-        LpOutcome::Optimal(s) => Some(EdgeCover {
-            weights: s.primal,
-            rho_star: s.value,
-        }),
-        // Covering LPs with non-empty coefficient rows are always feasible
-        // and bounded below by 0.
-        _ => unreachable!("covering LP is feasible and bounded"),
-    }
+    // Covering LPs with non-empty coefficient rows are feasible and
+    // bounded below by 0, so a non-optimal outcome is a solver failure
+    // and surfaces as a typed error rather than a panic.
+    let s = lp.solve_optimal()?;
+    Ok(EdgeCover {
+        weights: s.primal,
+        rho_star: s.value,
+    })
 }
 
 #[cfg(test)]
@@ -107,12 +136,15 @@ mod tests {
     }
 
     #[test]
-    fn uncoverable_variable_yields_none() {
+    fn uncoverable_variable_yields_typed_error() {
         let h = Hypergraph {
             num_vars: 2,
             edges: vec![VarSet::singleton(Var(0))],
         };
-        assert!(fractional_edge_cover(&h).is_none());
+        assert_eq!(
+            fractional_edge_cover(&h).unwrap_err(),
+            CoverError::Uncoverable(Var(1))
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ mod ghd;
 mod parser;
 
 pub use corpus::{bowtie, full_star, k_cycle, k_path, k_star, loomis_whitney, snowflake, triangle};
-pub use cover::{fractional_cover_of, fractional_edge_cover, EdgeCover};
+pub use cover::{fractional_cover_of, fractional_edge_cover, CoverError, EdgeCover};
 pub use cq::{Atom, Cq, CqError, Hypergraph};
 pub use ghd::{enumerate_ghds, Ghd, GhdNode};
 pub use parser::parse_cq;

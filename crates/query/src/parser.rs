@@ -102,7 +102,8 @@ impl<'a> Parser<'a> {
         if self.peeked.is_none() {
             self.peeked = Some(self.lexer.next()?);
         }
-        Ok(self.peeked.as_ref().expect("just filled"))
+        // Just filled above; the fallback keeps this path panic-free.
+        Ok(self.peeked.as_ref().unwrap_or(&Tok::Eof))
     }
 
     fn bump(&mut self) -> Result<Tok, CqError> {
