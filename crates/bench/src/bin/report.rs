@@ -47,7 +47,7 @@ fn main() {
             .filter(|(id, _)| ids.iter().any(|a| a == id))
             .collect();
         if sel.is_empty() {
-            eprintln!("unknown experiment id(s); valid: x1..x19 or `all`");
+            eprintln!("unknown experiment id(s); valid: x1..x20 or `all`");
             std::process::exit(2);
         }
         sel
@@ -65,8 +65,12 @@ fn main() {
         let start = std::time::Instant::now();
         let table = run();
         let elapsed = start.elapsed();
+        // Cap the span dump: fuzz-scale experiments (x19, x20) record
+        // millions of pool spans, and the artifact gets committed. The
+        // leading spans carry the per-pass pipeline breakdown; counters
+        // are never cut.
         let pipeline = if json {
-            qec_obs::install(rec).metrics_json()
+            qec_obs::install(rec).metrics_json_capped(2048)
         } else {
             String::new()
         };

@@ -1,0 +1,46 @@
+//! Guard for the committed bench artifacts: every `BENCH_X<n>.json`
+//! named in `EXPERIMENTS.md` must actually exist at the repo root and
+//! open with the current schema version. PR 5 documented
+//! `BENCH_X19.json` without committing it; this test turns that class
+//! of stale-artifact claim into a CI failure.
+
+use qec_bench::BENCH_SCHEMA_VERSION;
+
+#[test]
+fn every_artifact_named_in_experiments_md_is_committed_with_the_schema_version() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("EXPERIMENTS.md")).expect("EXPERIMENTS.md reads");
+    let mut ids: Vec<String> = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find("BENCH_X") {
+        rest = &rest[pos + "BENCH_X".len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if !digits.is_empty() && rest[digits.len()..].starts_with(".json") {
+            let id = format!("X{digits}");
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+    }
+    assert!(
+        ["X16", "X17", "X18", "X19", "X20"]
+            .iter()
+            .all(|id| ids.iter().any(|have| have == id)),
+        "EXPERIMENTS.md should name the X16–X20 artifacts, found {ids:?}"
+    );
+    for id in &ids {
+        let path = root.join(format!("BENCH_{id}.json"));
+        let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} is named in EXPERIMENTS.md but not committed: {e}",
+                path.display()
+            )
+        });
+        let want = format!("{{\"schema_version\":{BENCH_SCHEMA_VERSION},");
+        assert!(
+            body.starts_with(&want),
+            "{}: artifact does not open with schema_version {BENCH_SCHEMA_VERSION}",
+            path.display()
+        );
+    }
+}

@@ -8,19 +8,23 @@
 //!    `OutputSensitive::evaluate_ram` must all agree.
 //! 2. The naive relational circuit's RAM interpreter must match.
 //! 3. The lowered word circuit is structurally validated, checked for
-//!    parallel-lowering parity, then compiled and evaluated under every
-//!    [`EngineOptions`] point in the sweep matrix; each decoded output
-//!    must equal the RAM ground truth.
+//!    parallel-lowering parity and a flat-tape serialize/decode
+//!    round-trip (netlist equality), then compiled and evaluated under
+//!    every [`EngineOptions`] point in the sweep matrix; each decoded
+//!    output must equal the RAM ground truth.
 //! 4. Optionally the bit-level lowering and bit optimizer run under the
-//!    structural validator as well.
+//!    structural validator as well, plus a bit-tape round-trip and a
+//!    streaming-lowering parity check (a spill-forcing window must
+//!    reproduce the in-memory lowering byte for byte).
 //!
 //! Any disagreement comes back as a [`Divergence`] naming the stage and
 //! configuration, ready for the shrinker.
 
 use crate::case::{Case, EngineOptions};
 use qec_circuit::{
-    decode_relation, lower_with, optimize_bits_with, read_netlist, validate, validate_bits,
-    write_netlist, Circuit, CompileOptions, CompiledCircuit, Mode, Pool,
+    decode_relation, lower_streamed, lower_with, optimize_bits_with, read_netlist, validate,
+    validate_bits, write_netlist, BitTape, Circuit, CompileOptions, CompiledCircuit, Mode, Pool,
+    StreamOptions, WordTape,
 };
 use qec_core::{naive_circuit, OutputSensitive};
 use qec_query::baseline::{evaluate_pairwise, generic_join, yannakakis};
@@ -296,6 +300,31 @@ pub fn run_case(
         }
     }
 
+    // Stage 3b: flat-tape round-trip — encode the lowered word circuit
+    // to an instruction tape, serialize, reload, decode, and demand the
+    // exact same netlist back. This is the persistence contract: a tape
+    // written today and decoded tomorrow is the circuit, not a
+    // semantically-equivalent cousin.
+    {
+        let tape = WordTape::encode(&lowered.circuit).map_err(|e| Divergence::Validator {
+            stage: "word-tape-roundtrip",
+            error: format!("encode: {e}"),
+        })?;
+        let bytes = tape.to_bytes();
+        let back = WordTape::from_bytes(&bytes)
+            .and_then(|t| t.decode())
+            .map_err(|e| Divergence::Validator {
+                stage: "word-tape-roundtrip",
+                error: format!("reload: {e}"),
+            })?;
+        if write_netlist(&back) != write_netlist(&lowered.circuit) {
+            return Err(Divergence::Validator {
+                stage: "word-tape-roundtrip",
+                error: "decoded tape produced a different netlist".into(),
+            });
+        }
+    }
+
     let circuit = match mutation {
         Some(m) => mutate_circuit(&lowered.circuit, m)
             .ok_or_else(|| harness("circuit has no swappable gate to mutate"))?,
@@ -348,6 +377,51 @@ pub fn run_case(
             error: e.to_string(),
         })?;
         outcome.bit_gates = opt_bits.gates().len();
+
+        // Stage 5b: bit-tape round-trip, same contract as the word tape.
+        let tape = BitTape::encode(&bits);
+        let back = BitTape::from_bytes(&tape.to_bytes())
+            .and_then(|t| t.decode())
+            .map_err(|e| Divergence::Validator {
+                stage: "bit-tape-roundtrip",
+                error: format!("reload: {e}"),
+            })?;
+        if back.gates() != bits.gates()
+            || back.outputs() != bits.outputs()
+            || back.num_inputs() != bits.num_inputs()
+        {
+            return Err(Divergence::Validator {
+                stage: "bit-tape-roundtrip",
+                error: "decoded tape produced a different bit circuit".into(),
+            });
+        }
+
+        // Stage 5c: streaming lowering under an aggressively small window
+        // (forcing spills on any non-trivial case) must be byte-identical
+        // to the in-memory lowering.
+        let stream_opts = StreamOptions {
+            chunk_words: 64,
+            window_chunks: 1,
+            spill_dir: None,
+        };
+        let (streamed, _stats) =
+            lower_streamed(&circuit, 64, &stream_opts).map_err(|e| Divergence::Validator {
+                stage: "streaming-lowering-parity",
+                error: format!("lower_streamed: {e}"),
+            })?;
+        let streamed = streamed.decode().map_err(|e| Divergence::Validator {
+            stage: "streaming-lowering-parity",
+            error: format!("decode: {e}"),
+        })?;
+        if streamed.gates() != bits.gates()
+            || streamed.outputs() != bits.outputs()
+            || streamed.num_inputs() != bits.num_inputs()
+        {
+            return Err(Divergence::Validator {
+                stage: "streaming-lowering-parity",
+                error: "streamed lowering diverged from in-memory lowering".into(),
+            });
+        }
     }
 
     Ok(outcome)

@@ -267,6 +267,25 @@ impl CompiledCircuit {
         };
         Ok((eng, report))
     }
+
+    /// Compiles a flat [`WordTape`](crate::tape::WordTape) — typically
+    /// one loaded from disk — into the evaluation engine: the
+    /// compile-once / load-and-evaluate-many path. The tape is decoded
+    /// (recorded as a `tape.decode` span) and handed to
+    /// [`CompiledCircuit::compile_with`]; a decoded tape is structurally
+    /// identical to the circuit it was encoded from, so evaluation
+    /// results — including failing-assert gate indices — match the
+    /// in-process pipeline exactly.
+    pub fn compile_tape_with(
+        tape: &crate::tape::WordTape,
+        opts: &CompileOptions,
+    ) -> Result<(CompiledCircuit, PipelineReport), EvalError> {
+        let recorder = opts.effective_recorder();
+        let span = recorder.span("tape.decode");
+        let c = tape.decode().map_err(EvalError::Tape)?;
+        drop(span);
+        Self::compile_with(&c, opts)
+    }
 }
 
 #[cfg(test)]

@@ -99,7 +99,11 @@ pub const GATE_KINDS: [&str; 13] = [
     "assert_zero",
 ];
 
-fn kind_index(g: &Gate) -> usize {
+/// The [`GATE_KINDS`] slot of `g`. Shared with the flat tape encoding
+/// ([`crate::tape`]), whose opcodes are `kind_index + 1` — one table, so
+/// the engine's stats, the tape format, and the netlist mnemonics can
+/// never drift apart.
+pub(crate) fn kind_index(g: &Gate) -> usize {
     match g {
         Gate::Input(_) => 0,
         Gate::Const(_) => 1,

@@ -96,6 +96,19 @@ pub enum EvalError {
     /// ([`crate::validate`]) when compiling with
     /// [`CompileOptions::with_validate`](crate::CompileOptions::with_validate).
     Invalid(crate::validate::ValidateError),
+    /// Wire-id allocation ran past the 32-bit id space of the in-memory
+    /// IR. Construction used to wrap silently here; the wide (64-bit id)
+    /// tape format in [`crate::tape`] is the supported path beyond this
+    /// size.
+    CircuitTooLarge {
+        /// Wires the construction attempted to allocate.
+        wires: u64,
+        /// The id-space limit that was exceeded.
+        limit: u64,
+    },
+    /// A tape encode/decode/serialization failure surfaced through an
+    /// evaluation entry point.
+    Tape(crate::tape::TapeError),
 }
 
 impl fmt::Display for EvalError {
@@ -109,8 +122,33 @@ impl fmt::Display for EvalError {
             }
             EvalError::CountOnly => write!(f, "circuit was built in count-only mode"),
             EvalError::Invalid(e) => write!(f, "circuit failed structural validation: {e}"),
+            EvalError::CircuitTooLarge { wires, limit } => write!(
+                f,
+                "circuit too large: {wires} wires exceed the {limit}-wire id space \
+                 (use the wide tape encoding / streaming lowering for larger circuits)"
+            ),
+            EvalError::Tape(e) => write!(f, "tape error: {e}"),
         }
     }
+}
+
+/// The number of wires the 32-bit in-memory IR can address. `u32::MAX`
+/// itself is reserved (the parallel cores use it as a sentinel), so the
+/// last allocatable id is `u32::MAX - 1`.
+pub(crate) const MAX_WIRES: u64 = u32::MAX as u64;
+
+/// Checked wire-id allocation: the id for the `n`-th wire (0-based), or
+/// a typed [`EvalError::CircuitTooLarge`] once the 32-bit id space is
+/// exhausted. Allocation used to wrap silently via `as u32` at this
+/// boundary (>4.29B wires).
+pub(crate) fn checked_wire_id(n: u64) -> Result<WireId, EvalError> {
+    if n >= MAX_WIRES {
+        return Err(EvalError::CircuitTooLarge {
+            wires: n + 1,
+            limit: MAX_WIRES,
+        });
+    }
+    Ok(n as WireId)
 }
 
 impl std::error::Error for EvalError {}
@@ -199,7 +237,10 @@ impl SeqBuilder {
     }
 
     fn push(&mut self, gate: Gate, depth: u32, is_logic: bool) -> WireId {
-        let id = self.depths.len() as WireId;
+        let id = match checked_wire_id(self.depths.len() as u64) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        };
         self.depths.push(depth);
         if is_logic {
             self.size += 1;
@@ -470,7 +511,9 @@ impl ParCore {
     /// shard lock via `InternTable::intern_with`.
     fn create(&self, g: Gate, depth: u32, is_logic: bool) -> WireId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        assert_ne!(id, u32::MAX, "wire id space exhausted");
+        if let Err(e) = checked_wire_id(id as u64) {
+            panic!("{e}");
+        }
         self.depths.at(id).store(depth, Ordering::Release);
         if self.mode == Mode::Build {
             let (kind, a, b, c) = encode_gate(g);

@@ -47,6 +47,7 @@ mod scan;
 mod schedule;
 mod shared;
 mod sort;
+pub mod tape;
 pub mod validate;
 
 pub use decompose::{decompose, DecomposedPart};
@@ -71,4 +72,7 @@ pub use rel::{
 pub use scan::{scan, segmented_scan};
 pub use schedule::{brent_steps, evaluate_levelized, level_widths};
 pub use sort::{sort_slots, sort_slots_network, SortKey, SortNetwork};
-pub use validate::{validate, validate_bits, validate_opt, ValidateError};
+pub use tape::{lower_streamed, BitTape, StreamOptions, StreamStats, TapeError, WordTape};
+pub use validate::{
+    validate, validate_bit_tape, validate_bits, validate_opt, validate_word_tape, ValidateError,
+};

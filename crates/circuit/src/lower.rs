@@ -200,12 +200,31 @@ impl BitCircuit {
 
 /// The constant-`false` wire: always id 0 (both the sequential `Lowerer`
 /// and the parallel core seed it first).
-const B_FALSE: u32 = 0;
+pub(crate) const B_FALSE: u32 = 0;
 /// The constant-`true` wire: always id 1.
-const B_TRUE: u32 = 1;
+pub(crate) const B_TRUE: u32 = 1;
+
+/// Bit wires above this id collide with the parallel stores' sentinels
+/// (`u32::MAX`, `u32::MAX - 1`), so it is the last allocatable bit id.
+pub(crate) const MAX_BIT_WIRES: u64 = (u32::MAX - 2) as u64;
+
+/// Checked bit-wire allocation: the id for the `n`-th bit wire
+/// (0-based), or a typed [`EvalError`](crate::EvalError) once the id
+/// space is exhausted. Allocation used to wrap silently via `as u32` at
+/// this boundary (>4.29B bit gates, reached around N=4096 on the X1
+/// family).
+pub(crate) fn checked_bit_id(n: u64) -> Result<u32, crate::EvalError> {
+    if n > MAX_BIT_WIRES {
+        return Err(crate::EvalError::CircuitTooLarge {
+            wires: n + 1,
+            limit: MAX_BIT_WIRES + 1,
+        });
+    }
+    Ok(n as u32)
+}
 
 /// Sorts commutative operands (both binary bit gates commute).
-fn canon_bit(g: BGate) -> BGate {
+pub(crate) fn canon_bit(g: BGate) -> BGate {
     match g {
         BGate::Xor(a, b) if a > b => BGate::Xor(b, a),
         BGate::And(a, b) if a > b => BGate::And(b, a),
@@ -238,13 +257,18 @@ fn remap_bgate(g: BGate, renum: &[u32]) -> BGate {
 /// by [`lower_with_pool`]), and `BitSpec` (the read-only decision view
 /// used by [`optimize_bits_with_pool`]). One copy of the rule bodies is
 /// what keeps the three schedules byte-identical.
-trait BitRewrite {
+pub(crate) trait BitRewrite {
     /// Appends an uncached gate (inputs, asserts).
     fn push(&mut self, g: BGate) -> u32;
     /// Interns an already-canonical gate key.
     fn intern(&mut self, key: BGate) -> u32;
-    /// The gate defining wire `w` (for the NOT-cancel peephole).
-    fn peek(&self, w: u32) -> BGate;
+    /// `Some(x)` when wire `w` is defined by `Not(x)` (the NOT-cancel
+    /// peephole). This is the *only* structural query the rewrite rules
+    /// make, and it is deliberately this narrow: a streaming store that
+    /// has already spilled `w`'s definition can still answer it from a
+    /// small side map, where a full `peek` would have to re-read the
+    /// spill.
+    fn not_operand(&self, w: u32) -> Option<u32>;
     fn count_fold(&mut self);
 
     fn emit(&mut self, g: BGate) -> u32 {
@@ -302,7 +326,7 @@ trait BitRewrite {
         if a == B_TRUE {
             return B_FALSE;
         }
-        if let BGate::Not(x) = self.peek(a) {
+        if let Some(x) = self.not_operand(a) {
             self.count_fold();
             return x;
         }
@@ -396,15 +420,15 @@ trait BitRewrite {
 
 /// Sequential store behind [`BitRewrite`]: a gate vector plus a single
 /// `HashMap` cons table, with fold/CSE counters for [`BitOptStats`].
-struct Lowerer {
-    gates: Vec<BGate>,
+pub(crate) struct Lowerer {
+    pub(crate) gates: Vec<BGate>,
     cse: HashMap<BGate, u32>,
-    cse_hits: u64,
-    folds: u64,
+    pub(crate) cse_hits: u64,
+    pub(crate) folds: u64,
 }
 
 impl Lowerer {
-    fn new() -> Lowerer {
+    pub(crate) fn new() -> Lowerer {
         Lowerer {
             gates: vec![BGate::Const(false), BGate::Const(true)],
             cse: HashMap::new(),
@@ -416,8 +440,12 @@ impl Lowerer {
 
 impl BitRewrite for Lowerer {
     fn push(&mut self, g: BGate) -> u32 {
+        let id = match checked_bit_id(self.gates.len() as u64) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        };
         self.gates.push(g);
-        (self.gates.len() - 1) as u32
+        id
     }
 
     fn intern(&mut self, key: BGate) -> u32 {
@@ -430,8 +458,11 @@ impl BitRewrite for Lowerer {
         w
     }
 
-    fn peek(&self, w: u32) -> BGate {
-        self.gates[w as usize]
+    fn not_operand(&self, w: u32) -> Option<u32> {
+        match self.gates[w as usize] {
+            BGate::Not(x) => Some(x),
+            _ => None,
+        }
     }
 
     fn count_fold(&mut self) {
@@ -452,7 +483,12 @@ fn bit_word(bit: u32, w: usize) -> Vec<u32> {
 /// always precede their consumers. Shared by the sequential [`lower`]
 /// loop and the per-gate tasks of [`lower_with_pool`]; tracking
 /// `num_input_bits` for `Input` gates stays with the caller.
-fn lower_gate<S: BitRewrite>(lw: &mut S, g: Gate, word_bits: &[Vec<u32>], w: usize) -> Vec<u32> {
+pub(crate) fn lower_gate<S: BitRewrite>(
+    lw: &mut S,
+    g: Gate,
+    word_bits: &[Vec<u32>],
+    w: usize,
+) -> Vec<u32> {
     let wb = |x: WireId| &word_bits[x as usize];
     match g {
         Gate::Input(idx) => (0..w).map(|k| lw.push(BGate::Input(idx * w + k))).collect(),
@@ -850,8 +886,11 @@ impl BitRewrite for ParTaskStore<'_> {
         w
     }
 
-    fn peek(&self, w: u32) -> BGate {
-        self.core.read(w)
+    fn not_operand(&self, w: u32) -> Option<u32> {
+        match self.core.read(w) {
+            BGate::Not(x) => Some(x),
+            _ => None,
+        }
     }
 
     /// `lower` exposes no fold statistics, so there is nothing to count.
@@ -1048,8 +1087,11 @@ impl BitRewrite for BitSpec<'_> {
         }
     }
 
-    fn peek(&self, w: u32) -> BGate {
-        self.lw.gates[w as usize]
+    fn not_operand(&self, w: u32) -> Option<u32> {
+        match self.lw.gates[w as usize] {
+            BGate::Not(x) => Some(x),
+            _ => None,
+        }
     }
 
     fn count_fold(&mut self) {

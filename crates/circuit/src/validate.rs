@@ -263,6 +263,24 @@ pub fn validate_bits(bc: &BitCircuit) -> Result<(), ValidateError> {
     Ok(())
 }
 
+/// Validates a flat word tape without materializing its gates: opcode
+/// table membership, topological operand order, input indices within
+/// the declared arity, header/stream wire-count agreement, and output
+/// range. [`WordTape::from_bytes`](crate::tape::WordTape::from_bytes)
+/// runs this on every load, so a tape that parses is structurally
+/// sound.
+pub fn validate_word_tape(t: &crate::tape::WordTape) -> Result<(), crate::tape::TapeError> {
+    crate::tape::check_word_tape(t)
+}
+
+/// Validates a flat bit tape; same checks as [`validate_word_tape`] at
+/// the bit level, run by
+/// [`BitTape::from_bytes`](crate::tape::BitTape::from_bytes) on every
+/// load.
+pub fn validate_bit_tape(t: &crate::tape::BitTape) -> Result<(), crate::tape::TapeError> {
+    crate::tape::check_bit_tape(t)
+}
+
 /// Checks that the optimizer's assertion provenance map is sound: every
 /// `(optimized, source)` entry of [`OptStats::assert_origin`] names an
 /// `AssertZero` gate on both sides and the optimized indices are sorted

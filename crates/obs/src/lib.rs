@@ -293,8 +293,20 @@ impl Recorder {
     /// emitted in open order, so the document is deterministic up to the
     /// recorded values.
     pub fn metrics_json(&self) -> String {
+        self.metrics_json_capped(usize::MAX)
+    }
+
+    /// [`metrics_json`] with a span budget: at most `max_spans` spans
+    /// (kept in open order, so the leading pipeline spans survive) and,
+    /// when anything was cut, a trailing `"spans_dropped":N` key. The
+    /// key is omitted at zero so uncapped documents stay byte-identical
+    /// to [`metrics_json`] output. Fuzzing sweeps record millions of
+    /// pool spans; artifacts that get committed need this bound.
+    pub fn metrics_json_capped(&self, max_spans: usize) -> String {
         let snap = self.snapshot();
-        let mut out = String::with_capacity(256 + snap.spans.len() * 96);
+        let kept = snap.spans.len().min(max_spans);
+        let dropped = snap.spans.len() - kept;
+        let mut out = String::with_capacity(256 + kept * 96);
         out.push_str(&format!(
             "{{\"schema_version\":{METRICS_SCHEMA_VERSION},\"counters\":{{"
         ));
@@ -309,7 +321,7 @@ impl Recorder {
             out.push_str(&v.to_string());
         }
         out.push_str("},\"spans\":[");
-        for (i, s) in snap.spans.iter().enumerate() {
+        for (i, s) in snap.spans.iter().take(kept).enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -326,7 +338,11 @@ impl Recorder {
                 s.dur_ns
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if dropped > 0 {
+            out.push_str(&format!(",\"spans_dropped\":{dropped}"));
+        }
+        out.push('}');
         out
     }
 
@@ -417,6 +433,22 @@ pub fn install(rec: Recorder) -> Recorder {
         &mut *global_slot().lock().expect("global recorder poisoned"),
         rec,
     )
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux / when procfs is
+/// unreadable. The streaming lowering and the X20 bench use this to
+/// report the bounded-memory window actually achieved; it is a
+/// high-water mark, so it only ever grows within a process.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
