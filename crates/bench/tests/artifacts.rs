@@ -23,11 +23,23 @@ fn every_artifact_named_in_experiments_md_is_committed_with_the_schema_version()
         }
     }
     assert!(
-        ["X16", "X17", "X18", "X19", "X20"]
+        ["X16", "X17", "X18", "X19", "X20", "X21"]
             .iter()
             .all(|id| ids.iter().any(|have| have == id)),
-        "EXPERIMENTS.md should name the X16–X20 artifacts, found {ids:?}"
+        "EXPERIMENTS.md should name the X16–X21 artifacts, found {ids:?}"
     );
+    // `git ls-files` distinguishes committed artifacts from files that
+    // merely exist in the working tree (the PR 6 failure mode was an
+    // artifact regenerated locally but never staged). Skip the tracking
+    // check gracefully where git or the repo metadata is unavailable
+    // (e.g. a source tarball).
+    let tracked: Option<String> = std::process::Command::new("git")
+        .args(["ls-files", "--", "BENCH_X*.json"])
+        .current_dir(&root)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).into_owned());
     for id in &ids {
         let path = root.join(format!("BENCH_{id}.json"));
         let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -42,5 +54,11 @@ fn every_artifact_named_in_experiments_md_is_committed_with_the_schema_version()
             "{}: artifact does not open with schema_version {BENCH_SCHEMA_VERSION}",
             path.display()
         );
+        if let Some(listing) = &tracked {
+            assert!(
+                listing.lines().any(|l| l == format!("BENCH_{id}.json")),
+                "BENCH_{id}.json exists but is not git-tracked — run `git add` on it"
+            );
+        }
     }
 }

@@ -13,18 +13,22 @@
 //!    every [`EngineOptions`] point in the sweep matrix; each decoded
 //!    output must equal the RAM ground truth.
 //! 4. Optionally the bit-level lowering and bit optimizer run under the
-//!    structural validator as well, plus a bit-tape round-trip and a
+//!    structural validator as well, plus a bit-tape round-trip, a
 //!    streaming-lowering parity check (a spill-forcing window must
-//!    reproduce the in-memory lowering byte for byte).
+//!    reproduce the in-memory lowering byte for byte), and the
+//!    bitsliced `BitEngine`: every available kernel, recompiled under
+//!    every matrix point, must reproduce per-instance
+//!    `BitCircuit::evaluate` lane for lane on a random batch, and its
+//!    word-level entry point must match the word interpreter.
 //!
 //! Any disagreement comes back as a [`Divergence`] naming the stage and
 //! configuration, ready for the shrinker.
 
 use crate::case::{Case, EngineOptions};
 use qec_circuit::{
-    decode_relation, lower_streamed, lower_with, optimize_bits_with, read_netlist, validate,
-    validate_bits, write_netlist, BitTape, Circuit, CompileOptions, CompiledCircuit, Mode, Pool,
-    StreamOptions, WordTape,
+    compile_bits_with, decode_relation, lower_streamed, lower_with, optimize_bits_with,
+    read_netlist, validate, validate_bits, write_netlist, BitEvalScratch, BitKernel, BitTape,
+    Circuit, CompileOptions, CompiledCircuit, Mode, Pool, StreamOptions, WordTape,
 };
 use qec_core::{naive_circuit, OutputSensitive};
 use qec_query::baseline::{evaluate_pairwise, generic_join, yannakakis};
@@ -421,6 +425,71 @@ pub fn run_case(
                 stage: "streaming-lowering-parity",
                 error: "streamed lowering diverged from in-memory lowering".into(),
             });
+        }
+
+        // Stage 5d: the bitsliced BitEngine, riding the options matrix.
+        // Reference once: the interpreter per instance (scratch-buffered)
+        // over the case's real input plus a word-boundary-straddling
+        // random batch; then every matrix point recompiles the tape under
+        // its CompileOptions and every available kernel must reproduce
+        // the reference lane for lane. The word-level entry point must
+        // also match the word interpreter (itself already cross-checked
+        // against the engine sweep above).
+        let mut brng = crate::rng::Rng::new(case.seed ^ 0xb17_e461);
+        let mut instances: Vec<Vec<bool>> = vec![bits.pack_inputs(&inputs)];
+        instances.extend((0..67).map(|_| {
+            (0..bits.num_inputs())
+                .map(|_| brng.next_u64() & 1 == 1)
+                .collect::<Vec<bool>>()
+        }));
+        let mut scratch = BitEvalScratch::default();
+        let reference: Vec<_> = instances
+            .iter()
+            .map(|inst| bits.evaluate_with(inst, &mut scratch).map(<[bool]>::to_vec))
+            .collect();
+        let word_want = circuit
+            .evaluate(&inputs)
+            .map_err(|e| Divergence::Validator {
+                stage: "bitengine-batch",
+                error: format!("word interpreter rejected the case input: {e}"),
+            })?;
+        for opts in matrix {
+            let co = opts.compile_options();
+            let (eng, _report) =
+                compile_bits_with(&bits, &co).map_err(|e| Divergence::Validator {
+                    stage: "bitengine-batch",
+                    error: format!("compile ({opts:?}): {e}"),
+                })?;
+            let mut bscratch = eng.scratch();
+            for kernel in BitKernel::available() {
+                let got = eng.evaluate_batch_kernel(&instances, kernel, &mut bscratch);
+                if got != reference {
+                    let lane = got
+                        .iter()
+                        .zip(&reference)
+                        .position(|(g, r)| g != r)
+                        .unwrap_or(0);
+                    return Err(Divergence::Validator {
+                        stage: "bitengine-batch",
+                        error: format!(
+                            "kernel {} ({opts:?}) diverged from BitCircuit::evaluate at lane {lane}",
+                            kernel.name()
+                        ),
+                    });
+                }
+            }
+            match eng.evaluate_words(std::slice::from_ref(&inputs)).remove(0) {
+                Ok(words) if words == word_want => {}
+                got => {
+                    return Err(Divergence::Validator {
+                        stage: "bitengine-words",
+                        error: format!(
+                            "evaluate_words ({opts:?}) diverged from the word interpreter: \
+                             got {got:?}, want {word_want:?}"
+                        ),
+                    });
+                }
+            }
         }
     }
 

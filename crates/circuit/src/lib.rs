@@ -32,6 +32,7 @@
 //! | decomposition ([`decompose`]) | Alg. 2 | `Õ(N)` | `Õ(1)` |
 //! | output-bounded join ([`join_output_bounded`]) | Alg. 10 | `Õ(M+N+OUT)` | `Õ(1)` |
 
+pub mod bitengine;
 mod decompose;
 pub mod driver;
 mod engine;
@@ -50,6 +51,10 @@ mod sort;
 pub mod tape;
 pub mod validate;
 
+pub use bitengine::{
+    compile_bits_with, pack_instances, unpack_outputs, BitEngineStats, BitKernel, BitOp, BitReg,
+    BitScratch, CompiledBitCircuit,
+};
 pub use decompose::{decompose, DecomposedPart};
 pub use driver::{CompileOptions, PipelineReport};
 pub use engine::{CompiledCircuit, EngineStats, EvalMetrics, GATE_KINDS};
@@ -58,7 +63,7 @@ pub use join::{join_degree_bounded, join_pk, semijoin};
 pub use join_out::join_output_bounded;
 #[allow(deprecated)]
 pub use lower::{lower, lower_with_pool, optimize_bits, optimize_bits_with_pool};
-pub use lower::{lower_with, optimize_bits_with, BitCircuit, BitOptStats};
+pub use lower::{lower_with, optimize_bits_with, BitCircuit, BitEvalScratch, BitOptStats};
 pub use netlist::{read_netlist, write_netlist, NetlistError};
 pub use ops::{aggregate, project, select, truncate, union, AggOp};
 #[allow(deprecated)]

@@ -147,14 +147,32 @@ impl BitCircuit {
     }
 
     /// Plaintext evaluation (reference for the MPC protocols).
+    /// Allocates a fresh wire store per call; loops should hold a
+    /// [`BitEvalScratch`] and use [`BitCircuit::evaluate_with`].
     pub fn evaluate(&self, inputs: &[bool]) -> Result<Vec<bool>, crate::EvalError> {
+        let mut scratch = BitEvalScratch::default();
+        self.evaluate_with(inputs, &mut scratch)
+            .map(|out| out.to_vec())
+    }
+
+    /// [`BitCircuit::evaluate`] into caller-owned scratch buffers: the
+    /// wire store and output vector live in `scratch` and are reused
+    /// across calls (the returned slice borrows from it). One scratch
+    /// serves circuits of any size — buffers regrow on demand.
+    pub fn evaluate_with<'s>(
+        &self,
+        inputs: &[bool],
+        scratch: &'s mut BitEvalScratch,
+    ) -> Result<&'s [bool], crate::EvalError> {
         if inputs.len() != self.num_inputs {
             return Err(crate::EvalError::InputArity {
                 expected: self.num_inputs,
                 got: inputs.len(),
             });
         }
-        let mut vals = vec![false; self.gates.len()];
+        let vals = &mut scratch.vals;
+        vals.clear();
+        vals.resize(self.gates.len(), false);
         for (i, g) in self.gates.iter().enumerate() {
             vals[i] = match *g {
                 BGate::Input(idx) => inputs[idx],
@@ -170,7 +188,11 @@ impl BitCircuit {
                 }
             };
         }
-        Ok(self.outputs.iter().map(|&w| vals[w as usize]).collect())
+        scratch.outs.clear();
+        scratch
+            .outs
+            .extend(self.outputs.iter().map(|&w| vals[w as usize]));
+        Ok(&scratch.outs)
     }
 
     /// Packs word inputs into the bit layout the lowering expects
@@ -196,6 +218,16 @@ impl BitCircuit {
             })
             .collect()
     }
+}
+
+/// Reusable wire-store + output buffers for
+/// [`BitCircuit::evaluate_with`], so per-instance reference evaluation
+/// in tight loops (the fuzzer's sampled bit checks, BitEngine parity
+/// tests) stops allocating a fresh `Vec<bool>` per call.
+#[derive(Default)]
+pub struct BitEvalScratch {
+    vals: Vec<bool>,
+    outs: Vec<bool>,
 }
 
 /// The constant-`false` wire: always id 0 (both the sequential `Lowerer`
@@ -1134,7 +1166,7 @@ fn note_bit_attempt(creator: &mut Vec<u32>, total: usize, w: u32, i: u32) {
 /// Groups source bit gates into dependency levels: sources at 0, every
 /// other kind strictly above all of its operands. (A scheduling depth —
 /// unrelated to AND depth, which treats XOR/NOT as free.)
-fn bit_levels(gates: &[BGate]) -> Vec<Vec<u32>> {
+pub(crate) fn bit_levels(gates: &[BGate]) -> Vec<Vec<u32>> {
     let mut depth = vec![0u32; gates.len()];
     let mut max_d = 0u32;
     for (i, g) in gates.iter().enumerate() {

@@ -19,6 +19,7 @@
 //! evaluation substrate the paper's protocols plug into, with exact cost
 //! accounting.
 
+use qec_circuit::bitengine::{BitOp, CompiledBitCircuit};
 use qec_circuit::lower::{BGate, BitCircuit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -230,6 +231,290 @@ pub fn evaluate_shared(
     Ok((outputs, stats))
 }
 
+/// What every batched entry point returns: one `Result` per instance,
+/// in input order, plus the aggregate protocol stats for the whole
+/// batch.
+pub type BatchedOutcome = (Vec<Result<Vec<bool>, MpcError>>, ProtocolStats);
+
+/// The trusted dealer's offline output for the *batched* protocol:
+/// transposed triple shares, `words` lane words per packed AND step
+/// (64 triples per word — the dealer hands out `words × 64` scalar
+/// triples every time the tape executes one AND instruction).
+///
+/// Layout per step `s` and party: `[a₀..a_w, b₀..b_w, c₀..c_w]` at
+/// offset `s × 3 × words`, with `a ∧ b = c` lane-wise across parties.
+pub struct PackedDealer {
+    words: usize,
+    p0: Vec<u64>,
+    p1: Vec<u64>,
+}
+
+impl PackedDealer {
+    /// Prepares `steps` packed AND steps of `words` lane words each
+    /// (deterministic in `seed`). A batch of `B` instances over a
+    /// circuit with `A` AND instructions needs
+    /// `A × ceil(B / (words × 64))` steps — one fresh packed triple per
+    /// AND per block; triples are never reused across blocks.
+    pub fn new(steps: usize, words: usize, seed: u64) -> PackedDealer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p0 = Vec::with_capacity(steps * 3 * words);
+        let mut p1 = Vec::with_capacity(steps * 3 * words);
+        fn split(rng: &mut StdRng, plain: &[u64], p0: &mut Vec<u64>, p1: &mut Vec<u64>) {
+            for &v in plain {
+                let m = rng.gen::<u64>();
+                p0.push(m);
+                p1.push(v ^ m);
+            }
+        }
+        let mut a = vec![0u64; words];
+        let mut b = vec![0u64; words];
+        let mut c = vec![0u64; words];
+        for _ in 0..steps {
+            for w in 0..words {
+                a[w] = rng.gen::<u64>();
+                b[w] = rng.gen::<u64>();
+                c[w] = a[w] & b[w];
+            }
+            split(&mut rng, &a, &mut p0, &mut p1);
+            split(&mut rng, &b, &mut p0, &mut p1);
+            split(&mut rng, &c, &mut p0, &mut p1);
+        }
+        PackedDealer { words, p0, p1 }
+    }
+
+    /// Lane words per packed step.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Packed AND steps prepared.
+    pub fn steps(&self) -> usize {
+        self.p0.len() / (3 * self.words)
+    }
+}
+
+/// Evaluates a batch of secret-shared instances over the bitsliced
+/// tape — the GMW local-computation inner loop running on
+/// [`CompiledBitCircuit`]'s register-allocated schedule. Each party
+/// holds one transposed register file (`num_regs × words` lane words);
+/// XOR/NOT/Const steps are local word ops on both files, and every AND
+/// instruction consumes one packed triple (`words × 64` scalar
+/// triples) with a single `(d, e)` word exchange for all lanes at once.
+///
+/// Returns one `Result` per instance, in order, plus aggregate stats.
+/// Stats count scalar-equivalent work at the dealer's full packed
+/// width: a ragged final block still burns (and communicates) whole
+/// lane words, exactly as a real deployment would.
+pub fn evaluate_shared_batch(
+    eng: &CompiledBitCircuit,
+    shares0: &[Vec<bool>],
+    shares1: &[Vec<bool>],
+    dealer: &PackedDealer,
+) -> Result<BatchedOutcome, MpcError> {
+    if shares0.len() != shares1.len() {
+        return Err(MpcError::InputLength {
+            expected: shares0.len(),
+            got: shares1.len(),
+        });
+    }
+    let words = dealer.words;
+    let lanes = words * 64;
+    let num_inputs = eng.num_inputs();
+    let nr = eng.num_regs() as usize;
+    let mut results = Vec::with_capacity(shares0.len());
+    let mut stats = ProtocolStats::default();
+    let mut next_step = 0usize;
+
+    let mut packed0 = vec![0u64; num_inputs * words];
+    let mut packed1 = vec![0u64; num_inputs * words];
+    let mut regs0 = vec![0u64; nr * words];
+    let mut regs1 = vec![0u64; nr * words];
+    let mut fail = vec![u32::MAX; lanes];
+    let mut d_pub = vec![0u64; words];
+    let mut e_pub = vec![0u64; words];
+
+    for block_start in (0..shares0.len()).step_by(lanes) {
+        let block_n = (shares0.len() - block_start).min(lanes);
+        let block0 = &shares0[block_start..block_start + block_n];
+        let block1 = &shares1[block_start..block_start + block_n];
+        pack_share_block(block0, num_inputs, words, &mut packed0);
+        pack_share_block(block1, num_inputs, words, &mut packed1);
+        for f in fail.iter_mut() {
+            *f = u32::MAX;
+        }
+
+        for op in eng.ops() {
+            match *op {
+                BitOp::Input { dst, idx } => {
+                    let (d, s) = (dst as usize * words, idx as usize * words);
+                    regs0[d..d + words].copy_from_slice(&packed0[s..s + words]);
+                    regs1[d..d + words].copy_from_slice(&packed1[s..s + words]);
+                }
+                BitOp::Const { dst, v } => {
+                    // public constant: party 0 holds it, party 1 holds 0
+                    let d = dst as usize * words;
+                    regs0[d..d + words].fill(if v { !0 } else { 0 });
+                    regs1[d..d + words].fill(0);
+                }
+                BitOp::Xor { dst, a, b } => {
+                    let (d, ra, rb) =
+                        (dst as usize * words, a as usize * words, b as usize * words);
+                    for w in 0..words {
+                        regs0[d + w] = regs0[ra + w] ^ regs0[rb + w];
+                        regs1[d + w] = regs1[ra + w] ^ regs1[rb + w];
+                    }
+                    stats.free_gates += lanes as u64;
+                }
+                BitOp::Not { dst, a } => {
+                    // negate on one side only
+                    let (d, ra) = (dst as usize * words, a as usize * words);
+                    for w in 0..words {
+                        regs0[d + w] = !regs0[ra + w];
+                        regs1[d + w] = regs1[ra + w];
+                    }
+                    stats.free_gates += lanes as u64;
+                }
+                BitOp::And { dst, a, b } => {
+                    if next_step >= dealer.steps() {
+                        return Err(MpcError::OutOfTriples);
+                    }
+                    let base = next_step * 3 * words;
+                    let (ta0, tb0, tc0) = (base, base + words, base + 2 * words);
+                    let (d, ra, rb) =
+                        (dst as usize * words, a as usize * words, b as usize * words);
+                    // local phase: mask operand shares with the triple,
+                    // then exchange (d, e) words — one message pair for
+                    // all lanes of this AND step
+                    for w in 0..words {
+                        d_pub[w] = (regs0[ra + w] ^ dealer.p0[ta0 + w])
+                            ^ (regs1[ra + w] ^ dealer.p1[ta0 + w]);
+                        e_pub[w] = (regs0[rb + w] ^ dealer.p0[tb0 + w])
+                            ^ (regs1[rb + w] ^ dealer.p1[tb0 + w]);
+                    }
+                    // z = c ⊕ d·b ⊕ e·a ⊕ d·e (d·e term on one party only)
+                    for w in 0..words {
+                        regs0[d + w] = dealer.p0[tc0 + w]
+                            ^ (d_pub[w] & dealer.p0[tb0 + w])
+                            ^ (e_pub[w] & dealer.p0[ta0 + w]);
+                        regs1[d + w] = dealer.p1[tc0 + w]
+                            ^ (d_pub[w] & dealer.p1[tb0 + w])
+                            ^ (e_pub[w] & dealer.p1[ta0 + w])
+                            ^ (d_pub[w] & e_pub[w]);
+                    }
+                    next_step += 1;
+                    stats.and_gates += lanes as u64;
+                    stats.messages_bits += 4 * lanes as u64; // two words each direction
+                }
+                BitOp::AssertFalse { dst, a, gate } => {
+                    let (d, ra) = (dst as usize * words, a as usize * words);
+                    for w in 0..words {
+                        let lane_base = w * 64;
+                        let valid = if block_n >= lane_base + 64 {
+                            !0u64
+                        } else if block_n <= lane_base {
+                            0
+                        } else {
+                            (1u64 << (block_n - lane_base)) - 1
+                        };
+                        let mut m = (regs0[ra + w] ^ regs1[ra + w]) & valid;
+                        while m != 0 {
+                            let lane = lane_base + m.trailing_zeros() as usize;
+                            if gate < fail[lane] {
+                                fail[lane] = gate;
+                            }
+                            m &= m - 1;
+                        }
+                        regs0[d + w] = 0;
+                        regs1[d + w] = 0;
+                    }
+                }
+            }
+        }
+
+        for (l, (s0, s1)) in block0.iter().zip(block1).enumerate() {
+            if s0.len() != num_inputs || s1.len() != num_inputs {
+                results.push(Err(MpcError::InputLength {
+                    expected: num_inputs,
+                    got: s0.len().min(s1.len()),
+                }));
+                continue;
+            }
+            if fail[l] != u32::MAX {
+                results.push(Err(MpcError::AssertionFailed(fail[l] as usize)));
+                continue;
+            }
+            let out = eng
+                .output_regs()
+                .iter()
+                .map(|&r| {
+                    let i = r as usize * words + l / 64;
+                    (regs0[i] ^ regs1[i]) >> (l % 64) & 1 == 1
+                })
+                .collect();
+            results.push(Ok(out));
+        }
+    }
+    Ok((results, stats))
+}
+
+/// Transposes one block of share vectors into input-major lane words.
+/// Wrong-arity instances contribute zeros; their lanes are reported as
+/// [`MpcError::InputLength`] and never read back.
+fn pack_share_block(block: &[Vec<bool>], num_inputs: usize, words: usize, out: &mut [u64]) {
+    out.fill(0);
+    for (l, inst) in block.iter().enumerate() {
+        if inst.len() != num_inputs {
+            continue;
+        }
+        let (word, bit) = (l / 64, l % 64);
+        for (idx, &b) in inst.iter().enumerate() {
+            if b {
+                out[idx * words + word] |= 1u64 << bit;
+            }
+        }
+    }
+}
+
+/// Convenience: full offline + online batched pipeline on plain
+/// instances at a packed width of `lanes` (rounded up to whole lane
+/// words; 64, 256 and 512 are the natural sizes). Compiles the tape,
+/// provisions exactly enough packed triples, shares every instance, and
+/// returns per-instance results — each equal to what
+/// [`run_two_party`] produces for that instance alone.
+pub fn run_two_party_batched(
+    circuit: &BitCircuit,
+    instances: &[Vec<bool>],
+    lanes: usize,
+    seed: u64,
+) -> Result<BatchedOutcome, MpcError> {
+    let eng = CompiledBitCircuit::compile(circuit);
+    run_two_party_batched_with(&eng, instances, lanes, seed)
+}
+
+/// [`run_two_party_batched`] against an already-compiled tape (the
+/// shape benches want: compile once, batch many).
+pub fn run_two_party_batched_with(
+    eng: &CompiledBitCircuit,
+    instances: &[Vec<bool>],
+    lanes: usize,
+    seed: u64,
+) -> Result<BatchedOutcome, MpcError> {
+    let words = lanes.max(1).div_ceil(64);
+    let blocks = instances.len().div_ceil(words * 64).max(1);
+    let steps = eng.stats().and_ops as usize * blocks;
+    let dealer = PackedDealer::new(steps, words, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut shares0 = Vec::with_capacity(instances.len());
+    let mut shares1 = Vec::with_capacity(instances.len());
+    for inst in instances {
+        let s0: Vec<bool> = inst.iter().map(|_| rng.gen()).collect();
+        let s1: Vec<bool> = inst.iter().zip(&s0).map(|(&v, &m)| v ^ m).collect();
+        shares0.push(s0);
+        shares1.push(s1);
+    }
+    evaluate_shared_batch(eng, &shares0, &shares1, &dealer)
+}
+
 /// Garbled-circuit (Yao) cost estimate for a lowered circuit under the
 /// half-gates optimization: two 128-bit ciphertexts per AND gate, XOR and
 /// NOT free, one round of communication total (the paper's Sec. 1: size
@@ -357,6 +642,69 @@ mod tests {
         assert!(ok.is_ok());
         let bad = run_two_party(&bc, &bc.pack_inputs(&[5]), 9);
         assert!(matches!(bad, Err(MpcError::AssertionFailed(_))));
+    }
+
+    #[test]
+    fn batched_matches_per_gate_demo() {
+        let bc = adder_circuit();
+        let instances: Vec<Vec<bool>> = (0..70u64)
+            .map(|i| bc.pack_inputs(&[i * 37 % 1009, i * i % 997]))
+            .collect();
+        for lanes in [64usize, 256, 512] {
+            let (batched, stats) = run_two_party_batched(&bc, &instances, lanes, 7).unwrap();
+            assert_eq!(batched.len(), instances.len());
+            for (inst, got) in instances.iter().zip(&batched) {
+                let want = run_two_party(&bc, inst, 99).map(|(out, _)| out);
+                assert_eq!(got, &want, "lanes {lanes}");
+            }
+            // one packed triple per AND per block, full width
+            let blocks = instances.len().div_ceil(lanes.max(64));
+            assert_eq!(
+                stats.and_gates,
+                bc.and_count() * (lanes.max(64) * blocks) as u64
+            );
+            assert_eq!(stats.messages_bits, 4 * stats.and_gates);
+        }
+    }
+
+    #[test]
+    fn batched_asserts_report_source_gate() {
+        let mut b = Builder::new(Mode::Build);
+        let x = b.input();
+        let y = b.input();
+        b.assert_zero(x);
+        let s = b.add(x, y);
+        let c = b.finish(vec![s]);
+        let bc = lower_with(&c, 4, &CompileOptions::sequential());
+        let instances: Vec<Vec<bool>> = (0..5u64).map(|i| bc.pack_inputs(&[i % 2, 3])).collect();
+        let (results, _) = run_two_party_batched(&bc, &instances, 64, 3).unwrap();
+        for (inst, got) in instances.iter().zip(&results) {
+            assert_eq!(got, &run_two_party(&bc, inst, 3).map(|(o, _)| o));
+        }
+    }
+
+    #[test]
+    fn batched_out_of_triples_detected() {
+        let bc = adder_circuit();
+        let eng = qec_circuit::CompiledBitCircuit::compile(&bc);
+        let inst = bc.pack_inputs(&[1, 2]);
+        let dealer = PackedDealer::new(1, 1, 5); // far too few steps
+        let (s0, s1) = share_bits(&inst, 6);
+        assert_eq!(
+            evaluate_shared_batch(&eng, &[s0], &[s1], &dealer).unwrap_err(),
+            MpcError::OutOfTriples
+        );
+    }
+
+    #[test]
+    fn batched_flags_wrong_arity_lanes() {
+        let bc = adder_circuit();
+        let good = bc.pack_inputs(&[9, 10]);
+        let (results, _) =
+            run_two_party_batched(&bc, &[good.clone(), vec![true; 3], good], 64, 11).unwrap();
+        assert!(results[0].is_ok() && results[2].is_ok());
+        assert!(matches!(results[1], Err(MpcError::InputLength { .. })));
+        assert_eq!(results[0], results[2]);
     }
 
     #[test]
