@@ -1,4 +1,4 @@
-//! Experiment implementations X1–X21 (see `EXPERIMENTS.md`).
+//! Experiment implementations X1–X22 (see `EXPERIMENTS.md`).
 
 use qec_circuit::{
     aggregate as c_aggregate, brent_steps, encode_relation, join_degree_bounded,
@@ -1403,6 +1403,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
         ("x19", x19_differential),
         ("x20", x20_tape_streaming),
         ("x21", x21_bitengine),
+        ("x22", x22_serve),
     ]
 }
 
@@ -1951,6 +1952,301 @@ pub fn x21_bitengine() -> Table {
         f(gmw64_speedup),
         pg_stats.and_gates,
         batched_stats.and_gates / tri_bits.and_count().max(1),
+    ));
+    t
+}
+
+/// X22 — the serving layer: plan cache + continuous request batching.
+/// Simulated concurrent clients fire single triangle queries (eight
+/// distinct databases, one shared plan) at a `qec-serve` server and the
+/// experiment measures p50/p99 latency and queries/sec across four
+/// regimes: cold (every request pays the full compile against a fresh
+/// server), warm batch-1 (plan cached, no coalescing — the A/B
+/// baseline), warm coalesced closed-loop at 8–1000 clients, and warm
+/// coalesced open-loop at 1000–10000 in-flight requests. Every response
+/// is checked against the RAM ground truth for its client's database;
+/// the divergence column must stay 0.
+///
+/// Latency semantics: closed-loop rows report client-observed wall
+/// latency (submit to response, one outstanding request per client);
+/// open-loop rows report server sojourn time (queue wait + batch
+/// service) taken from the response metadata, since a ticket's wall
+/// time in a drain loop would also count time spent waiting on
+/// *earlier* tickets.
+///
+/// Sizing knob: `QEC_X22_SMOKE=1` shrinks client counts for CI and
+/// asserts nonzero cache hits and zero divergences.
+pub fn x22_serve() -> Table {
+    use qec_relation::{Database, Relation};
+    use qec_serve::{Request, Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let smoke = std::env::var("QEC_X22_SMOKE").is_ok_and(|v| v == "1");
+    let mut t = Table::new(
+        "X22  Serving layer: compiled-plan cache + continuous batching, cold vs warm, batch-1 vs coalesced",
+        &[
+            "mode", "clients", "requests", "p50_ms", "p99_ms", "qps", "hits", "div",
+        ],
+    );
+
+    // Workload: the triangle query over eight distinct databases (one
+    // per client mod 8) that all share one plan key. Capacity 16 keeps
+    // a single evaluation in the hundreds-of-microseconds range, so
+    // batching effects are visible but a 10k-request sweep stays fast.
+    const DISTINCT: usize = 8;
+    let n: u64 = if smoke { 8 } else { 16 };
+    let query = "Q(a, b, c) :- R(a, b), S(b, c), T(a, c)";
+    let request = move |client: usize| -> Request {
+        let seed = (client % DISTINCT) as u64 * 101 + 7;
+        let rows = |salt: u64| -> Vec<Vec<u64>> {
+            (0..n)
+                .map(|i| {
+                    vec![
+                        (i * 7 + seed + salt) % n,
+                        (i * 13 + seed + 2 * salt + 1) % n,
+                    ]
+                })
+                .collect()
+        };
+        Request {
+            tenant: format!("tenant-{}", client % 4),
+            query: query.into(),
+            n,
+            rels: vec![
+                ("R".into(), rows(1)),
+                ("S".into(), rows(2)),
+                ("T".into(), rows(3)),
+            ],
+        }
+    };
+    // Ground truth per distinct database, via the RAM baseline.
+    let expected: Vec<Relation> = (0..DISTINCT)
+        .map(|c| {
+            let req = request(c);
+            let cq = qec_query::parse_cq(&req.query).expect("workload query parses");
+            let mut db = Database::new();
+            for (name, rows) in &req.rels {
+                let atom = cq.atoms.iter().find(|a| a.name == *name).expect("atom");
+                db.insert(
+                    name.clone(),
+                    Relation::from_rows(atom.vars.to_vec(), rows.clone()),
+                );
+            }
+            evaluate_pairwise(&cq, &db).expect("baseline evaluates")
+        })
+        .collect();
+    let expected = Arc::new(expected);
+    let check = |client: usize, rels: &[Relation]| -> usize {
+        rels.iter()
+            .filter(|r| *r != &expected[client % DISTINCT])
+            .count()
+    };
+
+    let pct = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+    };
+    let ms = |ns: f64| ns / 1e6;
+
+    let mut divergences = 0usize;
+
+    // --- Cold: a fresh server (empty cache) per request, so every
+    // request pays parse + plan + lower + compile. ---
+    let cold_reqs = if smoke { 1 } else { 3 };
+    let mut cold_lat: Vec<f64> = Vec::new();
+    let t0 = Instant::now();
+    for i in 0..cold_reqs {
+        let server = Server::start(ServerConfig::default());
+        let t1 = Instant::now();
+        let resp = server.query(request(i)).expect("cold request serves");
+        cold_lat.push(t1.elapsed().as_nanos() as f64);
+        divergences += check(i, &resp.relations);
+    }
+    let cold_wall = t0.elapsed().as_secs_f64();
+    cold_lat.sort_by(f64::total_cmp);
+    let p50_cold = pct(&cold_lat, 0.5);
+    t.row(vec![
+        "cold-per-request".into(),
+        "1".into(),
+        cold_reqs.to_string(),
+        f(ms(p50_cold)),
+        f(ms(pct(&cold_lat, 0.99))),
+        f(cold_reqs as f64 / cold_wall),
+        "0".into(),
+        divergences.to_string(),
+    ]);
+
+    // --- Warm servers: one with coalescing, one at batch size 1. Both
+    // compile their plan once during warmup. ---
+    let mk_server = |coalesce: bool| -> Arc<Server> {
+        let server = Arc::new(Server::start(ServerConfig {
+            queue_capacity: 16_384,
+            max_batch: 64,
+            flush: Duration::from_micros(500),
+            coalesce,
+            ..ServerConfig::default()
+        }));
+        let resp = server.query(request(0)).expect("warmup serves");
+        assert!(!resp.cache_hit || resp.batch_size >= 1);
+        server
+    };
+    let coalesced = mk_server(true);
+    let batch1 = mk_server(false);
+
+    // Closed loop: `clients` threads, each with one outstanding request
+    // at a time; client-observed wall latency.
+    let closed =
+        |server: &Arc<Server>, clients: usize, per_client: usize| -> (Vec<f64>, f64, usize) {
+            let t0 = Instant::now();
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let server = server.clone();
+                    let expected = expected.clone();
+                    std::thread::spawn(move || {
+                        let mut lat = Vec::with_capacity(per_client);
+                        let mut div = 0usize;
+                        for _ in 0..per_client {
+                            let t1 = Instant::now();
+                            let resp = server.query(request(c)).expect("closed-loop request");
+                            lat.push(t1.elapsed().as_nanos() as f64);
+                            div += resp
+                                .relations
+                                .iter()
+                                .filter(|r| *r != &expected[c % DISTINCT])
+                                .count();
+                        }
+                        (lat, div)
+                    })
+                })
+                .collect();
+            let mut lat = Vec::new();
+            let mut div = 0;
+            for h in handles {
+                let (l, d) = h.join().expect("client thread");
+                lat.extend(l);
+                div += d;
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            lat.sort_by(f64::total_cmp);
+            (lat, wall, div)
+        };
+
+    let closed_clients: Vec<usize> = if smoke {
+        vec![2, 4]
+    } else {
+        vec![1, 8, 64, 256, 1000]
+    };
+    let per_client = |clients: usize| -> usize {
+        if smoke {
+            2
+        } else if clients >= 256 {
+            4
+        } else if clients >= 64 {
+            16
+        } else {
+            64
+        }
+    };
+
+    let mut qps_batch1_64 = 0.0;
+    let mut qps_coalesced_64 = 0.0;
+    let mut p50_warm = f64::MAX;
+    for (label, server) in [("closed-batch1", &batch1), ("closed-coalesced", &coalesced)] {
+        for &clients in &closed_clients {
+            // The batch-1 baseline only needs the comparison point (and
+            // a small one), not the full sweep.
+            let compare_at = if smoke { closed_clients[1] } else { 64 };
+            if label == "closed-batch1" && clients != compare_at {
+                continue;
+            }
+            let hits0 = server.cache_stats().hits;
+            let (lat, wall, div) = closed(server, clients, per_client(clients));
+            divergences += div;
+            let qps = lat.len() as f64 / wall;
+            let p50 = pct(&lat, 0.5);
+            if clients == compare_at {
+                if label == "closed-batch1" {
+                    qps_batch1_64 = qps;
+                } else {
+                    qps_coalesced_64 = qps;
+                }
+            }
+            if label == "closed-coalesced" {
+                p50_warm = p50_warm.min(p50);
+            }
+            t.row(vec![
+                label.into(),
+                clients.to_string(),
+                lat.len().to_string(),
+                f(ms(p50)),
+                f(ms(pct(&lat, 0.99))),
+                f(qps),
+                (server.cache_stats().hits - hits0).to_string(),
+                div.to_string(),
+            ]);
+        }
+    }
+
+    // Open loop: all requests submitted up front (arrivals independent
+    // of completions), sojourn time from response metadata.
+    let open_clients: Vec<usize> = if smoke { vec![16] } else { vec![1000, 10_000] };
+    for &clients in &open_clients {
+        let hits0 = coalesced.cache_stats().hits;
+        let t0 = Instant::now();
+        let tickets: Vec<_> = (0..clients)
+            .map(|c| {
+                coalesced
+                    .submit(request(c))
+                    .expect("queue sized for the sweep")
+            })
+            .collect();
+        let mut lat = Vec::with_capacity(clients);
+        let mut div = 0usize;
+        for (c, ticket) in tickets.into_iter().enumerate() {
+            let resp = ticket.wait().expect("open-loop request");
+            lat.push((resp.queue_ns + resp.total_ns) as f64);
+            div += check(c, &resp.relations);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        divergences += div;
+        lat.sort_by(f64::total_cmp);
+        t.row(vec![
+            "open-coalesced".into(),
+            clients.to_string(),
+            clients.to_string(),
+            f(ms(pct(&lat, 0.5))),
+            f(ms(pct(&lat, 0.99))),
+            f(clients as f64 / wall),
+            (coalesced.cache_stats().hits - hits0).to_string(),
+            div.to_string(),
+        ]);
+    }
+
+    let total_hits = coalesced.cache_stats().hits + batch1.cache_stats().hits;
+    let cold_vs_warm = p50_cold / p50_warm.max(1e-9);
+    let coalesce_gain = qps_coalesced_64 / qps_batch1_64.max(1e-9);
+    if smoke {
+        assert!(
+            total_hits > 0,
+            "smoke: warm serving must hit the plan cache"
+        );
+        assert_eq!(
+            divergences, 0,
+            "smoke: serve results must match ground truth"
+        );
+    }
+    t.verdict(format!(
+        "warm p50 is {}x better than cold-compile-per-request (target >=10x: {}); coalesced qps is {}x batch-1 at 64 clients (target >=1.3x: {}); {} cache hits, {} compiles, {} divergences",
+        f(cold_vs_warm),
+        if cold_vs_warm >= 10.0 { "met" } else { "MISSED" },
+        f(coalesce_gain),
+        if coalesce_gain >= 1.3 { "met" } else { "MISSED" },
+        total_hits,
+        coalesced.cache_stats().misses + batch1.cache_stats().misses,
+        divergences,
     ));
     t
 }

@@ -51,7 +51,7 @@ fn parse(s: &str) -> Result<u64, String> {
 /// The shrink oracle: the candidate still fails (for a real reason)
 /// under its own single recorded configuration.
 fn still_fails(c: &Case) -> bool {
-    matches!(run_case(c, &[c.options], None, false), Err(d) if d.is_real())
+    matches!(run_case(c, &[c.options], None, false, false), Err(d) if d.is_real())
 }
 
 fn main() {
@@ -97,7 +97,7 @@ fn main() {
 
     eprintln!("fuzz: shrinking...");
     let small = shrink_case(&case, &still_fails);
-    let replay = run_case(&small, &[small.options], None, false);
+    let replay = run_case(&small, &[small.options], None, false, false);
     eprintln!(
         "fuzz: shrunk to query {:?}, {} rows total, n={}, options {:?}",
         small.query,

@@ -74,6 +74,13 @@ pub enum Divergence {
         /// RAM reference output.
         want: String,
     },
+    /// The serving layer (plan cache + request coalescing) returned a
+    /// result that differs from direct evaluation, or failed a request
+    /// it should have served.
+    Serve {
+        /// What went wrong, including got/want digests on mismatch.
+        detail: String,
+    },
 }
 
 impl Divergence {
@@ -115,6 +122,9 @@ impl fmt::Display for Divergence {
                     f,
                     "output mismatch under {options:?}: got {got}, want {want}"
                 )
+            }
+            Divergence::Serve { detail } => {
+                write!(f, "serving layer diverged from direct evaluation: {detail}")
             }
         }
     }
@@ -225,12 +235,18 @@ fn harness(msg: impl fmt::Display) -> Divergence {
 /// miscompile into the word circuit before the sweep; `check_bits` also
 /// pushes the circuit through the bit-level lowering and optimizer under
 /// the structural validator (markedly slower, so the fuzz loop samples
-/// it).
+/// it); `check_serve` replays the case through the `qec-serve` batching
+/// server (also sampled — it pays one extra canonical-plan compile) and
+/// demands results identical to direct evaluation. `check_serve` is
+/// skipped under a mutation: the server compiles from query source, so
+/// an injected miscompile of the direct circuit is invisible to it by
+/// construction.
 pub fn run_case(
     case: &Case,
     matrix: &[EngineOptions],
     mutation: Option<&Mutation>,
     check_bits: bool,
+    check_serve: bool,
 ) -> Result<CaseOutcome, Divergence> {
     let (cq, db, dc) = case.materialize().map_err(harness)?;
 
@@ -367,6 +383,18 @@ pub fn run_case(
         outcome.configs += 1;
     }
 
+    // Stage 4b (sampled): the serving layer. The case goes through the
+    // whole serve path — canonicalization, plan cache, capacity
+    // bucketing, request coalescing — three times concurrently against
+    // one server, and every response must be bit-identical to the RAM
+    // ground truth. This is the "coalescing never changes answers"
+    // contract, and because the plan is compiled at the *bucketed*
+    // capacity it also checks that padding to a larger capacity leaves
+    // the decoded relation untouched.
+    if check_serve && mutation.is_none() {
+        check_serve_stage(case, &expect)?;
+    }
+
     // Stage 5 (sampled): bit-level lowering + optimizer under the
     // structural validator.
     if check_bits {
@@ -496,6 +524,52 @@ pub fn run_case(
     Ok(outcome)
 }
 
+/// Replays `case` through a coalescing [`qec_serve::Server`] and
+/// compares every response against `expect`.
+fn check_serve_stage(case: &Case, expect: &Relation) -> Result<(), Divergence> {
+    let mut server = qec_serve::Server::start(qec_serve::ServerConfig {
+        workers: 2,
+        max_batch: 8,
+        flush: std::time::Duration::from_millis(2),
+        coalesce: true,
+        ..qec_serve::ServerConfig::default()
+    });
+    let request = qec_serve::Request {
+        tenant: "differ".into(),
+        query: case.query.clone(),
+        n: case.n,
+        rels: case.rels.clone(),
+    };
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            server
+                .submit(request.clone())
+                .map_err(|e| Divergence::Serve {
+                    detail: format!("submit {i} rejected: {e}"),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let resp = ticket.wait().map_err(|e| Divergence::Serve {
+            detail: format!("request {i} failed: {e}"),
+        })?;
+        for rel in &resp.relations {
+            if rel != expect {
+                return Err(Divergence::Serve {
+                    detail: format!(
+                        "request {i} (batch of {}): got {}, want {}",
+                        resp.batch_size,
+                        digest(rel),
+                        digest(expect)
+                    ),
+                });
+            }
+        }
+    }
+    server.shutdown();
+    Ok(())
+}
+
 /// Aggregate result of a fuzz sweep.
 #[derive(Debug, Default)]
 pub struct FuzzSummary {
@@ -519,7 +593,9 @@ pub fn fuzz_many(seed: u64, cases: usize, bits_every: usize) -> FuzzSummary {
         let case = crate::gen::gen_case(case_seed);
         let matrix = options_matrix(case_seed);
         let check_bits = bits_every != 0 && i % bits_every == 0;
-        match run_case(&case, &matrix, None, check_bits) {
+        // The serve stage rides the same sampling cadence: both pay an
+        // extra compile, and both are configuration-independent checks.
+        match run_case(&case, &matrix, None, check_bits, check_bits) {
             Ok(o) => {
                 summary.cases_passed += 1;
                 summary.configs += o.configs;
@@ -557,7 +633,7 @@ mod tests {
     fn a_known_good_case_passes_the_full_matrix() {
         let case = crate::gen::gen_case(11);
         let matrix = options_matrix(11);
-        let outcome = run_case(&case, &matrix, None, true).unwrap();
+        let outcome = run_case(&case, &matrix, None, true, true).unwrap();
         assert_eq!(outcome.configs, 8);
         assert!(outcome.word_gates > 0);
         assert!(outcome.bit_gates > 0);

@@ -48,5 +48,5 @@ pub fn replay(case: &Case) -> Result<CaseOutcome, Divergence> {
     if !matrix.contains(&case.options) {
         matrix.push(case.options);
     }
-    differ::run_case(case, &matrix, None, true)
+    differ::run_case(case, &matrix, None, true, true)
 }

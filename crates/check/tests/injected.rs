@@ -8,7 +8,7 @@ use qec_check::{
 };
 
 fn fails_with(case: &Case, mutation: &Mutation) -> bool {
-    matches!(run_case(case, &[case.options], Some(mutation), false), Err(d) if d.is_real())
+    matches!(run_case(case, &[case.options], Some(mutation), false, false), Err(d) if d.is_real())
 }
 
 #[test]
@@ -21,7 +21,7 @@ fn injected_miscompile_is_caught_shrunk_and_replayable() {
         let case = gen_case(seed);
         for index in 0..12 {
             let mutation = Mutation { index };
-            match run_case(&case, &options_matrix(seed), Some(&mutation), false) {
+            match run_case(&case, &options_matrix(seed), Some(&mutation), false, false) {
                 Err(d) if d.is_real() => {
                     found = Some((case, mutation, d));
                     break 'outer;
@@ -59,6 +59,6 @@ fn injected_miscompile_is_caught_shrunk_and_replayable() {
 
     // And the same case without the mutation is clean — the divergence
     // really was the injected miscompile, not a latent engine bug.
-    run_case(&back, &[back.options], None, false)
+    run_case(&back, &[back.options], None, false, false)
         .unwrap_or_else(|d| panic!("unmutated shrunk case diverges on its own: {d}"));
 }

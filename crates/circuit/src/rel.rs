@@ -194,6 +194,16 @@ impl InputLayout {
         self.entries.push((name.into(), schema, capacity));
     }
 
+    /// The declared slots, in layout order: `(name, schema, capacity)`.
+    pub fn entries(&self) -> &[(String, Vec<Var>, usize)] {
+        &self.entries
+    }
+
+    /// Rebuilds a layout from serialized entries (plan-cache warm start).
+    pub fn from_entries(entries: Vec<(String, Vec<Var>, usize)>) -> Self {
+        Self { entries }
+    }
+
     /// Declares all input wires, in layout order.
     pub fn wires(&self, b: &mut Builder) -> Vec<RelWires> {
         self.entries

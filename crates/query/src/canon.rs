@@ -1,0 +1,368 @@
+//! CQ canonicalization: deterministic variable/atom renaming so
+//! alpha-equivalent queries share one representation.
+//!
+//! The plan cache in `qec-serve` keys compiled circuits by query text;
+//! two clients writing `Q(a,b) :- R(a,b)` and `Q(x,y) :- R(x,y)` must
+//! land on the same entry or the 40-second compile is paid twice. A
+//! conjunctive query is determined up to *alpha-equivalence* — any
+//! bijective renaming of its variables (and any reordering of its body
+//! atoms) denotes the same query — so the cache key has to be a
+//! canonical form, not the source text.
+//!
+//! [`canonicalize`] computes one: a relabeling of the variables to
+//! `v0..v{n-1}` plus a sorting of the atoms such that every
+//! alpha-variant of the query produces the *identical* [`Cq`] (and
+//! therefore identical [`CanonicalCq::text`]). Atom names are semantic
+//! (they bind database relations) and are never renamed.
+//!
+//! The algorithm is the classic two-phase canonical-labeling scheme,
+//! sized for queries (the parser caps them at 60 variables, real ones
+//! have a handful):
+//!
+//! 1. **Color refinement.** Variables start colored by freeness and are
+//!    iteratively recolored by the multiset of `(atom name, co-variable
+//!    colors)` incidences until the partition stabilizes. Every step is
+//!    computed from renaming-invariant data only.
+//! 2. **Minimal-labeling search.** Refinement classes are ordered by
+//!    their (invariant) color; within classes — where true symmetry can
+//!    survive, e.g. a cycle query — every assignment is tried and the
+//!    lexicographically smallest encoded query wins. The search space is
+//!    the product of class factorials; it is capped at
+//!    [`CANON_SEARCH_CAP`] assignments (far above anything refinement
+//!    leaves on real queries), beyond which the refined order itself is
+//!    used — still deterministic for a given input, just no longer
+//!    guaranteed invariant for adversarially symmetric 9+-variable
+//!    orbits.
+
+use qec_relation::{Var, VarSet};
+
+use crate::{Atom, Cq};
+
+/// Upper bound on assignments the minimal-labeling search will try
+/// before falling back to refinement order (8! = 40320).
+pub const CANON_SEARCH_CAP: u64 = 40_320;
+
+/// The result of [`canonicalize`]: the canonical query plus the
+/// variable bijection connecting it to the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalCq {
+    /// The canonical query: variables named `v0..`, atoms sorted by
+    /// `(name, variable set)` under the canonical numbering.
+    pub cq: Cq,
+    /// `cq.to_string()` — the string a plan cache should key on.
+    pub text: String,
+    /// Maps an input variable (by index) to its canonical variable.
+    pub to_canon: Vec<Var>,
+    /// Maps a canonical variable (by index) back to the input variable.
+    pub from_canon: Vec<Var>,
+}
+
+impl CanonicalCq {
+    /// Maps a [`VarSet`] over input variables into canonical space.
+    pub fn map_set(&self, s: VarSet) -> VarSet {
+        s.iter().map(|v| self.to_canon[v.index()]).collect()
+    }
+}
+
+/// One atom under a candidate labeling: `(name, sorted mapped vars)`.
+type AtomCode = (String, Vec<u32>);
+
+/// The full encoding of a labeling: sorted atom codes plus the mapped
+/// free set. Lexicographic comparison over this tuple defines
+/// "canonical".
+type Encoding = (Vec<AtomCode>, Vec<u32>);
+
+fn encode(cq: &Cq, assign: &[u32]) -> Encoding {
+    let mut atoms: Vec<AtomCode> = cq
+        .atoms
+        .iter()
+        .map(|a| {
+            let mut vs: Vec<u32> = a.vars.iter().map(|v| assign[v.index()]).collect();
+            vs.sort_unstable();
+            (a.name.clone(), vs)
+        })
+        .collect();
+    atoms.sort();
+    let mut free: Vec<u32> = cq.free.iter().map(|v| assign[v.index()]).collect();
+    free.sort_unstable();
+    (atoms, free)
+}
+
+/// Refines variable colors to a fixpoint. Returns one color per
+/// variable; equal colors mean "indistinguishable by iterated invariant
+/// structure". Colors are ranks of sorted signatures, so they are
+/// themselves invariant under renaming.
+/// One variable's refinement signature: (current color, sorted
+/// incidences), where an incidence is (atom name, sorted colors of the
+/// atom's vars).
+type Signature = (u32, Vec<(String, Vec<u32>)>);
+
+fn refine_colors(cq: &Cq) -> Vec<u32> {
+    let n = cq.num_vars() as usize;
+    let mut color: Vec<u32> = (0..n)
+        .map(|i| u32::from(cq.free.contains(Var(i as u32))))
+        .collect();
+    loop {
+        let mut sigs: Vec<Signature> = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = Var(i as u32);
+            let mut inc: Vec<(String, Vec<u32>)> = cq
+                .atoms
+                .iter()
+                .filter(|a| a.vars.contains(v))
+                .map(|a| {
+                    let mut cs: Vec<u32> = a.vars.iter().map(|w| color[w.index()]).collect();
+                    cs.sort_unstable();
+                    (a.name.clone(), cs)
+                })
+                .collect();
+            inc.sort();
+            sigs.push((color[i], inc));
+        }
+        let mut uniq: Vec<&Signature> = sigs.iter().collect();
+        uniq.sort();
+        uniq.dedup();
+        let next: Vec<u32> = sigs
+            .iter()
+            .map(|s| uniq.binary_search(&s).expect("own signature present") as u32)
+            .collect();
+        if next == color {
+            return color;
+        }
+        color = next;
+    }
+}
+
+/// Canonicalizes a conjunctive query. See the module docs for the
+/// contract: `canonicalize(q) == canonicalize(rename(q))` for any
+/// variable renaming / atom reordering `rename` (up to the search cap).
+pub fn canonicalize(cq: &Cq) -> CanonicalCq {
+    let n = cq.num_vars() as usize;
+    let color = refine_colors(cq);
+
+    // Group variable indices into classes ordered by color.
+    let mut classes: Vec<(u32, Vec<usize>)> = Vec::new();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (color[i], i));
+    for &i in &order {
+        match classes.last_mut() {
+            Some((c, members)) if *c == color[i] => members.push(i),
+            _ => classes.push((color[i], vec![i])),
+        }
+    }
+
+    // Search-space size: product of class factorials.
+    let mut space: u64 = 1;
+    for (_, members) in &classes {
+        for k in 2..=members.len() as u64 {
+            space = space.saturating_mul(k);
+        }
+    }
+
+    let mut assign: Vec<u32> = vec![0; n];
+    if space <= CANON_SEARCH_CAP {
+        // Exhaustive search over within-class permutations for the
+        // lexicographically minimal encoding.
+        let mut best: Option<(Encoding, Vec<u32>)> = None;
+        let mut work: Vec<u32> = vec![0; n];
+        search(cq, &classes, 0, 0, &mut work, &mut best);
+        let (_, winner) = best.expect("at least one labeling exists");
+        assign.copy_from_slice(&winner);
+    } else {
+        // Fallback: refined order, original index as tie-break.
+        for (canon_idx, &orig) in order.iter().enumerate() {
+            assign[orig] = canon_idx as u32;
+        }
+    }
+
+    let to_canon: Vec<Var> = assign.iter().map(|&c| Var(c)).collect();
+    let mut from_canon: Vec<Var> = vec![Var(0); n];
+    for (orig, &c) in assign.iter().enumerate() {
+        from_canon[c as usize] = Var(orig as u32);
+    }
+
+    // Materialize the canonical query with the winning labeling.
+    let (atom_codes, _) = encode(cq, &assign);
+    let atoms: Vec<Atom> = atom_codes
+        .into_iter()
+        .map(|(name, vs)| Atom {
+            name,
+            vars: vs.into_iter().map(Var).collect(),
+        })
+        .collect();
+    let free: VarSet = cq.free.iter().map(|v| to_canon[v.index()]).collect();
+    let var_names: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+    let canon = Cq::new(var_names, atoms, free)
+        .expect("canonical relabeling preserves query well-formedness");
+    let text = canon.to_string();
+    CanonicalCq {
+        cq: canon,
+        text,
+        to_canon,
+        from_canon,
+    }
+}
+
+/// Depth-first over classes: class `ci` occupies canonical indices
+/// `[base, base + |class|)`; every within-class order is tried.
+fn search(
+    cq: &Cq,
+    classes: &[(u32, Vec<usize>)],
+    ci: usize,
+    base: u32,
+    work: &mut Vec<u32>,
+    best: &mut Option<(Encoding, Vec<u32>)>,
+) {
+    if ci == classes.len() {
+        let enc = encode(cq, work);
+        match best {
+            Some((b, _)) if *b <= enc => {}
+            _ => *best = Some((enc, work.clone())),
+        }
+        return;
+    }
+    let members = &classes[ci].1;
+    let mut perm: Vec<usize> = members.clone();
+    // Heap's-algorithm-free simple recursion: permute `perm` in place.
+    permute(cq, classes, ci, base, &mut perm, 0, work, best);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn permute(
+    cq: &Cq,
+    classes: &[(u32, Vec<usize>)],
+    ci: usize,
+    base: u32,
+    perm: &mut Vec<usize>,
+    k: usize,
+    work: &mut Vec<u32>,
+    best: &mut Option<(Encoding, Vec<u32>)>,
+) {
+    if k == perm.len() {
+        for (off, &orig) in perm.iter().enumerate() {
+            work[orig] = base + off as u32;
+        }
+        search(cq, classes, ci + 1, base + perm.len() as u32, work, best);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(cq, classes, ci, base, perm, k + 1, work, best);
+        perm.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_cq;
+
+    /// Applies a variable-index permutation (and optionally reverses
+    /// atom order) to build an alpha-variant of `cq`.
+    fn rename(cq: &Cq, perm: &[u32], reverse_atoms: bool) -> Cq {
+        let n = cq.num_vars() as usize;
+        assert_eq!(perm.len(), n);
+        let mut var_names = vec![String::new(); n];
+        for (i, name) in cq.var_names.iter().enumerate() {
+            var_names[perm[i] as usize] = name.clone();
+        }
+        let mut atoms: Vec<Atom> = cq
+            .atoms
+            .iter()
+            .map(|a| Atom {
+                name: a.name.clone(),
+                vars: a.vars.iter().map(|v| Var(perm[v.index()])).collect(),
+            })
+            .collect();
+        if reverse_atoms {
+            atoms.reverse();
+        }
+        let free: VarSet = cq.free.iter().map(|v| Var(perm[v.index()])).collect();
+        Cq::new(var_names, atoms, free).unwrap()
+    }
+
+    #[test]
+    fn canon_is_invariant_under_renaming() {
+        let q = parse_cq("Q(a, c) :- R(a, b), S(b, c), T(a, c)").unwrap();
+        let base = canonicalize(&q);
+        for perm in [[1u32, 2, 0], [2, 0, 1], [0, 2, 1], [1, 0, 2], [2, 1, 0]] {
+            for rev in [false, true] {
+                let variant = rename(&q, &perm, rev);
+                let c = canonicalize(&variant);
+                assert_eq!(c.text, base.text, "perm {perm:?} rev {rev}");
+                assert_eq!(c.cq, base.cq);
+            }
+        }
+    }
+
+    #[test]
+    fn canon_matches_across_differently_spelled_sources() {
+        let a = canonicalize(&parse_cq("Q(x, z) :- R(x, y), S(y, z)").unwrap());
+        let b = canonicalize(&parse_cq("Q(p, q) :- S(m, q), R(p, m)").unwrap());
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.cq, b.cq);
+    }
+
+    #[test]
+    fn canon_separates_genuinely_different_queries() {
+        let path = canonicalize(&parse_cq("Q(a, c) :- R(a, b), S(b, c)").unwrap());
+        let fork = canonicalize(&parse_cq("Q(a, c) :- R(a, b), R(b, c)").unwrap());
+        assert_ne!(path.text, fork.text, "atom names matter");
+        let other_free = canonicalize(&parse_cq("Q(a, b) :- R(a, b), S(b, c)").unwrap());
+        assert_ne!(path.text, other_free.text, "free set matters");
+    }
+
+    #[test]
+    fn symmetric_cycle_needs_the_search_phase() {
+        // A 4-cycle with one relation name: refinement cannot split the
+        // variables (all are structurally identical), so only the
+        // minimal-labeling search keeps rotations/reflections together.
+        let cycle = |order: &[(u32, u32)]| {
+            let atoms = order
+                .iter()
+                .map(|&(x, y)| Atom {
+                    name: "E".into(),
+                    vars: [Var(x), Var(y)].into_iter().collect(),
+                })
+                .collect();
+            Cq::new(
+                vec!["a".into(), "b".into(), "c".into(), "d".into()],
+                atoms,
+                VarSet::EMPTY,
+            )
+            .unwrap()
+        };
+        let base = canonicalize(&cycle(&[(0, 1), (1, 2), (2, 3), (3, 0)]));
+        // A rotation of the cycle: a→b→c→d→a relabeled b→c→d→a→b.
+        let rotated = canonicalize(&cycle(&[(1, 2), (2, 3), (3, 0), (0, 1)]));
+        assert_eq!(base.text, rotated.text);
+        let perm_variant = rename(
+            &cycle(&[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            &[2, 3, 0, 1],
+            true,
+        );
+        assert_eq!(canonicalize(&perm_variant).text, base.text);
+    }
+
+    #[test]
+    fn maps_are_mutually_inverse_and_canonical_text_reparses() {
+        let q = parse_cq("Q(a) :- R(a, b), S(b, c), T(c, a)").unwrap();
+        let c = canonicalize(&q);
+        for i in 0..q.num_vars() as usize {
+            assert_eq!(c.from_canon[c.to_canon[i].index()], Var(i as u32));
+        }
+        // The canonical text is valid parse_cq input, and canonicalizing
+        // its parse lands back on the same canonical form.
+        let reparsed = parse_cq(&c.text).unwrap();
+        assert_eq!(canonicalize(&reparsed).text, c.text);
+    }
+
+    #[test]
+    fn boolean_and_single_atom_queries_canonicalize() {
+        let b = canonicalize(&parse_cq("Q() :- R(x, y), R(y, x)").unwrap());
+        let b2 = canonicalize(&parse_cq("Q() :- R(u, w), R(w, u)").unwrap());
+        assert_eq!(b.text, b2.text);
+        let s = canonicalize(&parse_cq("Q(a, b) :- R(a, b)").unwrap());
+        assert_eq!(s.text, "Q(v0, v1) :- R(v0, v1)");
+    }
+}

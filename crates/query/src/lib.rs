@@ -16,12 +16,14 @@
 //!   textbook Yannakakis algorithm.
 
 pub mod baseline;
+mod canon;
 mod corpus;
 mod cover;
 mod cq;
 mod ghd;
 mod parser;
 
+pub use canon::{canonicalize, CanonicalCq, CANON_SEARCH_CAP};
 pub use corpus::{bowtie, full_star, k_cycle, k_path, k_star, loomis_whitney, snowflake, triangle};
 pub use cover::{fractional_cover_of, fractional_edge_cover, CoverError, EdgeCover};
 pub use cq::{Atom, Cq, CqError, Hypergraph};

@@ -1,0 +1,158 @@
+//! Plan-cache keys: what must match for two requests to share one
+//! compiled circuit.
+//!
+//! A compiled circuit is reusable for a request exactly when three
+//! things agree:
+//!
+//! 1. **The query, up to alpha-equivalence.** Variable names and atom
+//!    order are spelling, not semantics; [`qec_query::canonicalize`]
+//!    collapses them, and the key stores the canonical text.
+//! 2. **The degree-constraint signature.** The circuit's shape is a
+//!    function of the constraints it was compiled under, so the key
+//!    carries a canonical rendering of the (canonicalized, bucketed)
+//!    constraint set.
+//! 3. **The capacity bucket.** A circuit compiled for capacity `B`
+//!    evaluates any instance with `≤ B` tuples per relation — the input
+//!    encoding pads unused slots with dummies and the decoded relation
+//!    is identical (set semantics). Rounding the requested cardinality
+//!    up to the next power of two trades at most 2× circuit size for a
+//!    logarithmic number of distinct cache entries per query.
+
+use qec_query::CanonicalCq;
+use qec_relation::{DcSet, DegreeConstraint};
+
+/// A plan-cache key. Two requests with equal keys are served by the
+/// same compiled circuit.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical query text ([`CanonicalCq::text`]).
+    pub query: String,
+    /// Canonical degree-constraint signature ([`dc_signature`]).
+    pub dc_sig: String,
+    /// Capacity bucket ([`bucket_n`]).
+    pub n_bucket: u64,
+}
+
+impl PlanKey {
+    /// Stable 64-bit FNV-1a hash of the key — used for shard selection
+    /// and persisted-plan file names (stable across processes, unlike
+    /// `DefaultHasher`).
+    pub fn fnv64(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.query.as_bytes());
+        eat(&[0xff]);
+        eat(self.dc_sig.as_bytes());
+        eat(&[0xff]);
+        eat(&self.n_bucket.to_le_bytes());
+        h
+    }
+}
+
+/// Rounds a requested per-relation cardinality up to its cache bucket
+/// (next power of two, minimum 1).
+pub fn bucket_n(n: u64) -> u64 {
+    n.max(1).next_power_of_two()
+}
+
+/// Maps a constraint set into canonical variable space. `DcSet`
+/// construction re-sorts and dedups, so the result is deterministic
+/// regardless of input order.
+pub fn canonical_dcs(dcs: &DcSet, canon: &CanonicalCq) -> DcSet {
+    DcSet::from_vec(
+        dcs.iter()
+            .map(|dc| DegreeConstraint {
+                on: canon.map_set(dc.on),
+                of: canon.map_set(dc.of),
+                bound: dc.bound,
+            })
+            .collect(),
+    )
+}
+
+/// Canonical single-line rendering of a constraint set. `DcSet` stores
+/// constraints sorted with tightest-bound dedup, so equal sets render
+/// equally; the rendering contains no spaces (it is embedded in the
+/// persisted-plan meta format, which is line- and space-delimited).
+pub fn dc_signature(dcs: &DcSet) -> String {
+    let mut out = String::new();
+    for (i, dc) in dcs.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        let ids = |s: qec_relation::VarSet| {
+            s.iter()
+                .map(|v| v.index().to_string())
+                .collect::<Vec<_>>()
+                .join(".")
+        };
+        out.push_str(&format!("{}|{}|{}", ids(dc.on), ids(dc.of), dc.bound));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec_query::{canonicalize, parse_cq};
+    use qec_relation::{Var, VarSet};
+
+    fn vs(bits: &[u32]) -> VarSet {
+        bits.iter().map(|&i| Var(i)).collect()
+    }
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_n(0), 1);
+        assert_eq!(bucket_n(1), 1);
+        assert_eq!(bucket_n(5), 8);
+        assert_eq!(bucket_n(8), 8);
+        assert_eq!(bucket_n(9), 16);
+    }
+
+    #[test]
+    fn alpha_variants_share_a_key() {
+        let mk = |src: &str| {
+            let cq = parse_cq(src).unwrap();
+            let canon = canonicalize(&cq);
+            let dcs = DcSet::from_vec(
+                canon
+                    .cq
+                    .atoms
+                    .iter()
+                    .map(|a| DegreeConstraint::cardinality(a.vars, 8))
+                    .collect(),
+            );
+            PlanKey {
+                query: canon.text.clone(),
+                dc_sig: dc_signature(&dcs),
+                n_bucket: 8,
+            }
+        };
+        let a = mk("Q(x, z) :- R(x, y), S(y, z)");
+        let b = mk("Q(p, q) :- S(m, q), R(p, m)");
+        assert_eq!(a, b);
+        assert_eq!(a.fnv64(), b.fnv64());
+        let c = mk("Q(x, z) :- R(x, y), T(y, z)");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn signature_is_order_insensitive() {
+        let d1 = DcSet::from_vec(vec![
+            DegreeConstraint::cardinality(vs(&[0, 1]), 8),
+            DegreeConstraint::cardinality(vs(&[1, 2]), 8),
+        ]);
+        let d2 = DcSet::from_vec(vec![
+            DegreeConstraint::cardinality(vs(&[1, 2]), 8),
+            DegreeConstraint::cardinality(vs(&[0, 1]), 8),
+        ]);
+        assert_eq!(dc_signature(&d1), dc_signature(&d2));
+        assert!(!dc_signature(&d1).contains(' '));
+    }
+}
