@@ -1,7 +1,7 @@
 //! Optimizer benchmarks: the cost of `optimize` itself on the ≥ 10⁵-gate
 //! degree-bounded join circuit, and the evaluation payoff — the batched
-//! engine over the raw tape (`compile_raw`) against the optimized tape
-//! (`compile`). The headline comparison is `eval_batch/raw` vs
+//! engine over the raw tape (optimizer off) against the optimized tape.
+//! The headline comparison is `eval_batch/raw` vs
 //! `eval_batch/optimized`; the acceptance bar for the optimizer is a
 //! ≥ 15% throughput gain there.
 

@@ -81,6 +81,13 @@ pub enum Divergence {
         /// What went wrong, including got/want digests on mismatch.
         detail: String,
     },
+    /// The networked two-party GMW session diverged from the in-process
+    /// batched reference or from plaintext evaluation, or errored where
+    /// the reference did not.
+    Mpc {
+        /// What went wrong, including got/want digests on mismatch.
+        detail: String,
+    },
 }
 
 impl Divergence {
@@ -125,6 +132,9 @@ impl fmt::Display for Divergence {
             }
             Divergence::Serve { detail } => {
                 write!(f, "serving layer diverged from direct evaluation: {detail}")
+            }
+            Divergence::Mpc { detail } => {
+                write!(f, "networked GMW session diverged: {detail}")
             }
         }
     }
@@ -516,6 +526,87 @@ pub fn run_case(
                              got {got:?}, want {word_want:?}"
                         ),
                     });
+                }
+            }
+        }
+
+        // Stage 5e: the networked two-party GMW session. Two `Session`s
+        // wired through a `Duplex` pair on the round-optimal gmw
+        // schedule must reproduce the in-process batched reference
+        // (`evaluate_shared_batch`) result for result — including which
+        // instances fail which assertions — and match plaintext
+        // wherever the reference succeeds, at exactly one message per
+        // AND-bearing level.
+        {
+            use qec_mpc::{evaluate_shared_batch, share_instances, Duplex, PackedDealer};
+            let eng = qec_circuit::CompiledBitCircuit::compile_gmw(&bits);
+            let batch: Vec<Vec<bool>> = instances[..3].to_vec();
+            let steps = eng.stats().and_ops as usize;
+            let (s0, s1) = share_instances(&batch, case.seed ^ 0x6a3);
+            let dealer = PackedDealer::new(steps, 1, case.seed ^ 0x15e);
+            let (want, _) =
+                evaluate_shared_batch(&eng, &s0, &s1, &dealer).map_err(|e| Divergence::Mpc {
+                    detail: format!("in-process reference failed: {e}"),
+                })?;
+            let (t0, t1) = PackedDealer::new(steps, 1, case.seed ^ 0x15e).split();
+            let (d0, d1) = Duplex::pair();
+            let (o0, o1) = std::thread::scope(|scope| {
+                let eng = &eng;
+                let (s1ref, t1m, d1m) = (&s1, t1, d1);
+                let h = scope.spawn(move || {
+                    qec_mpc::Session::new(eng, qec_mpc::Role::P1, d1m, t1m)
+                        .with_words(1)
+                        .run(s1ref)
+                });
+                let o0 = qec_mpc::Session::new(eng, qec_mpc::Role::P0, d0, t0)
+                    .with_words(1)
+                    .run(&s0);
+                (o0, h.join().expect("P1 session thread"))
+            });
+            let o0 = o0.map_err(|e| Divergence::Mpc {
+                detail: format!("party 0 session failed: {e}"),
+            })?;
+            let o1 = o1.map_err(|e| Divergence::Mpc {
+                detail: format!("party 1 session failed: {e}"),
+            })?;
+            for (party, o) in [(0, &o0), (1, &o1)] {
+                if o.results != want {
+                    return Err(Divergence::Mpc {
+                        detail: format!(
+                            "party {party} session results differ from evaluate_shared_batch: \
+                             got {:?}, want {want:?}",
+                            o.results
+                        ),
+                    });
+                }
+                if o.stats.rounds != eng.stats().and_levels as u64 {
+                    return Err(Divergence::Mpc {
+                        detail: format!(
+                            "party {party} used {} rounds for {} AND levels",
+                            o.stats.rounds,
+                            eng.stats().and_levels
+                        ),
+                    });
+                }
+            }
+            for (i, want_plain) in reference.iter().take(batch.len()).enumerate() {
+                match (want_plain, &o0.results[i]) {
+                    (Ok(p), Ok(got)) if got == p => {}
+                    (Ok(p), got) => {
+                        return Err(Divergence::Mpc {
+                            detail: format!(
+                                "instance {i}: session got {got:?}, plaintext wants Ok({p:?})"
+                            ),
+                        });
+                    }
+                    (Err(_), Err(qec_mpc::MpcError::AssertionFailed(_))) => {}
+                    (Err(e), got) => {
+                        return Err(Divergence::Mpc {
+                            detail: format!(
+                                "instance {i}: plaintext rejects with {e} but session got {got:?}"
+                            ),
+                        });
+                    }
                 }
             }
         }

@@ -231,6 +231,12 @@ pub struct BitEngineStats {
     pub peak_registers: usize,
     /// Scheduling levels (operands always at strictly lower levels).
     pub num_levels: usize,
+    /// Levels containing at least one AND instruction — the number of
+    /// communication rounds a level-batched GMW evaluation of this tape
+    /// needs. Under [`CompiledBitCircuit::compile_gmw`] this equals the
+    /// circuit's multiplicative (AND) depth; under the default schedule
+    /// it can be larger (XOR/NOT levels split AND generations).
+    pub and_levels: usize,
     /// AND instructions (one packed Beaver triple each under GMW).
     pub and_ops: u64,
     /// XOR instructions (local/free under GMW).
@@ -262,6 +268,9 @@ pub struct BitScratch {
 /// [`compile_bits_with`].
 pub struct CompiledBitCircuit {
     tape: Vec<BitOp>,
+    /// Tape offset where each level begins, plus a final sentinel:
+    /// level `l` spans `tape[level_starts[l] .. level_starts[l + 1]]`.
+    level_starts: Vec<u32>,
     output_regs: Vec<BitReg>,
     num_regs: u32,
     num_inputs: usize,
@@ -315,9 +324,31 @@ impl CompiledBitCircuit {
     /// kernel (overridable per call or via `QEC_BITENGINE_KERNEL`).
     /// Infallible: every [`BitCircuit`] is evaluable.
     pub fn compile(bc: &BitCircuit) -> CompiledBitCircuit {
+        Self::compile_with_levels(bc, crate::lower::bit_levels(bc.gates()))
+    }
+
+    /// [`CompiledBitCircuit::compile`] under the GMW round schedule:
+    /// gates are grouped by *AND depth* rather than scheduling depth, so
+    /// every level either consists solely of AND gates of one
+    /// multiplicative generation or contains no ANDs at all. A
+    /// level-batched GMW evaluation of this tape exchanges exactly one
+    /// message per AND-bearing level — [`BitEngineStats::and_levels`]
+    /// equals [`BitCircuit::and_depth`], the protocol's round-optimal
+    /// count. Plaintext evaluation semantics are identical to
+    /// [`CompiledBitCircuit::compile`] (any topological level partition
+    /// evaluates the same circuit); only instruction order, register
+    /// assignment, and the level structure differ.
+    pub fn compile_gmw(bc: &BitCircuit) -> CompiledBitCircuit {
+        Self::compile_with_levels(bc, gmw_levels(bc.gates()))
+    }
+
+    /// Shared compile body over an arbitrary level partition. `levels`
+    /// must be topological: every operand strictly below its consumer —
+    /// the register allocator frees only at level boundaries and relies
+    /// on a level's destinations never aliasing its sources.
+    fn compile_with_levels(bc: &BitCircuit, levels: Vec<Vec<u32>>) -> CompiledBitCircuit {
         let gates = bc.gates();
         let n = gates.len();
-        let levels = crate::lower::bit_levels(gates);
 
         // --- liveness: last level reading each wire (u32::MAX = pinned) ---
         const PINNED: u32 = u32::MAX;
@@ -354,6 +385,7 @@ impl CompiledBitCircuit {
         let mut expire_at: Vec<Vec<BitReg>> = vec![Vec::new(); levels.len() + 1];
         let mut num_regs = 0u32;
         let mut tape = Vec::with_capacity(n);
+        let mut level_starts = Vec::with_capacity(levels.len() + 1);
         let mut stats = BitEngineStats {
             circuit_gates: n,
             num_levels: levels.len(),
@@ -361,6 +393,8 @@ impl CompiledBitCircuit {
         };
 
         for (level, members) in levels.iter().enumerate() {
+            level_starts.push(tape.len() as u32);
+            let ands_before = stats.and_ops;
             for &r in &expire_at[level] {
                 free.push(r);
             }
@@ -419,13 +453,18 @@ impl CompiledBitCircuit {
                 };
                 tape.push(op);
             }
+            if stats.and_ops > ands_before {
+                stats.and_levels += 1;
+            }
         }
+        level_starts.push(tape.len() as u32);
         stats.tape_len = tape.len();
         stats.peak_registers = num_regs as usize;
 
         let output_regs = bc.outputs().iter().map(|&w| reg_of[w as usize]).collect();
         CompiledBitCircuit {
             tape,
+            level_starts,
             output_regs,
             num_regs,
             num_inputs: bc.num_inputs(),
@@ -464,6 +503,67 @@ impl CompiledBitCircuit {
     /// secret-shared register files.
     pub fn ops(&self) -> &[BitOp] {
         &self.tape
+    }
+
+    /// Tape offsets of the scheduling levels plus a final sentinel:
+    /// level `l` spans `ops()[level_starts()[l] as usize ..
+    /// level_starts()[l + 1] as usize]`. Operands of every instruction
+    /// sit at strictly lower levels, which is what lets a GMW session
+    /// batch all AND openings of one level into a single message.
+    pub fn level_starts(&self) -> &[u32] {
+        &self.level_starts
+    }
+
+    /// Structural fingerprint of the compiled tape (FNV-1a-64 over the
+    /// instruction stream, output registers, and input arity). Two
+    /// parties that compiled the same [`BitCircuit`] with the same
+    /// schedule get the same fingerprint — the networked GMW handshake
+    /// compares these before spending any triples.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.tape.len() * 13 + 16);
+        for op in &self.tape {
+            match *op {
+                BitOp::Input { dst, idx } => {
+                    bytes.push(0);
+                    bytes.extend_from_slice(&dst.to_le_bytes());
+                    bytes.extend_from_slice(&idx.to_le_bytes());
+                }
+                BitOp::Const { dst, v } => {
+                    bytes.push(1);
+                    bytes.extend_from_slice(&dst.to_le_bytes());
+                    bytes.push(v as u8);
+                }
+                BitOp::Xor { dst, a, b } => {
+                    bytes.push(2);
+                    bytes.extend_from_slice(&dst.to_le_bytes());
+                    bytes.extend_from_slice(&a.to_le_bytes());
+                    bytes.extend_from_slice(&b.to_le_bytes());
+                }
+                BitOp::And { dst, a, b } => {
+                    bytes.push(3);
+                    bytes.extend_from_slice(&dst.to_le_bytes());
+                    bytes.extend_from_slice(&a.to_le_bytes());
+                    bytes.extend_from_slice(&b.to_le_bytes());
+                }
+                BitOp::Not { dst, a } => {
+                    bytes.push(4);
+                    bytes.extend_from_slice(&dst.to_le_bytes());
+                    bytes.extend_from_slice(&a.to_le_bytes());
+                }
+                BitOp::AssertFalse { dst, a, gate } => {
+                    bytes.push(5);
+                    bytes.extend_from_slice(&dst.to_le_bytes());
+                    bytes.extend_from_slice(&a.to_le_bytes());
+                    bytes.extend_from_slice(&gate.to_le_bytes());
+                }
+            }
+        }
+        for &r in &self.output_regs {
+            bytes.extend_from_slice(&r.to_le_bytes());
+        }
+        bytes.extend_from_slice(&(self.num_inputs as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.num_regs.to_le_bytes());
+        crate::tape::fnv1a64(&bytes)
     }
 
     /// Registers the kernel needs (`num_regs × words` scratch words).
@@ -641,6 +741,96 @@ impl CompiledBitCircuit {
             _ => unreachable!("wide kernels are never available off x86_64"),
         }
     }
+}
+
+/// Groups bit gates into the GMW round schedule: pure-AND levels, one
+/// per multiplicative generation, interleaved with local (XOR/NOT/
+/// assert/input/const) levels.
+///
+/// Let `ad(g)` be the AND depth (inputs/constants 0, XOR/NOT/assert
+/// transparent, AND = max of operands + 1) and `D` the circuit's AND
+/// depth. The schedule is
+///
+/// ```text
+/// locals(ad=0) · ANDs(ad=1) · locals(ad=1) · … · ANDs(ad=D) · locals(ad=D)
+/// ```
+///
+/// where each `locals(ad=r)` block is further split into dependency
+/// sub-levels (an XOR chain inside one generation still needs its
+/// operands at strictly lower levels). Exactly `D` levels contain ANDs:
+/// an AND of generation `r` reads only wires of generation `< r`, so
+/// every generation's openings fit in one message — the textbook
+/// GMW round complexity.
+fn gmw_levels(gates: &[BGate]) -> Vec<Vec<u32>> {
+    let n = gates.len();
+    // AND depth per gate, and dependency sub-depth within the gate's
+    // own generation (non-AND gates only; an operand from an earlier
+    // generation — or this generation's AND level — contributes 0).
+    let mut ad = vec![0u32; n];
+    let mut sd = vec![0u32; n];
+    let mut max_ad = 0u32;
+    for i in 0..n {
+        let contrib = |o: u32, r: u32, ad: &[u32], sd: &[u32]| -> u32 {
+            if ad[o as usize] < r || matches!(gates[o as usize], BGate::And(_, _)) {
+                0
+            } else {
+                sd[o as usize] + 1
+            }
+        };
+        match gates[i] {
+            BGate::Input(_) | BGate::Const(_) => {}
+            BGate::And(a, b) => {
+                ad[i] = ad[a as usize].max(ad[b as usize]) + 1;
+            }
+            BGate::Xor(a, b) => {
+                ad[i] = ad[a as usize].max(ad[b as usize]);
+                sd[i] = contrib(a, ad[i], &ad, &sd).max(contrib(b, ad[i], &ad, &sd));
+            }
+            BGate::Not(a) | BGate::AssertFalse(a) => {
+                ad[i] = ad[a as usize];
+                sd[i] = contrib(a, ad[i], &ad, &sd);
+            }
+        }
+        max_ad = max_ad.max(ad[i]);
+    }
+    let d = max_ad as usize;
+
+    // Sub-levels each generation's local block needs.
+    let mut sub_count = vec![0u32; d + 1];
+    for i in 0..n {
+        if !matches!(gates[i], BGate::And(_, _)) {
+            let r = ad[i] as usize;
+            sub_count[r] = sub_count[r].max(sd[i] + 1);
+        }
+    }
+    // Global level index of each generation's local block and AND level.
+    let mut local_base = vec![0u32; d + 1];
+    let mut and_level = vec![0u32; d + 1]; // index 0 unused
+    let mut next = 0u32;
+    for r in 0..=d {
+        local_base[r] = next;
+        next += sub_count[r];
+        if r < d {
+            and_level[r + 1] = next;
+            next += 1;
+        }
+    }
+
+    let mut levels: Vec<Vec<u32>> = vec![Vec::new(); next as usize];
+    for i in 0..n {
+        let l = if matches!(gates[i], BGate::And(_, _)) {
+            and_level[ad[i] as usize]
+        } else {
+            local_base[ad[i] as usize] + sd[i]
+        };
+        levels[l as usize].push(i as u32);
+    }
+    // A generation with no local gates leaves no slot behind (its
+    // sub_count is 0), so every emitted level is non-empty — but an
+    // empty circuit yields no levels at all, which the allocator
+    // handles.
+    debug_assert!(levels.iter().all(|l| !l.is_empty()));
+    levels
 }
 
 /// Mask of lanes `[lane_base, lane_base + 64)` that index a real
@@ -874,6 +1064,54 @@ mod tests {
             let got = eng.evaluate_batch_kernel(&instances, k, &mut scratch);
             assert_eq!(base, got, "kernel {} diverged", k.name());
         }
+    }
+
+    #[test]
+    fn gmw_schedule_matches_default_schedule_and_reaches_and_depth() {
+        let bits = sample_bits();
+        let eng = CompiledBitCircuit::compile(&bits);
+        let gmw = CompiledBitCircuit::compile_gmw(&bits);
+        // Same circuit, same semantics — only the schedule differs.
+        assert_eq!(gmw.stats().tape_len, eng.stats().tape_len);
+        assert_eq!(gmw.num_inputs(), eng.num_inputs());
+        let instances: Vec<Vec<bool>> = (0..130u64)
+            .map(|i| bits.pack_inputs(&[i % 19, i * 5 % 23]))
+            .collect();
+        assert_eq!(
+            gmw.evaluate_batch(&instances),
+            eng.evaluate_batch(&instances)
+        );
+        // The round count: AND-bearing levels == multiplicative depth
+        // under the GMW schedule, ≥ it under the scheduling-depth one.
+        assert_eq!(gmw.stats().and_levels, bits.and_depth() as usize);
+        assert!(eng.stats().and_levels >= gmw.stats().and_levels);
+        // Level structure is well-formed and AND levels are pure.
+        let starts = gmw.level_starts();
+        assert_eq!(starts.len(), gmw.stats().num_levels + 1);
+        assert_eq!(*starts.last().unwrap() as usize, gmw.ops().len());
+        for l in 0..gmw.stats().num_levels {
+            let ops = &gmw.ops()[starts[l] as usize..starts[l + 1] as usize];
+            assert!(!ops.is_empty());
+            let ands = ops
+                .iter()
+                .filter(|o| matches!(o, BitOp::And { .. }))
+                .count();
+            assert!(ands == 0 || ands == ops.len(), "level {l} mixes ANDs");
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_schedules_not_runs() {
+        let bits = sample_bits();
+        let a = CompiledBitCircuit::compile(&bits);
+        let b = CompiledBitCircuit::compile(&bits);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let gmw = CompiledBitCircuit::compile_gmw(&bits);
+        assert_eq!(
+            gmw.fingerprint(),
+            CompiledBitCircuit::compile_gmw(&bits).fingerprint()
+        );
+        assert_ne!(a.fingerprint(), 0);
     }
 
     #[test]

@@ -197,9 +197,8 @@ impl PipelineReport {
 
 impl CompiledCircuit {
     /// Compiles `c` into a register-allocated instruction tape under
-    /// `opts` — the single driver behind the deprecated
-    /// [`CompiledCircuit::compile`] / [`CompiledCircuit::compile_raw`]
-    /// pair. When `opts.optimize` is set the word-level optimizer runs
+    /// `opts` — the single compile entry point.
+    /// When `opts.optimize` is set the word-level optimizer runs
     /// first (on `opts.pool`; byte-identical for every worker count) and
     /// assertion failures keep reporting **source** gate indices via
     /// [`OptStats::assert_origin`]. Fails with [`EvalError::CountOnly`]

@@ -36,7 +36,6 @@
 //! because gate values are pure functions of the inputs so the engine
 //! can keep evaluating past a failure and take the minimum.
 
-use crate::driver::CompileOptions;
 use crate::ir::{Circuit, EvalError, Gate, WireId};
 use crate::opt::OptStats;
 
@@ -218,29 +217,6 @@ pub struct CompiledCircuit {
 }
 
 impl CompiledCircuit {
-    /// Compiles `c` with the optimizer under environment defaults —
-    /// equivalent to [`CompiledCircuit::compile_with`] with
-    /// [`CompileOptions::from_env`], discarding the report.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CompiledCircuit::compile_with(c, &CompileOptions::from_env())`"
-    )]
-    pub fn compile(c: &Circuit) -> Result<CompiledCircuit, EvalError> {
-        Self::compile_with(c, &CompileOptions::from_env()).map(|(eng, _)| eng)
-    }
-
-    /// Compiles `c` exactly as written, without the optimizer pass —
-    /// equivalent to [`CompiledCircuit::compile_with`] with
-    /// `optimize` off, discarding the report.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `CompiledCircuit::compile_with(c, &opts.with_optimize(false))`"
-    )]
-    pub fn compile_raw(c: &Circuit) -> Result<CompiledCircuit, EvalError> {
-        Self::compile_with(c, &CompileOptions::sequential().with_optimize(false))
-            .map(|(eng, _)| eng)
-    }
-
     /// The tape/register-allocation stage, shared by every compile entry
     /// point. `origin` carries the optimizer's assert-origin map when the
     /// input circuit is an optimized image of some source circuit.
@@ -875,6 +851,7 @@ unsafe fn exec_op<I: AsRef<[u64]>>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::CompileOptions;
     use crate::ir::{Builder, Mode};
 
     fn compile(c: &Circuit) -> Result<CompiledCircuit, EvalError> {

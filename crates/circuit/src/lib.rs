@@ -61,13 +61,9 @@ pub use engine::{CompiledCircuit, EngineStats, EvalMetrics, GATE_KINDS};
 pub use ir::{Builder, Circuit, EvalError, Gate, Mode, WireId};
 pub use join::{join_degree_bounded, join_pk, semijoin};
 pub use join_out::join_output_bounded;
-#[allow(deprecated)]
-pub use lower::{lower, lower_with_pool, optimize_bits, optimize_bits_with_pool};
 pub use lower::{lower_with, optimize_bits_with, BitCircuit, BitEvalScratch, BitOptStats};
 pub use netlist::{read_netlist, write_netlist, NetlistError};
 pub use ops::{aggregate, project, select, truncate, union, AggOp};
-#[allow(deprecated)]
-pub use opt::{optimize, optimize_with_pool};
 pub use opt::{optimize_with, OptStats};
 pub use qec_par::Pool;
 pub use rel::{
@@ -77,7 +73,7 @@ pub use rel::{
 pub use scan::{scan, segmented_scan};
 pub use schedule::{brent_steps, evaluate_levelized, level_widths};
 pub use sort::{sort_slots, sort_slots_network, SortKey, SortNetwork};
-pub use tape::{lower_streamed, BitTape, StreamOptions, StreamStats, TapeError, WordTape};
+pub use tape::{fnv1a64, lower_streamed, BitTape, StreamOptions, StreamStats, TapeError, WordTape};
 pub use validate::{
     validate, validate_bit_tape, validate_bits, validate_opt, validate_word_tape, ValidateError,
 };

@@ -1032,25 +1032,6 @@ pub fn lower_with(c: &Circuit, width: u32, opts: &CompileOptions) -> BitCircuit 
     bc
 }
 
-/// Sequential alias for [`lower_with`], kept for source compatibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `lower_with(c, width, &CompileOptions::sequential())`"
-)]
-pub fn lower(c: &Circuit, width: u32) -> BitCircuit {
-    lower_with(c, width, &CompileOptions::sequential())
-}
-
-/// Pool-selecting alias for [`lower_with`], kept for source
-/// compatibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `lower_with(c, width, &CompileOptions::sequential().with_pool(pool))`"
-)]
-pub fn lower_with_pool(c: &Circuit, width: u32, pool: &Pool) -> BitCircuit {
-    lower_with(c, width, &CompileOptions::sequential().with_pool(*pool))
-}
-
 // ===================== parallel bit optimizer =====================
 
 /// Placeholder returned by [`BitSpec`] for a not-yet-committed creation.
@@ -1327,26 +1308,6 @@ pub fn optimize_bits_with(bc: &BitCircuit, opts: &CompileOptions) -> (BitCircuit
         rec.add("opt_bits.dead", st.dead);
     }
     (opt, st)
-}
-
-/// Sequential alias for [`optimize_bits_with`], kept for source
-/// compatibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `optimize_bits_with(bc, &CompileOptions::sequential())`"
-)]
-pub fn optimize_bits(bc: &BitCircuit) -> (BitCircuit, BitOptStats) {
-    optimize_bits_with(bc, &CompileOptions::sequential())
-}
-
-/// Pool-selecting alias for [`optimize_bits_with`], kept for source
-/// compatibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `optimize_bits_with(bc, &CompileOptions::sequential().with_pool(pool))`"
-)]
-pub fn optimize_bits_with_pool(bc: &BitCircuit, pool: &Pool) -> (BitCircuit, BitOptStats) {
-    optimize_bits_with(bc, &CompileOptions::sequential().with_pool(*pool))
 }
 
 #[cfg(test)]

@@ -1020,26 +1020,6 @@ pub fn optimize_with(c: &Circuit, opts: &CompileOptions) -> (Circuit, OptStats) 
     (opt, st)
 }
 
-/// Sequential alias for [`optimize_with`], kept for source
-/// compatibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `optimize_with(c, &CompileOptions::sequential())`"
-)]
-pub fn optimize(c: &Circuit) -> (Circuit, OptStats) {
-    optimize_with(c, &CompileOptions::sequential())
-}
-
-/// Pool-selecting alias for [`optimize_with`], kept for source
-/// compatibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `optimize_with(c, &CompileOptions::sequential().with_pool(pool))`"
-)]
-pub fn optimize_with_pool(c: &Circuit, pool: &Pool) -> (Circuit, OptStats) {
-    optimize_with(c, &CompileOptions::sequential().with_pool(*pool))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

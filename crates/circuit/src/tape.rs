@@ -216,7 +216,9 @@ pub const NARROW_LIMIT: u64 = 1 << 30;
 /// Fixed header: magic + 4 u32 fields + 4 u64 fields.
 const HEADER_BYTES: usize = 8 + 4 * 4 + 4 * 8;
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a-64 over a byte slice — the checksum of the tape container and
+/// of `qec-mpc`'s wire frames (which reuse this container's style).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

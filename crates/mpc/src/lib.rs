@@ -4,118 +4,88 @@
 //! GMW-style protocol over XOR secret shares: each bit of the (lowered)
 //! query circuit's input is split into two shares whose XOR is the true
 //! value. XOR and NOT gates are evaluated locally; each AND gate consumes
-//! one precomputed *Beaver multiplication triple* and one round of share
-//! exchange. The protocol transcript each party sees is independent of
-//! the other party's data — which is exactly why the paper insists on
-//! circuits: the circuit *is* the oblivious algorithm, and its
+//! one precomputed *Beaver multiplication triple* and one share exchange.
+//! The protocol transcript each party sees is independent of the other
+//! party's data — which is exactly why the paper insists on circuits:
+//! the circuit *is* the oblivious algorithm, and its
 //!
 //! * **size** (AND count) drives communication and computation,
 //! * **depth** (AND depth) drives round complexity.
 //!
-//! The dealer generating triples is simulated in-process (the standard
-//! "trusted dealer"/offline-phase model); the online phase is faithfully
-//! message-passing between two [`Party`] states, with a transcript you
-//! can inspect. No cryptographic hardness is claimed — this is the
-//! evaluation substrate the paper's protocols plug into, with exact cost
+//! The crate is layered along that split:
+//!
+//! * [`share`](mod@share) — XOR sharing of inputs and the transposed
+//!   lane-word packing of batches;
+//! * [`dealer`] — the offline phase: Beaver triple generation behind
+//!   the [`TripleSource`] streaming seam (in-memory, dealer files, or —
+//!   later — OT extension);
+//! * [`transport`] — framed, versioned, checksummed messages over the
+//!   [`Transport`] trait: in-process [`Duplex`], blocking
+//!   [`TcpTransport`], fault-injecting [`FaultTransport`];
+//! * [`protocol`] — the online phase: a networked [`Session`] per
+//!   party, exchanging **one message per AND level** of the compiled
+//!   tape (`stats.rounds == AND depth` under
+//!   [`CompiledBitCircuit::compile_gmw`]), plus single-process
+//!   reference evaluators ([`evaluate_shared`],
+//!   [`evaluate_shared_batch`]).
+//!
+//! The [`run_two_party`] / [`run_two_party_batched`] conveniences wire
+//! two [`Duplex`]-connected sessions onto two threads — same code path
+//! as a real deployment, minus the network. No cryptographic hardness
+//! is claimed for the dealer (it is the standard trusted-dealer model);
+//! the online phase is faithfully message-passing with exact cost
 //! accounting.
 
-use qec_circuit::bitengine::{BitOp, CompiledBitCircuit};
-use qec_circuit::lower::{BGate, BitCircuit};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qec_circuit::bitengine::CompiledBitCircuit;
+use qec_circuit::lower::BitCircuit;
 
-/// One Beaver triple share: `(a, b, c)` with `c = a ∧ b` across parties.
-#[derive(Clone, Copy, Debug)]
-pub struct TripleShare {
-    /// Share of `a`.
-    pub a: bool,
-    /// Share of `b`.
-    pub b: bool,
-    /// Share of `c = a ∧ b`.
-    pub c: bool,
-}
+pub mod dealer;
+pub mod protocol;
+pub mod share;
+pub mod transport;
 
-/// The trusted dealer's offline output: correlated triple shares.
-pub struct Dealer {
-    triples: (Vec<TripleShare>, Vec<TripleShare>),
-}
-
-impl Dealer {
-    /// Prepares `n` multiplication triples (deterministic in `seed`).
-    pub fn new(n: usize, seed: u64) -> Dealer {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut p0 = Vec::with_capacity(n);
-        let mut p1 = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (a, b) = (rng.gen::<bool>(), rng.gen::<bool>());
-            let c = a & b;
-            let (a0, b0, c0) = (rng.gen::<bool>(), rng.gen::<bool>(), rng.gen::<bool>());
-            p0.push(TripleShare {
-                a: a0,
-                b: b0,
-                c: c0,
-            });
-            p1.push(TripleShare {
-                a: a ^ a0,
-                b: b ^ b0,
-                c: c ^ c0,
-            });
-        }
-        Dealer { triples: (p0, p1) }
-    }
-}
-
-/// Secret-shares a bit vector between the two parties.
-pub fn share_bits(bits: &[bool], seed: u64) -> (Vec<bool>, Vec<bool>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let s0: Vec<bool> = bits.iter().map(|_| rng.gen()).collect();
-    let s1: Vec<bool> = bits.iter().zip(s0.iter()).map(|(&v, &m)| v ^ m).collect();
-    (s0, s1)
-}
-
-/// Per-party evaluation state.
-struct Party {
-    shares: Vec<bool>,
-    triples: Vec<TripleShare>,
-    input_shares: Vec<bool>,
-}
-
-impl Party {
-    /// Local phase of one AND gate: masks the operand shares with the
-    /// triple, returning `(d, e)` shares to be exchanged.
-    fn and_open(&self, x: bool, y: bool, t: usize) -> (bool, bool) {
-        let tr = self.triples[t];
-        (x ^ tr.a, y ^ tr.b)
-    }
-
-    /// Completion of an AND gate after `(d, e)` are publicly
-    /// reconstructed.
-    fn and_close(&self, d: bool, e: bool, t: usize, party_id: bool) -> bool {
-        let tr = self.triples[t];
-        // z = c ⊕ d·b ⊕ e·a ⊕ d·e  (the d·e term added by one party only)
-        let mut z = tr.c ^ (d & tr.b) ^ (e & tr.a);
-        if party_id {
-            z ^= d & e;
-        }
-        z
-    }
-}
+pub use dealer::{
+    write_triple_files, write_triples, Dealer, InsecureSeedTriples, PackedDealer, TripleSource,
+    TripleStream, TripleVec, TRIPLE_MAGIC, TRIPLE_VERSION,
+};
+pub use protocol::{evaluate_shared, evaluate_shared_batch, BatchedOutcome, Outcome, Session};
+pub use share::{pack_bits, share_bits, share_instances, unpack_bits, TripleShare};
+pub use transport::{
+    Duplex, Fault, FaultTransport, Frame, FrameKind, Role, TcpTransport, Transport,
+    DEFAULT_TIMEOUT, FRAME_HEADER_BYTES, FRAME_MAGIC, FRAME_TRAILER_BYTES, FRAME_VERSION,
+    MAX_FRAME_PAYLOAD,
+};
 
 /// Cost accounting of a protocol run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProtocolStats {
-    /// AND gates evaluated = triples consumed = 2-bit messages per party.
+    /// AND gates evaluated = scalar triples consumed (counted at the
+    /// full packed width in batched runs).
     pub and_gates: u64,
-    /// Communication rounds (AND depth of the circuit when batched by
-    /// level; here counted per sequential AND for simplicity of the
-    /// reference implementation, with the levelized figure reported
-    /// separately).
+    /// Online-phase bits whose transfer the protocol fundamentally
+    /// requires: 2 mask bits each direction per AND gate. The wire
+    /// carries these packed per level, plus framing — see
+    /// `bytes_sent`.
     pub messages_bits: u64,
     /// XOR/NOT gates (evaluated locally, no communication).
     pub free_gates: u64,
+    /// AND-level message exchanges. Equals the tape's AND-bearing level
+    /// count per block — and the circuit's AND *depth* under
+    /// [`CompiledBitCircuit::compile_gmw`]'s schedule.
+    pub rounds: u64,
+    /// Non-AND exchanges: the `Hello` handshake and one `Open` per
+    /// block (outputs + deferred asserts).
+    pub open_rounds: u64,
+    /// Bytes of encoded frames handed to the transport.
+    pub bytes_sent: u64,
+    /// Bytes of encoded frames received from the transport.
+    pub bytes_recv: u64,
 }
 
-/// Errors during protocol evaluation.
+/// Errors during protocol evaluation — including every way a broken or
+/// hostile wire can fail. The protocol never hangs past its transport
+/// timeout and never returns a silently wrong answer: each failure mode
+/// surfaces as one of these.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MpcError {
     /// Not enough Beaver triples were prepared.
@@ -129,6 +99,58 @@ pub enum MpcError {
     },
     /// An assertion gate in the circuit fired after reconstruction.
     AssertionFailed(usize),
+    /// The triple source's packed width disagrees with the session's.
+    TripleWidth {
+        /// Lane words the session runs at.
+        expected: usize,
+        /// Lane words the source yields.
+        got: usize,
+    },
+    /// A frame or file did not start with the expected magic bytes.
+    BadMagic,
+    /// A frame or file carried an unsupported version.
+    BadVersion {
+        /// The version encountered.
+        got: u32,
+    },
+    /// A frame's FNV-1a-64 trailer did not match its contents.
+    BadChecksum,
+    /// A structurally malformed frame (impossible length, unknown kind,
+    /// reserved bits set, payload shape disagreeing with the tape).
+    BadFrame(&'static str),
+    /// The peer's frame was for a different round than this party is in
+    /// (a dropped, duplicated or reordered message).
+    UnexpectedRound {
+        /// Round this party is executing.
+        expected: u32,
+        /// Round the peer's frame claims.
+        got: u32,
+    },
+    /// The peer's frame kind does not match the protocol phase.
+    UnexpectedKind {
+        /// Kind this phase calls for.
+        expected: FrameKind,
+        /// Kind received.
+        got: FrameKind,
+    },
+    /// A frame claimed to come from the wrong party.
+    RoleMismatch {
+        /// The peer role this session expects.
+        expected: Role,
+        /// The role the frame carried.
+        got: Role,
+    },
+    /// The two parties are not running the same tape/batch (handshake
+    /// fingerprint or geometry disagreement).
+    TapeMismatch(String),
+    /// Fewer bytes than a whole frame (or triple record) before EOF.
+    ShortRead,
+    /// The peer went silent past the transport timeout.
+    PeerTimeout,
+    /// The peer closed the connection.
+    PeerClosed,
+    /// An underlying I/O failure (socket, dealer file).
+    Io(String),
 }
 
 impl std::fmt::Display for MpcError {
@@ -139,355 +161,50 @@ impl std::fmt::Display for MpcError {
                 write!(f, "expected {expected} input bit shares, got {got}")
             }
             MpcError::AssertionFailed(g) => write!(f, "circuit assertion {g} failed"),
+            MpcError::TripleWidth { expected, got } => {
+                write!(
+                    f,
+                    "triple source yields {got} lane words, session needs {expected}"
+                )
+            }
+            MpcError::BadMagic => write!(f, "bad magic bytes"),
+            MpcError::BadVersion { got } => write!(f, "unsupported format version {got}"),
+            MpcError::BadChecksum => write!(f, "frame checksum mismatch"),
+            MpcError::BadFrame(why) => write!(f, "malformed frame: {why}"),
+            MpcError::UnexpectedRound { expected, got } => {
+                write!(f, "expected round {expected}, peer sent round {got}")
+            }
+            MpcError::UnexpectedKind { expected, got } => {
+                write!(f, "expected {expected:?} frame, peer sent {got:?}")
+            }
+            MpcError::RoleMismatch { expected, got } => {
+                write!(f, "expected frame from {expected}, got one from {got}")
+            }
+            MpcError::TapeMismatch(why) => write!(f, "parties disagree on the tape: {why}"),
+            MpcError::ShortRead => write!(f, "short read: stream ended mid-record"),
+            MpcError::PeerTimeout => write!(f, "peer went silent past the transport timeout"),
+            MpcError::PeerClosed => write!(f, "peer closed the connection"),
+            MpcError::Io(e) => write!(f, "transport i/o error: {e}"),
         }
     }
 }
 
 impl std::error::Error for MpcError {}
 
-/// Evaluates a lowered circuit under two-party XOR sharing. `shares0` and
-/// `shares1` are the parties' input-bit shares (their XOR is the true
-/// input). Returns the reconstructed output bits and the cost stats.
-///
-/// Assertion gates are reconstructed during evaluation (they are part of
-/// the query's *declared* constraints, so revealing their single bit
-/// leaks nothing beyond "the input conformed, as promised").
-pub fn evaluate_shared(
-    circuit: &BitCircuit,
-    shares0: &[bool],
-    shares1: &[bool],
-    dealer: Dealer,
-) -> Result<(Vec<bool>, ProtocolStats), MpcError> {
-    if shares0.len() != circuit.num_inputs() || shares1.len() != circuit.num_inputs() {
-        return Err(MpcError::InputLength {
-            expected: circuit.num_inputs(),
-            got: shares0.len().min(shares1.len()),
-        });
-    }
-    let mut p0 = Party {
-        shares: vec![false; circuit.gates().len()],
-        triples: dealer.triples.0,
-        input_shares: shares0.to_vec(),
-    };
-    let mut p1 = Party {
-        shares: vec![false; circuit.gates().len()],
-        triples: dealer.triples.1,
-        input_shares: shares1.to_vec(),
-    };
-    let mut stats = ProtocolStats::default();
-    let mut next_triple = 0usize;
-
-    for (i, g) in circuit.gates().iter().enumerate() {
-        match *g {
-            BGate::Input(idx) => {
-                p0.shares[i] = p0.input_shares[idx];
-                p1.shares[i] = p1.input_shares[idx];
-            }
-            BGate::Const(v) => {
-                // public constant: party 0 holds it, party 1 holds 0
-                p0.shares[i] = v;
-                p1.shares[i] = false;
-            }
-            BGate::Xor(a, b) => {
-                p0.shares[i] = p0.shares[a as usize] ^ p0.shares[b as usize];
-                p1.shares[i] = p1.shares[a as usize] ^ p1.shares[b as usize];
-                stats.free_gates += 1;
-            }
-            BGate::Not(a) => {
-                // negate on one side only
-                p0.shares[i] = !p0.shares[a as usize];
-                p1.shares[i] = p1.shares[a as usize];
-                stats.free_gates += 1;
-            }
-            BGate::And(a, b) => {
-                if next_triple >= p0.triples.len() {
-                    return Err(MpcError::OutOfTriples);
-                }
-                let (d0, e0) =
-                    p0.and_open(p0.shares[a as usize], p0.shares[b as usize], next_triple);
-                let (d1, e1) =
-                    p1.and_open(p1.shares[a as usize], p1.shares[b as usize], next_triple);
-                // exchange: both parties learn d = d0^d1, e = e0^e1
-                let (d, e) = (d0 ^ d1, e0 ^ e1);
-                p0.shares[i] = p0.and_close(d, e, next_triple, false);
-                p1.shares[i] = p1.and_close(d, e, next_triple, true);
-                next_triple += 1;
-                stats.and_gates += 1;
-                stats.messages_bits += 4; // two bits each direction
-            }
-            BGate::AssertFalse(a) => {
-                let v = p0.shares[a as usize] ^ p1.shares[a as usize];
-                if v {
-                    return Err(MpcError::AssertionFailed(i));
-                }
-            }
-        }
-    }
-    let outputs = circuit
-        .outputs()
-        .iter()
-        .map(|&w| p0.shares[w as usize] ^ p1.shares[w as usize])
-        .collect();
-    Ok((outputs, stats))
-}
-
-/// What every batched entry point returns: one `Result` per instance,
-/// in input order, plus the aggregate protocol stats for the whole
-/// batch.
-pub type BatchedOutcome = (Vec<Result<Vec<bool>, MpcError>>, ProtocolStats);
-
-/// The trusted dealer's offline output for the *batched* protocol:
-/// transposed triple shares, `words` lane words per packed AND step
-/// (64 triples per word — the dealer hands out `words × 64` scalar
-/// triples every time the tape executes one AND instruction).
-///
-/// Layout per step `s` and party: `[a₀..a_w, b₀..b_w, c₀..c_w]` at
-/// offset `s × 3 × words`, with `a ∧ b = c` lane-wise across parties.
-pub struct PackedDealer {
-    words: usize,
-    p0: Vec<u64>,
-    p1: Vec<u64>,
-}
-
-impl PackedDealer {
-    /// Prepares `steps` packed AND steps of `words` lane words each
-    /// (deterministic in `seed`). A batch of `B` instances over a
-    /// circuit with `A` AND instructions needs
-    /// `A × ceil(B / (words × 64))` steps — one fresh packed triple per
-    /// AND per block; triples are never reused across blocks.
-    pub fn new(steps: usize, words: usize, seed: u64) -> PackedDealer {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut p0 = Vec::with_capacity(steps * 3 * words);
-        let mut p1 = Vec::with_capacity(steps * 3 * words);
-        fn split(rng: &mut StdRng, plain: &[u64], p0: &mut Vec<u64>, p1: &mut Vec<u64>) {
-            for &v in plain {
-                let m = rng.gen::<u64>();
-                p0.push(m);
-                p1.push(v ^ m);
-            }
-        }
-        let mut a = vec![0u64; words];
-        let mut b = vec![0u64; words];
-        let mut c = vec![0u64; words];
-        for _ in 0..steps {
-            for w in 0..words {
-                a[w] = rng.gen::<u64>();
-                b[w] = rng.gen::<u64>();
-                c[w] = a[w] & b[w];
-            }
-            split(&mut rng, &a, &mut p0, &mut p1);
-            split(&mut rng, &b, &mut p0, &mut p1);
-            split(&mut rng, &c, &mut p0, &mut p1);
-        }
-        PackedDealer { words, p0, p1 }
-    }
-
-    /// Lane words per packed step.
-    pub fn words(&self) -> usize {
-        self.words
-    }
-
-    /// Packed AND steps prepared.
-    pub fn steps(&self) -> usize {
-        self.p0.len() / (3 * self.words)
-    }
-}
-
-/// Evaluates a batch of secret-shared instances over the bitsliced
-/// tape — the GMW local-computation inner loop running on
-/// [`CompiledBitCircuit`]'s register-allocated schedule. Each party
-/// holds one transposed register file (`num_regs × words` lane words);
-/// XOR/NOT/Const steps are local word ops on both files, and every AND
-/// instruction consumes one packed triple (`words × 64` scalar
-/// triples) with a single `(d, e)` word exchange for all lanes at once.
-///
-/// Returns one `Result` per instance, in order, plus aggregate stats.
-/// Stats count scalar-equivalent work at the dealer's full packed
-/// width: a ragged final block still burns (and communicates) whole
-/// lane words, exactly as a real deployment would.
-pub fn evaluate_shared_batch(
-    eng: &CompiledBitCircuit,
-    shares0: &[Vec<bool>],
-    shares1: &[Vec<bool>],
-    dealer: &PackedDealer,
-) -> Result<BatchedOutcome, MpcError> {
-    if shares0.len() != shares1.len() {
-        return Err(MpcError::InputLength {
-            expected: shares0.len(),
-            got: shares1.len(),
-        });
-    }
-    let words = dealer.words;
-    let lanes = words * 64;
-    let num_inputs = eng.num_inputs();
-    let nr = eng.num_regs() as usize;
-    let mut results = Vec::with_capacity(shares0.len());
-    let mut stats = ProtocolStats::default();
-    let mut next_step = 0usize;
-
-    let mut packed0 = vec![0u64; num_inputs * words];
-    let mut packed1 = vec![0u64; num_inputs * words];
-    let mut regs0 = vec![0u64; nr * words];
-    let mut regs1 = vec![0u64; nr * words];
-    let mut fail = vec![u32::MAX; lanes];
-    let mut d_pub = vec![0u64; words];
-    let mut e_pub = vec![0u64; words];
-
-    for block_start in (0..shares0.len()).step_by(lanes) {
-        let block_n = (shares0.len() - block_start).min(lanes);
-        let block0 = &shares0[block_start..block_start + block_n];
-        let block1 = &shares1[block_start..block_start + block_n];
-        pack_share_block(block0, num_inputs, words, &mut packed0);
-        pack_share_block(block1, num_inputs, words, &mut packed1);
-        for f in fail.iter_mut() {
-            *f = u32::MAX;
-        }
-
-        for op in eng.ops() {
-            match *op {
-                BitOp::Input { dst, idx } => {
-                    let (d, s) = (dst as usize * words, idx as usize * words);
-                    regs0[d..d + words].copy_from_slice(&packed0[s..s + words]);
-                    regs1[d..d + words].copy_from_slice(&packed1[s..s + words]);
-                }
-                BitOp::Const { dst, v } => {
-                    // public constant: party 0 holds it, party 1 holds 0
-                    let d = dst as usize * words;
-                    regs0[d..d + words].fill(if v { !0 } else { 0 });
-                    regs1[d..d + words].fill(0);
-                }
-                BitOp::Xor { dst, a, b } => {
-                    let (d, ra, rb) =
-                        (dst as usize * words, a as usize * words, b as usize * words);
-                    for w in 0..words {
-                        regs0[d + w] = regs0[ra + w] ^ regs0[rb + w];
-                        regs1[d + w] = regs1[ra + w] ^ regs1[rb + w];
-                    }
-                    stats.free_gates += lanes as u64;
-                }
-                BitOp::Not { dst, a } => {
-                    // negate on one side only
-                    let (d, ra) = (dst as usize * words, a as usize * words);
-                    for w in 0..words {
-                        regs0[d + w] = !regs0[ra + w];
-                        regs1[d + w] = regs1[ra + w];
-                    }
-                    stats.free_gates += lanes as u64;
-                }
-                BitOp::And { dst, a, b } => {
-                    if next_step >= dealer.steps() {
-                        return Err(MpcError::OutOfTriples);
-                    }
-                    let base = next_step * 3 * words;
-                    let (ta0, tb0, tc0) = (base, base + words, base + 2 * words);
-                    let (d, ra, rb) =
-                        (dst as usize * words, a as usize * words, b as usize * words);
-                    // local phase: mask operand shares with the triple,
-                    // then exchange (d, e) words — one message pair for
-                    // all lanes of this AND step
-                    for w in 0..words {
-                        d_pub[w] = (regs0[ra + w] ^ dealer.p0[ta0 + w])
-                            ^ (regs1[ra + w] ^ dealer.p1[ta0 + w]);
-                        e_pub[w] = (regs0[rb + w] ^ dealer.p0[tb0 + w])
-                            ^ (regs1[rb + w] ^ dealer.p1[tb0 + w]);
-                    }
-                    // z = c ⊕ d·b ⊕ e·a ⊕ d·e (d·e term on one party only)
-                    for w in 0..words {
-                        regs0[d + w] = dealer.p0[tc0 + w]
-                            ^ (d_pub[w] & dealer.p0[tb0 + w])
-                            ^ (e_pub[w] & dealer.p0[ta0 + w]);
-                        regs1[d + w] = dealer.p1[tc0 + w]
-                            ^ (d_pub[w] & dealer.p1[tb0 + w])
-                            ^ (e_pub[w] & dealer.p1[ta0 + w])
-                            ^ (d_pub[w] & e_pub[w]);
-                    }
-                    next_step += 1;
-                    stats.and_gates += lanes as u64;
-                    stats.messages_bits += 4 * lanes as u64; // two words each direction
-                }
-                BitOp::AssertFalse { dst, a, gate } => {
-                    let (d, ra) = (dst as usize * words, a as usize * words);
-                    for w in 0..words {
-                        let lane_base = w * 64;
-                        let valid = if block_n >= lane_base + 64 {
-                            !0u64
-                        } else if block_n <= lane_base {
-                            0
-                        } else {
-                            (1u64 << (block_n - lane_base)) - 1
-                        };
-                        let mut m = (regs0[ra + w] ^ regs1[ra + w]) & valid;
-                        while m != 0 {
-                            let lane = lane_base + m.trailing_zeros() as usize;
-                            if gate < fail[lane] {
-                                fail[lane] = gate;
-                            }
-                            m &= m - 1;
-                        }
-                        regs0[d + w] = 0;
-                        regs1[d + w] = 0;
-                    }
-                }
-            }
-        }
-
-        for (l, (s0, s1)) in block0.iter().zip(block1).enumerate() {
-            if s0.len() != num_inputs || s1.len() != num_inputs {
-                results.push(Err(MpcError::InputLength {
-                    expected: num_inputs,
-                    got: s0.len().min(s1.len()),
-                }));
-                continue;
-            }
-            if fail[l] != u32::MAX {
-                results.push(Err(MpcError::AssertionFailed(fail[l] as usize)));
-                continue;
-            }
-            let out = eng
-                .output_regs()
-                .iter()
-                .map(|&r| {
-                    let i = r as usize * words + l / 64;
-                    (regs0[i] ^ regs1[i]) >> (l % 64) & 1 == 1
-                })
-                .collect();
-            results.push(Ok(out));
-        }
-    }
-    Ok((results, stats))
-}
-
-/// Transposes one block of share vectors into input-major lane words.
-/// Wrong-arity instances contribute zeros; their lanes are reported as
-/// [`MpcError::InputLength`] and never read back.
-fn pack_share_block(block: &[Vec<bool>], num_inputs: usize, words: usize, out: &mut [u64]) {
-    out.fill(0);
-    for (l, inst) in block.iter().enumerate() {
-        if inst.len() != num_inputs {
-            continue;
-        }
-        let (word, bit) = (l / 64, l % 64);
-        for (idx, &b) in inst.iter().enumerate() {
-            if b {
-                out[idx * words + word] |= 1u64 << bit;
-            }
-        }
-    }
-}
-
 /// Convenience: full offline + online batched pipeline on plain
 /// instances at a packed width of `lanes` (rounded up to whole lane
-/// words; 64, 256 and 512 are the natural sizes). Compiles the tape,
-/// provisions exactly enough packed triples, shares every instance, and
-/// returns per-instance results — each equal to what
-/// [`run_two_party`] produces for that instance alone.
+/// words; 64, 256 and 512 are the natural sizes). Compiles the tape
+/// with the round-optimal GMW schedule, provisions exactly enough
+/// packed triples, shares every instance, and runs **two
+/// [`Session`]s over an in-process [`Duplex`] pair** — party 1 on its
+/// own thread — returning party 0's view.
 pub fn run_two_party_batched(
     circuit: &BitCircuit,
     instances: &[Vec<bool>],
     lanes: usize,
     seed: u64,
 ) -> Result<BatchedOutcome, MpcError> {
-    let eng = CompiledBitCircuit::compile(circuit);
+    let eng = CompiledBitCircuit::compile_gmw(circuit);
     run_two_party_batched_with(&eng, instances, lanes, seed)
 }
 
@@ -500,19 +217,59 @@ pub fn run_two_party_batched_with(
     seed: u64,
 ) -> Result<BatchedOutcome, MpcError> {
     let words = lanes.max(1).div_ceil(64);
-    let blocks = instances.len().div_ceil(words * 64).max(1);
-    let steps = eng.stats().and_ops as usize * blocks;
-    let dealer = PackedDealer::new(steps, words, seed);
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-    let mut shares0 = Vec::with_capacity(instances.len());
-    let mut shares1 = Vec::with_capacity(instances.len());
-    for inst in instances {
-        let s0: Vec<bool> = inst.iter().map(|_| rng.gen()).collect();
-        let s1: Vec<bool> = inst.iter().zip(&s0).map(|(&v, &m)| v ^ m).collect();
-        shares0.push(s0);
-        shares1.push(s1);
+    let num_inputs = eng.num_inputs();
+    let valid: Vec<&Vec<bool>> = instances.iter().filter(|i| i.len() == num_inputs).collect();
+    let mut results: Vec<Result<Vec<bool>, MpcError>> = instances
+        .iter()
+        .map(|i| {
+            Err(MpcError::InputLength {
+                expected: num_inputs,
+                got: i.len(),
+            })
+        })
+        .collect();
+    if valid.is_empty() {
+        return Ok((results, ProtocolStats::default()));
     }
-    evaluate_shared_batch(eng, &shares0, &shares1, &dealer)
+    let valid_insts: Vec<Vec<bool>> = valid.iter().map(|i| (*i).clone()).collect();
+    let blocks = valid_insts.len().div_ceil(words * 64);
+    let steps = eng.stats().and_ops as usize * blocks;
+    let (t0, t1) = PackedDealer::new(steps, words, seed).split();
+    let (s0, s1) = share_instances(&valid_insts, seed.wrapping_add(1));
+    let (o0, o1) = run_duplex_sessions(eng, words, t0, t1, &s0, &s1)?;
+    debug_assert_eq!(o0.results, o1.results);
+    let mut it = o0.results.into_iter();
+    for (slot, inst) in results.iter_mut().zip(instances) {
+        if inst.len() == num_inputs {
+            *slot = it.next().expect("one session result per valid instance");
+        }
+    }
+    Ok((results, o0.stats))
+}
+
+/// Runs both parties of one batch over a fresh [`Duplex`] pair, party 1
+/// on a scoped thread.
+fn run_duplex_sessions<A: TripleSource + Send, B: TripleSource + Send>(
+    eng: &CompiledBitCircuit,
+    words: usize,
+    t0: A,
+    t1: B,
+    s0: &[Vec<bool>],
+    s1: &[Vec<bool>],
+) -> Result<(Outcome, Outcome), MpcError> {
+    let (d0, d1) = Duplex::pair();
+    let (o0, o1) = std::thread::scope(|scope| {
+        let h = scope.spawn(move || {
+            Session::new(eng, Role::P1, d1, t1)
+                .with_words(words)
+                .run(s1)
+        });
+        let o0 = Session::new(eng, Role::P0, d0, t0)
+            .with_words(words)
+            .run(s0);
+        (o0, h.join().expect("party 1 thread panicked"))
+    });
+    Ok((o0?, o1?))
 }
 
 /// Garbled-circuit (Yao) cost estimate for a lowered circuit under the
@@ -545,16 +302,20 @@ pub fn garbling_cost(circuit: &qec_circuit::lower::BitCircuit) -> GarblingCost {
     }
 }
 
-/// Convenience: run the full offline + online pipeline on plain inputs,
-/// checking against plaintext evaluation. Returns outputs and stats.
+/// Convenience: run the full offline + online pipeline on one plain
+/// input — two networked [`Session`]s over a [`Duplex`] pair at a
+/// packed width of one lane word. Returns outputs and party 0's stats.
 pub fn run_two_party(
     circuit: &BitCircuit,
     input_bits: &[bool],
     seed: u64,
 ) -> Result<(Vec<bool>, ProtocolStats), MpcError> {
-    let dealer = Dealer::new(circuit.and_count() as usize, seed);
+    let eng = CompiledBitCircuit::compile_gmw(circuit);
+    let (t0, t1) = PackedDealer::new(eng.stats().and_ops as usize, 1, seed).split();
     let (s0, s1) = share_bits(input_bits, seed.wrapping_add(1));
-    evaluate_shared(circuit, &s0, &s1, dealer)
+    let (o0, _) = run_duplex_sessions(&eng, 1, t0, t1, &[s0], &[s1])?;
+    let out = o0.results.into_iter().next().expect("one instance")?;
+    Ok((out, o0.stats))
 }
 
 #[cfg(test)]
@@ -576,10 +337,31 @@ mod tests {
     #[test]
     fn shared_evaluation_matches_plaintext() {
         let bc = adder_circuit();
+        let eng = CompiledBitCircuit::compile_gmw(&bc);
         for (x, y) in [(3u64, 5u64), (100, 250), (65535, 1), (0, 0)] {
             let bits = bc.pack_inputs(&[x, y]);
             let plain = bc.evaluate(&bits).unwrap();
             let (shared, stats) = run_two_party(&bc, &bits, 42).unwrap();
+            assert_eq!(shared, plain, "inputs ({x}, {y})");
+            // one packed triple (64 lanes) per tape AND
+            assert_eq!(stats.and_gates, bc.and_count() * 64);
+            // one exchange per AND-bearing level == AND depth under
+            // the GMW schedule
+            assert_eq!(stats.rounds, eng.stats().and_levels as u64);
+            assert_eq!(stats.open_rounds, 2); // hello + one block's open
+            assert!(stats.bytes_sent > 0 && stats.bytes_sent == stats.bytes_recv);
+        }
+    }
+
+    #[test]
+    fn per_gate_reference_matches_plaintext() {
+        let bc = adder_circuit();
+        for (x, y) in [(3u64, 5u64), (100, 250), (65535, 1), (0, 0)] {
+            let bits = bc.pack_inputs(&[x, y]);
+            let plain = bc.evaluate(&bits).unwrap();
+            let dealer = Dealer::new(bc.and_count() as usize, 42);
+            let (s0, s1) = share_bits(&bits, 43);
+            let (shared, stats) = evaluate_shared(&bc, &s0, &s1, dealer).unwrap();
             assert_eq!(shared, plain, "inputs ({x}, {y})");
             assert_eq!(stats.and_gates, bc.and_count());
         }
@@ -629,6 +411,10 @@ mod tests {
             evaluate_shared(&bc, &[true], &[false], dealer),
             Err(MpcError::InputLength { .. })
         ));
+        assert!(matches!(
+            run_two_party(&bc, &[true, false], 3),
+            Err(MpcError::InputLength { .. })
+        ));
     }
 
     #[test]
@@ -665,6 +451,42 @@ mod tests {
             );
             assert_eq!(stats.messages_bits, 4 * stats.and_gates);
         }
+    }
+
+    #[test]
+    fn networked_sessions_match_in_process_reference() {
+        let bc = adder_circuit();
+        let eng = CompiledBitCircuit::compile_gmw(&bc);
+        let instances: Vec<Vec<bool>> = (0..130u64)
+            .map(|i| bc.pack_inputs(&[i * 31 % 777, i * 5 % 999]))
+            .collect();
+        let words = 1usize;
+        let blocks = instances.len().div_ceil(words * 64);
+        let dealer = PackedDealer::new(eng.stats().and_ops as usize * blocks, words, 21);
+        let (s0, s1) = share_instances(&instances, 22);
+        let reference = evaluate_shared_batch(&eng, &s0, &s1, &dealer).unwrap();
+        let (t0, t1) = dealer.split();
+        let (d0, d1) = Duplex::pair();
+        let (o0, o1) = std::thread::scope(|scope| {
+            let h = scope.spawn(|| {
+                Session::new(&eng, Role::P1, d1, t1)
+                    .with_words(words)
+                    .run(&s1)
+            });
+            let o0 = Session::new(&eng, Role::P0, d0, t0)
+                .with_words(words)
+                .run(&s0);
+            (o0.unwrap(), h.join().unwrap().unwrap())
+        });
+        assert_eq!(o0.results, reference.0);
+        assert_eq!(o1.results, reference.0);
+        assert_eq!(o0.stats.and_gates, reference.1.and_gates);
+        assert_eq!(
+            o0.stats.rounds,
+            eng.stats().and_levels as u64 * blocks as u64
+        );
+        assert_eq!(o0.stats.bytes_sent, o1.stats.bytes_recv);
+        assert_eq!(o0.level_ns.len(), eng.level_starts().len() - 1);
     }
 
     #[test]
@@ -724,5 +546,37 @@ mod tests {
         let (_, stats) = run_two_party(&bc, &bits, 12).unwrap();
         assert_eq!(stats.messages_bits, 4 * stats.and_gates);
         assert!(stats.free_gates > 0);
+    }
+
+    #[test]
+    fn handshake_rejects_mismatched_tapes() {
+        let bc = adder_circuit();
+        let mut b = Builder::new(Mode::Build);
+        let x = b.input();
+        let y = b.input();
+        let s = b.mul(x, y);
+        let other = lower_with(&b.finish(vec![s]), 16, &CompileOptions::sequential());
+        let eng_a = CompiledBitCircuit::compile_gmw(&bc);
+        let eng_b = CompiledBitCircuit::compile_gmw(&other);
+        let (ta, _) = PackedDealer::new(eng_a.stats().and_ops as usize, 1, 1).split();
+        let (tb, _) = PackedDealer::new(eng_b.stats().and_ops as usize, 1, 2).split();
+        let bits_a = bc.pack_inputs(&[1, 2]);
+        let bits_b = other.pack_inputs(&[3, 4]);
+        let (sa, _) = share_bits(&bits_a, 5);
+        let (sb, _) = share_bits(&bits_b, 6);
+        let (d0, d1) = Duplex::pair();
+        let (ra, rb) = std::thread::scope(|scope| {
+            let h = scope.spawn(|| {
+                Session::new(&eng_b, Role::P1, d1, tb)
+                    .with_words(1)
+                    .run(&[sb])
+            });
+            let ra = Session::new(&eng_a, Role::P0, d0, ta)
+                .with_words(1)
+                .run(&[sa]);
+            (ra, h.join().unwrap())
+        });
+        assert!(matches!(ra.unwrap_err(), MpcError::TapeMismatch(_)));
+        assert!(matches!(rb.unwrap_err(), MpcError::TapeMismatch(_)));
     }
 }

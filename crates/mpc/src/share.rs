@@ -1,0 +1,100 @@
+//! XOR secret sharing of inputs and the transposed share packing the
+//! batched protocol runs on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One Beaver triple share: `(a, b, c)` with `c = a ∧ b` across parties.
+#[derive(Clone, Copy, Debug)]
+pub struct TripleShare {
+    /// Share of `a`.
+    pub a: bool,
+    /// Share of `b`.
+    pub b: bool,
+    /// Share of `c = a ∧ b`.
+    pub c: bool,
+}
+
+/// Secret-shares a bit vector between the two parties.
+pub fn share_bits(bits: &[bool], seed: u64) -> (Vec<bool>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s0: Vec<bool> = bits.iter().map(|_| rng.gen()).collect();
+    let s1: Vec<bool> = bits.iter().zip(s0.iter()).map(|(&v, &m)| v ^ m).collect();
+    (s0, s1)
+}
+
+/// [`share_bits`] over a whole batch: one `(share0, share1)` pair per
+/// instance, masks drawn from a single seeded stream.
+pub fn share_instances(instances: &[Vec<bool>], seed: u64) -> (Vec<Vec<bool>>, Vec<Vec<bool>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shares0 = Vec::with_capacity(instances.len());
+    let mut shares1 = Vec::with_capacity(instances.len());
+    for inst in instances {
+        let s0: Vec<bool> = inst.iter().map(|_| rng.gen()).collect();
+        let s1: Vec<bool> = inst.iter().zip(&s0).map(|(&v, &m)| v ^ m).collect();
+        shares0.push(s0);
+        shares1.push(s1);
+    }
+    (shares0, shares1)
+}
+
+/// Transposes one block of share vectors into input-major lane words.
+/// Wrong-arity instances contribute zeros; their lanes are reported as
+/// [`MpcError::InputLength`](crate::MpcError::InputLength) and never
+/// read back.
+pub(crate) fn pack_share_block(
+    block: &[Vec<bool>],
+    num_inputs: usize,
+    words: usize,
+    out: &mut [u64],
+) {
+    out.fill(0);
+    for (l, inst) in block.iter().enumerate() {
+        if inst.len() != num_inputs {
+            continue;
+        }
+        let (word, bit) = (l / 64, l % 64);
+        for (idx, &b) in inst.iter().enumerate() {
+            if b {
+                out[idx * words + word] |= 1u64 << bit;
+            }
+        }
+    }
+}
+
+/// Packs a `bool` bit vector into LSB-first `u64` words (the wire
+/// encoding of input-share transfers).
+pub fn pack_bits(bits: &[bool]) -> Vec<u64> {
+    let mut out = vec![0u64; bits.len().div_ceil(64)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_bits`] for a known bit count.
+pub fn unpack_bits(words: &[u64], n: usize) -> Vec<bool> {
+    (0..n).map(|i| words[i / 64] >> (i % 64) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_xor_back_to_the_input() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let (s0, s1) = share_bits(&bits, 7);
+        let rec: Vec<bool> = s0.iter().zip(&s1).map(|(&a, &b)| a ^ b).collect();
+        assert_eq!(rec, bits);
+    }
+
+    #[test]
+    fn bit_packing_round_trips() {
+        let bits: Vec<bool> = (0..200).map(|i| (i * 7) % 5 == 0).collect();
+        assert_eq!(unpack_bits(&pack_bits(&bits), bits.len()), bits);
+        assert_eq!(pack_bits(&[]), Vec::<u64>::new());
+    }
+}

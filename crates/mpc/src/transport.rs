@@ -1,0 +1,602 @@
+//! The wire: framed, versioned, checksummed messages and the
+//! [`Transport`] trait the protocol speaks through.
+//!
+//! A frame is laid out like `qec-circuit`'s tape container — magic,
+//! version, fixed header, payload, FNV-1a-64 trailer — so a corrupted,
+//! truncated, reordered or replayed message is always a **typed** error
+//! at the receiver, never a hang or a silently wrong answer:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  FRAME_MAGIC ("QEC2PC\0\0")
+//!      8     4  FRAME_VERSION (u32 LE)
+//!     12     1  sender role (0 | 1)
+//!     13     1  frame kind (Hello | AndLevel | Open)
+//!     14     2  reserved (must be 0)
+//!     16     4  round index (u32 LE, counts every exchange)
+//!     20     4  payload length in bytes (u32 LE)
+//!     24     n  payload (little-endian u64 lane words)
+//!   24+n     8  FNV-1a-64 over bytes [0, 24+n)
+//! ```
+//!
+//! Transports move whole frames; they never interpret payloads. The
+//! in-process [`Duplex`] pair and the blocking [`TcpTransport`] are
+//! interchangeable behind the trait, and [`FaultTransport`] wraps
+//! either to inject faults for the failure-path test suite.
+
+use crate::MpcError;
+use qec_circuit::fnv1a64;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Magic prefix of every wire frame.
+pub const FRAME_MAGIC: [u8; 8] = *b"QEC2PC\0\0";
+/// Version of the frame layout; bumped on any incompatible change.
+pub const FRAME_VERSION: u32 = 1;
+/// Fixed header bytes before the payload.
+pub const FRAME_HEADER_BYTES: usize = 24;
+/// Checksum trailer bytes after the payload.
+pub const FRAME_TRAILER_BYTES: usize = 8;
+/// Upper bound on a frame payload (1 GiB) — a length field beyond this
+/// is treated as corruption, not as an allocation request.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 30;
+
+/// Default time a party waits on its peer before giving up with
+/// [`MpcError::PeerTimeout`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Which of the two parties this endpoint is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Party 0: sends first in every exchange, holds public constants.
+    P0,
+    /// Party 1: receives first, applies the `d·e` completion term.
+    P1,
+}
+
+impl Role {
+    /// The other party.
+    pub fn peer(self) -> Role {
+        match self {
+            Role::P0 => Role::P1,
+            Role::P1 => Role::P0,
+        }
+    }
+
+    /// 0 or 1.
+    pub fn index(self) -> usize {
+        match self {
+            Role::P0 => 0,
+            Role::P1 => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Role> {
+        match v {
+            0 => Some(Role::P0),
+            1 => Some(Role::P1),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.index())
+    }
+}
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Session handshake: tape fingerprint and batch geometry.
+    Hello,
+    /// One AND level's packed `(d, e)` mask words — the per-round
+    /// message of the GMW online phase.
+    AndLevel,
+    /// Output-share and deferred assert-share opening for one block.
+    Open,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Hello => 0,
+            FrameKind::AndLevel => 1,
+            FrameKind::Open => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<FrameKind> {
+        match v {
+            0 => Some(FrameKind::Hello),
+            1 => Some(FrameKind::AndLevel),
+            2 => Some(FrameKind::Open),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded wire frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Sender's role.
+    pub role: Role,
+    /// Message kind.
+    pub kind: FrameKind,
+    /// Exchange counter (every send/recv pair increments it; both
+    /// parties must agree at all times).
+    pub round: u32,
+    /// Payload lane words.
+    pub words: Vec<u64>,
+}
+
+impl Frame {
+    /// Builds a frame over `words` (copied).
+    pub fn new(role: Role, kind: FrameKind, round: u32, words: &[u64]) -> Frame {
+        Frame {
+            role,
+            kind,
+            round,
+            words: words.to_vec(),
+        }
+    }
+
+    /// Serializes header + payload + checksum trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = self.words.len() * 8;
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload_len + FRAME_TRAILER_BYTES);
+        out.extend_from_slice(&FRAME_MAGIC);
+        out.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+        out.push(self.role.index() as u8);
+        out.push(self.kind.to_u8());
+        out.extend_from_slice(&[0u8; 2]);
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses and fully validates an encoded frame: magic, version,
+    /// reserved bytes, length consistency and checksum. Every corruption
+    /// mode maps to a distinct [`MpcError`].
+    pub fn decode(bytes: &[u8]) -> Result<Frame, MpcError> {
+        if bytes.len() < FRAME_HEADER_BYTES + FRAME_TRAILER_BYTES {
+            return Err(MpcError::ShortRead);
+        }
+        if bytes[..8] != FRAME_MAGIC {
+            return Err(MpcError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FRAME_VERSION {
+            return Err(MpcError::BadVersion { got: version });
+        }
+        let payload_len = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        if payload_len > MAX_FRAME_PAYLOAD {
+            return Err(MpcError::BadFrame("payload length exceeds frame bound"));
+        }
+        if !(payload_len as usize).is_multiple_of(8) {
+            return Err(MpcError::BadFrame("payload not whole lane words"));
+        }
+        let total = FRAME_HEADER_BYTES + payload_len as usize + FRAME_TRAILER_BYTES;
+        if bytes.len() < total {
+            return Err(MpcError::ShortRead);
+        }
+        if bytes.len() > total {
+            return Err(MpcError::BadFrame("trailing bytes after frame"));
+        }
+        let body = &bytes[..total - FRAME_TRAILER_BYTES];
+        let sum = u64::from_le_bytes(bytes[total - FRAME_TRAILER_BYTES..].try_into().unwrap());
+        if fnv1a64(body) != sum {
+            return Err(MpcError::BadChecksum);
+        }
+        if bytes[14] != 0 || bytes[15] != 0 {
+            return Err(MpcError::BadFrame("reserved header bytes set"));
+        }
+        let role = Role::from_u8(bytes[12]).ok_or(MpcError::BadFrame("unknown sender role"))?;
+        let kind = FrameKind::from_u8(bytes[13]).ok_or(MpcError::BadFrame("unknown frame kind"))?;
+        let round = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        let words = bytes[FRAME_HEADER_BYTES..total - FRAME_TRAILER_BYTES]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Frame {
+            role,
+            kind,
+            round,
+            words,
+        })
+    }
+}
+
+/// A synchronous, message-oriented pipe to the peer. Implementations
+/// move opaque encoded frames; all interpretation (and all protocol
+/// validation) happens above, in [`Frame::decode`] and the session.
+pub trait Transport {
+    /// Delivers one encoded frame to the peer.
+    fn send(&mut self, frame: &[u8]) -> Result<(), MpcError>;
+
+    /// Blocks for the peer's next frame, bounded by the transport's
+    /// timeout ([`MpcError::PeerTimeout`] on expiry, never forever).
+    fn recv(&mut self) -> Result<Vec<u8>, MpcError>;
+}
+
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MpcError> {
+        (**self).send(frame)
+    }
+    fn recv(&mut self) -> Result<Vec<u8>, MpcError> {
+        (**self).recv()
+    }
+}
+
+impl<T: Transport + ?Sized> Transport for Box<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MpcError> {
+        (**self).send(frame)
+    }
+    fn recv(&mut self) -> Result<Vec<u8>, MpcError> {
+        (**self).recv()
+    }
+}
+
+/// In-process transport: one end of a pair of bounded-wait channels.
+/// The two halves returned by [`Duplex::pair`] are handed to the two
+/// party threads; message boundaries are preserved exactly.
+pub struct Duplex {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+    timeout: Duration,
+}
+
+impl Duplex {
+    /// A connected pair of endpoints with the default peer timeout.
+    pub fn pair() -> (Duplex, Duplex) {
+        Duplex::pair_with_timeout(DEFAULT_TIMEOUT)
+    }
+
+    /// A connected pair with an explicit peer timeout.
+    pub fn pair_with_timeout(timeout: Duration) -> (Duplex, Duplex) {
+        let (tx_a, rx_b) = mpsc::channel();
+        let (tx_b, rx_a) = mpsc::channel();
+        (
+            Duplex {
+                tx: tx_a,
+                rx: rx_a,
+                timeout,
+            },
+            Duplex {
+                tx: tx_b,
+                rx: rx_b,
+                timeout,
+            },
+        )
+    }
+}
+
+impl Transport for Duplex {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MpcError> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| MpcError::PeerClosed)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, MpcError> {
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(v) => Ok(v),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(MpcError::PeerTimeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(MpcError::PeerClosed),
+        }
+    }
+}
+
+/// Blocking TCP transport. Frames are length-delimited by their own
+/// header: `recv` reads the fixed header, validates magic and payload
+/// bound, then reads exactly payload + trailer. Read/write timeouts on
+/// the socket bound every wait.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps an accepted/connected stream, arming its timeouts and
+    /// disabling Nagle (the protocol is strictly request-response; a
+    /// delayed small frame would stall a whole round).
+    pub fn from_stream(stream: TcpStream, timeout: Duration) -> Result<TcpTransport, MpcError> {
+        let io = |e: std::io::Error| MpcError::Io(e.to_string());
+        stream.set_read_timeout(Some(timeout)).map_err(io)?;
+        stream.set_write_timeout(Some(timeout)).map_err(io)?;
+        stream.set_nodelay(true).map_err(io)?;
+        Ok(TcpTransport { stream })
+    }
+
+    /// Connects to a listening peer, retrying until `timeout` so the
+    /// two processes need not start in a fixed order.
+    pub fn connect<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<TcpTransport, MpcError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(s) => return TcpTransport::from_stream(s, timeout),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(MpcError::Io(format!("connect: {e}")));
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Accepts one peer connection on `listener`.
+    pub fn accept(listener: &TcpListener, timeout: Duration) -> Result<TcpTransport, MpcError> {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| MpcError::Io(format!("accept: {e}")))?;
+        TcpTransport::from_stream(stream, timeout)
+    }
+
+    fn read_full(&mut self, buf: &mut [u8], at_frame_start: bool) -> Result<(), MpcError> {
+        let mut got = 0usize;
+        while got < buf.len() {
+            match self.stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    return Err(if got == 0 && at_frame_start {
+                        MpcError::PeerClosed
+                    } else {
+                        MpcError::ShortRead
+                    });
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(MpcError::PeerTimeout);
+                }
+                Err(e) => return Err(MpcError::Io(e.to_string())),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MpcError> {
+        self.stream.write_all(frame).map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => MpcError::PeerTimeout,
+            std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset => {
+                MpcError::PeerClosed
+            }
+            _ => MpcError::Io(e.to_string()),
+        })
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, MpcError> {
+        let mut head = [0u8; FRAME_HEADER_BYTES];
+        self.read_full(&mut head, true)?;
+        if head[..8] != FRAME_MAGIC {
+            return Err(MpcError::BadMagic);
+        }
+        let payload_len = u32::from_le_bytes(head[20..24].try_into().unwrap());
+        if payload_len > MAX_FRAME_PAYLOAD {
+            return Err(MpcError::BadFrame("payload length exceeds frame bound"));
+        }
+        let mut frame = vec![0u8; FRAME_HEADER_BYTES + payload_len as usize + FRAME_TRAILER_BYTES];
+        frame[..FRAME_HEADER_BYTES].copy_from_slice(&head);
+        self.read_full(&mut frame[FRAME_HEADER_BYTES..], false)?;
+        Ok(frame)
+    }
+}
+
+/// A single fault to inject at one point in the send stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Swallow the frame entirely.
+    Drop,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Deliver only the first `n` bytes.
+    Truncate(usize),
+    /// XOR `0x80` into the byte at this offset (mod frame length).
+    Corrupt(usize),
+    /// Hold this frame back and deliver it after the next one.
+    Reorder,
+}
+
+/// Wraps any [`Transport`] and sabotages selected outgoing frames —
+/// the adversary/flaky-network simulator for the fault test suite. The
+/// receiving side must always fail with a typed [`MpcError`].
+pub struct FaultTransport<T: Transport> {
+    inner: T,
+    faults: Vec<(u64, Fault)>,
+    sent: u64,
+    held: Option<Vec<u8>>,
+}
+
+impl<T: Transport> FaultTransport<T> {
+    /// A transparent wrapper (no faults yet).
+    pub fn new(inner: T) -> FaultTransport<T> {
+        FaultTransport {
+            inner,
+            faults: Vec::new(),
+            sent: 0,
+            held: None,
+        }
+    }
+
+    /// Schedules `fault` for the `at`-th outgoing frame (0-based).
+    pub fn inject(mut self, at: u64, fault: Fault) -> FaultTransport<T> {
+        self.faults.push((at, fault));
+        self
+    }
+}
+
+impl<T: Transport> Transport for FaultTransport<T> {
+    fn send(&mut self, frame: &[u8]) -> Result<(), MpcError> {
+        let idx = self.sent;
+        self.sent += 1;
+        let fault = self
+            .faults
+            .iter()
+            .find(|(at, _)| *at == idx)
+            .map(|(_, f)| *f);
+        match fault {
+            None => self.inner.send(frame)?,
+            Some(Fault::Drop) => {}
+            Some(Fault::Duplicate) => {
+                self.inner.send(frame)?;
+                self.inner.send(frame)?;
+            }
+            Some(Fault::Truncate(n)) => {
+                self.inner.send(&frame[..n.min(frame.len())])?;
+            }
+            Some(Fault::Corrupt(off)) => {
+                let mut bad = frame.to_vec();
+                let i = off % bad.len();
+                bad[i] ^= 0x80;
+                self.inner.send(&bad)?;
+            }
+            Some(Fault::Reorder) => {
+                self.held = Some(frame.to_vec());
+                return Ok(());
+            }
+        }
+        if let Some(held) = self.held.take() {
+            self.inner.send(&held)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, MpcError> {
+        self.inner.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let f = Frame::new(Role::P1, FrameKind::AndLevel, 7, &[1, u64::MAX, 42]);
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), FRAME_HEADER_BYTES + 24 + FRAME_TRAILER_BYTES);
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+        let empty = Frame::new(Role::P0, FrameKind::Hello, 0, &[]);
+        assert_eq!(Frame::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_every_corruption_mode() {
+        let good = Frame::new(Role::P0, FrameKind::Open, 3, &[5, 6]).encode();
+        assert_eq!(Frame::decode(&good[..10]).unwrap_err(), MpcError::ShortRead);
+        assert_eq!(
+            Frame::decode(&good[..good.len() - 3]).unwrap_err(),
+            MpcError::ShortRead
+        );
+
+        let mut bad = good.clone();
+        bad[0] ^= 1;
+        assert_eq!(Frame::decode(&bad).unwrap_err(), MpcError::BadMagic);
+
+        let mut bad = good.clone();
+        bad[8] = 9;
+        assert_eq!(
+            Frame::decode(&bad).unwrap_err(),
+            MpcError::BadVersion { got: 9 }
+        );
+
+        let mut bad = good.clone();
+        bad[30] ^= 0x40; // payload byte
+        assert_eq!(Frame::decode(&bad).unwrap_err(), MpcError::BadChecksum);
+
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1; // trailer byte
+        assert_eq!(Frame::decode(&bad).unwrap_err(), MpcError::BadChecksum);
+
+        let mut long = good.clone();
+        long.push(0);
+        assert!(matches!(
+            Frame::decode(&long).unwrap_err(),
+            MpcError::BadFrame(_)
+        ));
+    }
+
+    #[test]
+    fn duplex_preserves_message_boundaries_and_times_out() {
+        let (mut a, mut b) = Duplex::pair_with_timeout(Duration::from_millis(30));
+        a.send(&[1, 2, 3]).unwrap();
+        a.send(&[4]).unwrap();
+        assert_eq!(b.recv().unwrap(), vec![1, 2, 3]);
+        assert_eq!(b.recv().unwrap(), vec![4]);
+        assert_eq!(b.recv().unwrap_err(), MpcError::PeerTimeout);
+        drop(b);
+        assert_eq!(a.recv().unwrap_err(), MpcError::PeerClosed);
+    }
+
+    #[test]
+    fn tcp_round_trips_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let timeout = Duration::from_secs(2);
+        let t = std::thread::spawn(move || {
+            let mut peer = TcpTransport::connect(addr, timeout).unwrap();
+            let f = Frame::new(Role::P1, FrameKind::Hello, 0, &[9, 8, 7]);
+            peer.send(&f.encode()).unwrap();
+            Frame::decode(&peer.recv().unwrap()).unwrap()
+        });
+        let mut me = TcpTransport::accept(&listener, timeout).unwrap();
+        let got = Frame::decode(&me.recv().unwrap()).unwrap();
+        assert_eq!(got.words, vec![9, 8, 7]);
+        let reply = Frame::new(Role::P0, FrameKind::Hello, 0, &[1]);
+        me.send(&reply.encode()).unwrap();
+        assert_eq!(t.join().unwrap(), reply);
+    }
+
+    #[test]
+    fn tcp_peer_close_and_silence_are_typed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let timeout = Duration::from_millis(50);
+        let client = TcpStream::connect(addr).unwrap();
+        let mut me = TcpTransport::accept(&listener, timeout).unwrap();
+        assert_eq!(me.recv().unwrap_err(), MpcError::PeerTimeout);
+        drop(client);
+        assert_eq!(me.recv().unwrap_err(), MpcError::PeerClosed);
+    }
+
+    #[test]
+    fn fault_transport_sabotages_selected_frames() {
+        let (a, mut b) = Duplex::pair_with_timeout(Duration::from_millis(20));
+        let mut a = FaultTransport::new(a)
+            .inject(0, Fault::Drop)
+            .inject(1, Fault::Truncate(5))
+            .inject(2, Fault::Corrupt(3))
+            .inject(3, Fault::Reorder);
+        let f = Frame::new(Role::P0, FrameKind::AndLevel, 1, &[11]).encode();
+        a.send(&f).unwrap(); // dropped
+        assert_eq!(b.recv().unwrap_err(), MpcError::PeerTimeout);
+        a.send(&f).unwrap(); // truncated
+        assert_eq!(
+            Frame::decode(&b.recv().unwrap()).unwrap_err(),
+            MpcError::ShortRead
+        );
+        a.send(&f).unwrap(); // corrupted
+        assert!(Frame::decode(&b.recv().unwrap()).is_err());
+        a.send(&f).unwrap(); // held
+        let g = Frame::new(Role::P0, FrameKind::AndLevel, 2, &[22]).encode();
+        a.send(&g).unwrap(); // delivered before the held frame
+        assert_eq!(Frame::decode(&b.recv().unwrap()).unwrap().round, 2);
+        assert_eq!(Frame::decode(&b.recv().unwrap()).unwrap().round, 1);
+    }
+}

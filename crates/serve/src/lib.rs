@@ -73,6 +73,14 @@ pub enum ServeError {
     Persist(String),
     /// The server is shutting down and dropped the request.
     ShuttingDown,
+    /// The caller's deadline passed before the response arrived
+    /// ([`Ticket::wait_deadline`] / [`Server::query_timeout`]). The
+    /// request itself keeps running to completion server-side; only
+    /// the wait is abandoned.
+    Deadline {
+        /// How long the caller waited.
+        waited: std::time::Duration,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -95,6 +103,9 @@ impl fmt::Display for ServeError {
             ServeError::Eval(msg) => write!(f, "evaluation failed: {msg}"),
             ServeError::Persist(msg) => write!(f, "plan persistence failed: {msg}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Deadline { waited } => {
+                write!(f, "deadline passed after waiting {waited:?}")
+            }
         }
     }
 }

@@ -134,6 +134,28 @@ impl Ticket {
     pub fn wait(self) -> Result<Response, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
+
+    /// Blocks until the request completes or `deadline` passes —
+    /// whichever comes first. A passed deadline is a typed
+    /// [`ServeError::Deadline`], never a hang; the request itself still
+    /// runs to completion server-side (its quota slot is released by
+    /// the worker), only the wait is abandoned.
+    pub fn wait_deadline(self, deadline: Instant) -> Result<Response, ServeError> {
+        let start = Instant::now();
+        let budget = deadline.saturating_duration_since(start);
+        match self.rx.recv_timeout(budget) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Deadline {
+                waited: start.elapsed(),
+            }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// [`Ticket::wait_deadline`] with a relative timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Response, ServeError> {
+        self.wait_deadline(Instant::now() + timeout)
+    }
 }
 
 /// One queued job: the request translated into canonical space.
@@ -288,6 +310,13 @@ impl Server {
     /// Submit-and-wait convenience.
     pub fn query(&self, req: Request) -> Result<Response, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    /// [`Server::query`] with an upper bound on the caller's wait:
+    /// admission errors surface immediately, and a response that does
+    /// not arrive within `timeout` is a typed [`ServeError::Deadline`].
+    pub fn query_timeout(&self, req: Request, timeout: Duration) -> Result<Response, ServeError> {
+        self.submit(req)?.wait_timeout(timeout)
     }
 
     /// Plan-cache counters.
@@ -674,6 +703,81 @@ mod tests {
             server.shutdown();
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadlines_are_typed_never_a_hang() {
+        let mut server = Server::start(ServerConfig {
+            workers: 1,
+            // Hold the lone worker in a long flush window so queued
+            // requests observably outlive a short caller deadline.
+            flush: Duration::from_secs(5),
+            max_batch: 64,
+            ..ServerConfig::default()
+        });
+        let _busy = server.submit(triangle_request("hold", 4, 0)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let t = Instant::now();
+        let err = server
+            .query_timeout(triangle_request("t0", 4, 1), Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Deadline { .. }), "{err}");
+        assert!(t.elapsed() < Duration::from_secs(4), "wait was bounded");
+        // An already-expired deadline returns immediately.
+        let err = server
+            .submit(triangle_request("t1", 4, 2))
+            .unwrap()
+            .wait_deadline(Instant::now() - Duration::from_millis(1))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Deadline { .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_stress_every_wait_resolves() {
+        // Many concurrent callers racing tiny deadlines against a
+        // deliberately slow batcher: every single wait must resolve to
+        // a response or a typed error — and the server must stay
+        // healthy enough to serve a normal query afterwards.
+        let server = std::sync::Arc::new(Server::start(ServerConfig {
+            workers: 2,
+            flush: Duration::from_millis(40),
+            max_batch: 8,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        }));
+        let expect = baseline_eval(&triangle_request("t", 4, 9));
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    let mut outcomes = [0usize; 3]; // ok, deadline, other
+                    for i in 0..12 {
+                        let timeout = Duration::from_micros(200 + 7919 * (c * 12 + i) % 60_000);
+                        match server.query_timeout(triangle_request("t", 4, 9), timeout) {
+                            Ok(_) => outcomes[0] += 1,
+                            Err(ServeError::Deadline { .. }) => outcomes[1] += 1,
+                            Err(ServeError::Overloaded { .. }) => outcomes[2] += 1,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress thread finished (no hang)");
+        }
+        // The queue may still be draining abandoned jobs; back off on
+        // Overloaded as a real client would.
+        let resp = loop {
+            match server.query_timeout(triangle_request("t", 4, 9), Duration::from_secs(30)) {
+                Ok(r) => break r,
+                Err(ServeError::Overloaded { .. }) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => panic!("unexpected error after stress: {e}"),
+            }
+        };
+        assert_eq!(resp.relations[0], expect, "server healthy after stress");
     }
 
     #[test]

@@ -158,7 +158,11 @@ fn secure_two_party_join_end_to_end() {
     let (out_bits, stats) = query_circuits::mpc::run_two_party(&bc, &bits, 5).unwrap();
     let out = query_circuits::circuit::decode_relation(&schema, &bc.unpack_outputs(&out_bits));
     assert_eq!(out, r.natural_join(&s));
-    assert_eq!(stats.and_gates, bc.and_count());
+    // the networked session consumes one packed triple (64 scalar
+    // triples in word form) per circuit AND, in AND-depth many rounds
+    assert_eq!(stats.and_gates, bc.and_count() * 64);
+    assert_eq!(stats.rounds, bc.and_depth() as u64);
+    assert!(stats.bytes_sent > 0 && stats.bytes_sent == stats.bytes_recv);
 }
 
 #[test]
