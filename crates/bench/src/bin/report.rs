@@ -47,7 +47,7 @@ fn main() {
             .filter(|(id, _)| ids.iter().any(|a| a == id))
             .collect();
         if sel.is_empty() {
-            eprintln!("unknown experiment id(s); valid: x1..x23 or `all`");
+            eprintln!("unknown experiment id(s); valid: x1..x24 or `all`");
             std::process::exit(2);
         }
         sel

@@ -1405,6 +1405,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
         ("x21", x21_bitengine),
         ("x22", x22_serve),
         ("x23", x23_networked_gmw),
+        ("x24", x24_datalog_fixpoint),
     ]
 }
 
@@ -1437,7 +1438,9 @@ pub fn x19_differential() -> Table {
     let mut total_rate = 0.0;
     for seed in [0xA11CEu64, 0xB0B5, 0x5EED5] {
         let start = Instant::now();
-        let summary = qec_check::fuzz_many(seed, cases, 16);
+        // datalog_every = 0: X19 times the CQ pipeline; the Datalog
+        // stage has its own experiment (X24) and fuzz cadence.
+        let summary = qec_check::fuzz_many(seed, cases, 16, 0);
         let dt = start.elapsed().as_secs_f64().max(1e-9);
         let failed = usize::from(summary.failure.is_some());
         divergences += failed;
@@ -2387,6 +2390,100 @@ pub fn x23_networked_gmw() -> Table {
     }
     t.verdict(format!(
         "every run exchanged exactly AND-depth framed messages (rounds == AND depth, asserted) with bit-identical outputs on both transports; sweep N = {ns:?}, TCP-localhost overhead is the ms delta against the in-process Duplex rows"
+    ));
+    t
+}
+
+/// X24 — Recursive Datalog by bounded-fixpoint unrolling: does online
+/// hash-consing actually collapse cross-iteration redundancy, and how
+/// far below the flat monomial expansion does the factorised provenance
+/// DAG sit? For transitive closure (Boolean) and all-pairs shortest
+/// path (min-tropical) at domain `d`, the unrolled circuit is lowered
+/// twice — with and without CSE — in `Mode::Count`, and the provenance
+/// extraction over a seeded random graph reports DAG nodes vs the
+/// number of monomials a flat polynomial would carry (the
+/// factorised-vs-flat gap of Berkholz-style bounds).
+///
+/// Sizing knob: `QEC_X24_SMOKE=1` shrinks the domain sweep for CI.
+pub fn x24_datalog_fixpoint() -> Table {
+    use qec_datalog::{compile, database, provenance, seminaive, workloads, FixpointBounds};
+
+    let smoke = std::env::var("QEC_X24_SMOKE").is_ok_and(|v| v == "1");
+    let domains: &[u64] = if smoke { &[3, 4] } else { &[4, 6, 8] };
+    let mut t = Table::new(
+        "X24  Recursive Datalog: bounded-fixpoint unrolling, cross-iteration hash-consing, provenance DAG vs flat monomials",
+        &[
+            "workload",
+            "d",
+            "rounds",
+            "edges",
+            "out_tuples",
+            "gates_cse",
+            "gates_naive",
+            "collapse",
+            "prov_dag",
+            "prov_monomials",
+        ],
+    );
+
+    let f = |x: f64| format!("{x:.2}");
+    for (name, program, weighted) in [
+        ("tc", workloads::TRANSITIVE_CLOSURE, false),
+        ("sp", workloads::SHORTEST_PATH, true),
+    ] {
+        let dp = qec_datalog::DatalogProgram::parse(program).expect("workload program parses");
+        for &d in domains {
+            let m = 2 * d as usize;
+            let edges = if weighted {
+                workloads::random_weighted_edges(d, m, 6, 0x24 + d)
+            } else {
+                workloads::random_edges(d, m, 0x24 + d)
+            };
+            let edge_count = edges.len();
+            let db = database(&dp, &[("edge", edges)]).expect("workload instance loads");
+            let bounds = FixpointBounds::for_domain(d, m as u64);
+
+            // The same relational circuit, lowered with and without
+            // online hash-consing: the gap is exactly the structure the
+            // unrolled rounds share.
+            let fx = compile(&dp, &bounds).expect("workload compiles");
+            let consed = fx.rc.lower(Mode::Count).circuit.size();
+            let naive = fx.rc.lower_without_cse(Mode::Count).circuit.size();
+            assert!(
+                consed < naive,
+                "{name} d={d}: consing must collapse cross-iteration redundancy ({consed} vs {naive})"
+            );
+
+            // Provenance over the same instance: DAG nodes (factorised)
+            // vs the monomial count a flat polynomial would need.
+            let reference = seminaive(&dp, &db, bounds.rounds).expect("reference runs");
+            let pr = provenance(&dp, &db, bounds.rounds).expect("provenance extracts");
+            let roots: Vec<_> = pr.outputs.values().copied().collect();
+            let dag = pr.circuit.dag_size(&roots);
+            const CAP: u64 = 10_000_000;
+            let mut monomials = Some(0u64);
+            for &root in &roots {
+                monomials = match (monomials, pr.circuit.monomials(root, CAP)) {
+                    (Some(a), Some(b)) if a.saturating_add(b) <= CAP => Some(a + b),
+                    _ => None,
+                };
+            }
+            t.row(vec![
+                name.into(),
+                d.to_string(),
+                bounds.rounds.to_string(),
+                edge_count.to_string(),
+                reference.tuples.len().to_string(),
+                consed.to_string(),
+                naive.to_string(),
+                f(naive as f64 / consed as f64),
+                dag.to_string(),
+                monomials.map_or(format!(">{CAP}"), |m| m.to_string()),
+            ]);
+        }
+    }
+    t.verdict(format!(
+        "hash-consing collapsed the unrolled rounds on every row (asserted; collapse = gates_naive/gates_cse), and the factorised provenance DAG stays polynomial while flat monomial counts track path enumeration; sweep d = {domains:?}"
     ));
     t
 }

@@ -1,5 +1,5 @@
 //! The experiment harness: one function per experiment of
-//! `EXPERIMENTS.md` (X1–X23), each regenerating the table that checks a
+//! `EXPERIMENTS.md` (X1–X24), each regenerating the table that checks a
 //! figure/theorem of the paper against measured circuit sizes.
 //!
 //! Every experiment returns a [`Table`]; the `report` binary prints them,
@@ -14,8 +14,8 @@ pub use experiments::{
     all_experiments, x10_semiring, x11_mpc, x12_primitive_scaling, x13_brent, x14_bound_tightness,
     x15_engine_throughput, x16_optimizer, x17_parallel_pipeline, x18_obs_overhead,
     x19_differential, x1_heavy_light, x20_tape_streaming, x21_bitengine, x22_serve,
-    x23_networked_gmw, x2_panda_triangle, x3_proof_sequences, x4_panda_cost, x5_project_aggregate,
-    x6_pk_join, x7_degree_join, x8_output_join, x9_output_sensitive,
+    x23_networked_gmw, x24_datalog_fixpoint, x2_panda_triangle, x3_proof_sequences, x4_panda_cost,
+    x5_project_aggregate, x6_pk_join, x7_degree_join, x8_output_join, x9_output_sensitive,
 };
 pub use table::Table;
 

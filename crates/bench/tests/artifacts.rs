@@ -23,10 +23,10 @@ fn every_artifact_named_in_experiments_md_is_committed_with_the_schema_version()
         }
     }
     assert!(
-        ["X16", "X17", "X18", "X19", "X20", "X21", "X22", "X23"]
+        ["X16", "X17", "X18", "X19", "X20", "X21", "X22", "X23", "X24"]
             .iter()
             .all(|id| ids.iter().any(|have| have == id)),
-        "EXPERIMENTS.md should name the X16–X23 artifacts, found {ids:?}"
+        "EXPERIMENTS.md should name the X16–X24 artifacts, found {ids:?}"
     );
     // `git ls-files` distinguishes committed artifacts from files that
     // merely exist in the working tree (the PR 6 failure mode was an

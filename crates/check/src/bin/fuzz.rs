@@ -1,7 +1,7 @@
 //! Differential fuzz driver.
 //!
 //! ```text
-//! fuzz [--seed S] [--cases N] [--bits-every K] [--corpus-dir DIR]
+//! fuzz [--seed S] [--cases N] [--bits-every K] [--datalog-every K] [--corpus-dir DIR]
 //! ```
 //!
 //! Runs `N` seeded cases through the full engine-option matrix and
@@ -16,6 +16,7 @@ struct Args {
     seed: u64,
     cases: usize,
     bits_every: usize,
+    datalog_every: usize,
     corpus_dir: Option<std::path::PathBuf>,
 }
 
@@ -24,6 +25,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0xC1C0,
         cases: 200,
         bits_every: 16,
+        datalog_every: 16,
         corpus_dir: None,
     };
     let mut it = std::env::args().skip(1);
@@ -33,9 +35,13 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--cases" => args.cases = parse(&value("--cases")?)? as usize,
             "--bits-every" => args.bits_every = parse(&value("--bits-every")?)? as usize,
+            "--datalog-every" => args.datalog_every = parse(&value("--datalog-every")?)? as usize,
             "--corpus-dir" => args.corpus_dir = Some(value("--corpus-dir")?.into()),
             "--help" | "-h" => {
-                println!("usage: fuzz [--seed S] [--cases N] [--bits-every K] [--corpus-dir DIR]");
+                println!(
+                    "usage: fuzz [--seed S] [--cases N] [--bits-every K] \
+                     [--datalog-every K] [--corpus-dir DIR]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -64,18 +70,37 @@ fn main() {
     };
 
     let start = Instant::now();
-    let summary = fuzz_many(args.seed, args.cases, args.bits_every);
+    let summary = fuzz_many(args.seed, args.cases, args.bits_every, args.datalog_every);
     let elapsed = start.elapsed();
     let rate = summary.cases_passed as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
-        "fuzz: seed={:#x} cases={} configs={} word-gates={} elapsed={:.2}s rate={:.1} cases/s",
+        "fuzz: seed={:#x} cases={} datalog={} configs={} word-gates={} elapsed={:.2}s rate={:.1} cases/s",
         args.seed,
         summary.cases_passed,
+        summary.datalog_passed,
         summary.configs,
         summary.word_gates,
         elapsed.as_secs_f64(),
         rate
     );
+
+    if let Some((dcase, d)) = summary.datalog_failure {
+        // Datalog cases have no shrinker; the serialized case is small
+        // enough to replay directly.
+        eprintln!("fuzz: DATALOG DIVERGENCE on seed {}: {d}", dcase.seed);
+        if let Some(dir) = &args.corpus_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("fuzz: cannot create {}: {e}", dir.display());
+            } else {
+                let path = dir.join(format!("failed-{}.dlcase", dcase.seed));
+                match std::fs::write(&path, qec_check::format_datalog_case(&dcase)) {
+                    Ok(()) => eprintln!("fuzz: wrote {}", path.display()),
+                    Err(e) => eprintln!("fuzz: cannot write {}: {e}", path.display()),
+                }
+            }
+        }
+        std::process::exit(1);
+    }
 
     let Some((case, divergence)) = summary.failure else {
         println!("fuzz: 0 divergences");

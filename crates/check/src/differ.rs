@@ -88,6 +88,14 @@ pub enum Divergence {
         /// What went wrong, including got/want digests on mismatch.
         detail: String,
     },
+    /// A Datalog fixpoint stage diverged: provenance evaluation,
+    /// compilation, or the circuit's RAM interpretation broke ranks
+    /// with the semi-naive reference (engine-sweep mismatches reuse
+    /// [`Divergence::Engine`]/[`Divergence::Output`]).
+    Datalog {
+        /// What went wrong, including got/want digests on mismatch.
+        detail: String,
+    },
 }
 
 impl Divergence {
@@ -135,6 +143,9 @@ impl fmt::Display for Divergence {
             }
             Divergence::Mpc { detail } => {
                 write!(f, "networked GMW session diverged: {detail}")
+            }
+            Divergence::Datalog { detail } => {
+                write!(f, "Datalog fixpoint diverged: {detail}")
             }
         }
     }
@@ -223,7 +234,7 @@ pub fn mutate_circuit(c: &Circuit, m: &Mutation) -> Option<Circuit> {
     read_netlist(&mutated).ok()
 }
 
-fn digest(r: &Relation) -> String {
+pub(crate) fn digest(r: &Relation) -> String {
     let rows: Vec<String> = r
         .rows()
         .iter()
@@ -235,7 +246,7 @@ fn digest(r: &Relation) -> String {
     format!("{:?}{{{}}}", r.schema(), rows.join(" "))
 }
 
-fn harness(msg: impl fmt::Display) -> Divergence {
+pub(crate) fn harness(msg: impl fmt::Display) -> Divergence {
     Divergence::Harness(msg.to_string())
 }
 
@@ -670,19 +681,40 @@ pub struct FuzzSummary {
     pub configs: usize,
     /// Total word gates across lowered circuits (a work proxy).
     pub word_gates: usize,
+    /// Datalog fixpoint cases that passed (interleaved sampling).
+    pub datalog_passed: usize,
     /// The first failing case, if any, with its divergence.
     pub failure: Option<(Case, Divergence)>,
+    /// The first failing Datalog case, if any, with its divergence.
+    /// Datalog cases have no shrinker; the serialized case replays it.
+    pub datalog_failure: Option<(crate::datalog::DatalogCase, Divergence)>,
 }
 
 /// Runs `cases` generated cases starting at `seed`, stopping at the
 /// first divergence. Every `bits_every`-th case (0 disables) also runs
-/// the bit-level pipeline checks.
-pub fn fuzz_many(seed: u64, cases: usize, bits_every: usize) -> FuzzSummary {
+/// the bit-level pipeline checks; every `datalog_every`-th case (0
+/// disables) additionally pushes a seeded recursive-Datalog fixpoint
+/// case through [`crate::datalog::run_datalog_case`].
+pub fn fuzz_many(seed: u64, cases: usize, bits_every: usize, datalog_every: usize) -> FuzzSummary {
     let mut summary = FuzzSummary::default();
     for i in 0..cases {
         let case_seed = seed.wrapping_add(i as u64);
-        let case = crate::gen::gen_case(case_seed);
         let matrix = options_matrix(case_seed);
+        if datalog_every != 0 && i % datalog_every == 0 {
+            let dcase = crate::datalog::gen_datalog_case(case_seed);
+            match crate::datalog::run_datalog_case(&dcase, &matrix) {
+                Ok(o) => {
+                    summary.datalog_passed += 1;
+                    summary.configs += o.configs;
+                    summary.word_gates += o.word_gates;
+                }
+                Err(d) => {
+                    summary.datalog_failure = Some((dcase, d));
+                    break;
+                }
+            }
+        }
+        let case = crate::gen::gen_case(case_seed);
         let check_bits = bits_every != 0 && i % bits_every == 0;
         // The serve stage rides the same sampling cadence: both pay an
         // extra compile, and both are configuration-independent checks.

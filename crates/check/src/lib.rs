@@ -25,6 +25,7 @@
 
 pub mod case;
 pub mod corpus;
+pub mod datalog;
 pub mod differ;
 pub mod gen;
 pub mod rng;
@@ -32,6 +33,10 @@ pub mod shrink;
 
 pub use case::{Case, EngineOptions};
 pub use corpus::{format_case, load_corpus, parse_case};
+pub use datalog::{
+    format_datalog_case, gen_datalog_case, load_datalog_corpus, parse_datalog_case,
+    run_datalog_case, DatalogCase, DatalogOutcome,
+};
 pub use differ::{
     fuzz_many, mutate_circuit, options_matrix, run_case, CaseOutcome, Divergence, FuzzSummary,
     Mutation,

@@ -43,6 +43,7 @@ pub mod lower;
 mod netlist;
 mod ops;
 pub mod opt;
+mod prov;
 mod rel;
 mod scan;
 mod schedule;
@@ -65,6 +66,7 @@ pub use lower::{lower_with, optimize_bits_with, BitCircuit, BitEvalScratch, BitO
 pub use netlist::{read_netlist, write_netlist, NetlistError};
 pub use ops::{aggregate, project, select, truncate, union, AggOp};
 pub use opt::{optimize_with, OptStats};
+pub use prov::{ProvCircuit, ProvId, ProvNode};
 pub use qec_par::Pool;
 pub use rel::{
     decode_relation, encode_database, encode_relation, relation_to_values, InputLayout, RelWires,

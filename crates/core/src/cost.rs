@@ -29,6 +29,7 @@ pub fn paper_cost(rc: &RelationalCircuit) -> Int {
             | RcOp::Order { input, .. }
             | RcOp::Decompose { input, .. }
             | RcOp::Truncate { input, .. }
+            | RcOp::Rename { input, .. }
             | RcOp::AttachConst { input, .. }
             | RcOp::MapMul { input, .. } => cap(*input),
             RcOp::Union { a, b } | RcOp::JoinPk { a, b } | RcOp::Semijoin { a, b } => {

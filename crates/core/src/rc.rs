@@ -173,6 +173,17 @@ pub enum RcOp {
         /// Its value on every tuple.
         value: u64,
     },
+    /// Attribute renaming `ρ` (a bijective relabeling). Pure re-wiring
+    /// in the lowering — zero gates — because slot order is free: every
+    /// downstream operator re-sorts internally and the RAM reference
+    /// normalizes through `Relation::from_rows`.
+    Rename {
+        /// Upstream node.
+        input: NodeId,
+        /// `(old, new)` pairs, applied simultaneously; unlisted
+        /// attributes keep their names.
+        map: Vec<(Var, Var)>,
+    },
     /// Combines two columns into a fresh one with a semiring `⊗`,
     /// dropping the sources (the map operator of Sec. 7 / Alg. 11).
     MapMul {
@@ -195,8 +206,11 @@ pub enum RcOp {
 pub enum MapBinOp {
     /// Numeric product (the natural semiring's `⊗`).
     Mul,
-    /// Numeric sum (the tropical semirings' `⊗`).
+    /// Numeric sum.
     Add,
+    /// Saturating sum (the tropical semirings' `⊗`): clamps at
+    /// `u64::MAX`, making `∞` absorbing instead of wrapping back into ℕ.
+    SatAdd,
     /// Minimum.
     Min,
     /// Maximum.
@@ -208,6 +222,7 @@ impl MapBinOp {
         match self {
             MapBinOp::Mul => a.wrapping_mul(b),
             MapBinOp::Add => a.wrapping_add(b),
+            MapBinOp::SatAdd => a.saturating_add(b),
             MapBinOp::Min => a.min(b),
             MapBinOp::Max => a.max(b),
         }
@@ -406,6 +421,35 @@ impl RelationalCircuit {
         self.push(RcOp::Truncate { input, capacity }, s, capacity)
     }
 
+    /// Adds a renaming gate (`ρ`): relabels attributes per `map`
+    /// (simultaneously, so swaps are fine), keeping unlisted ones.
+    /// Returns `input` unchanged for an identity map.
+    pub fn rename(&mut self, input: NodeId, map: &[(Var, Var)]) -> NodeId {
+        let n = self.node(input);
+        let map: Vec<(Var, Var)> = map.iter().copied().filter(|(a, b)| a != b).collect();
+        if map.is_empty() {
+            return input;
+        }
+        let mut sources = VarSet::EMPTY;
+        for &(from, _) in &map {
+            assert!(n.schema.contains(from), "renaming missing attribute {from}");
+            assert!(!sources.contains(from), "duplicate rename source {from}");
+            sources = sources.with(from);
+        }
+        let mut schema = VarSet::EMPTY;
+        for v in n.schema.iter() {
+            let new = map
+                .iter()
+                .find(|(from, _)| *from == v)
+                .map(|(_, to)| *to)
+                .unwrap_or(v);
+            assert!(!schema.contains(new), "rename target {new} collides");
+            schema = schema.with(new);
+        }
+        let c = n.capacity;
+        self.push(RcOp::Rename { input, map }, schema, c)
+    }
+
     /// Adds a constant-column gate.
     pub fn attach_const(&mut self, input: NodeId, var: Var, value: u64) -> NodeId {
         let n = self.node(input);
@@ -502,6 +546,20 @@ impl RelationalCircuit {
                 }
                 RcOp::Order { input, by, out } => vals[*input].order_by(*by, *out),
                 RcOp::Truncate { input, .. } => vals[*input].clone(),
+                RcOp::Rename { input, map } => {
+                    let r = &vals[*input];
+                    let schema: Vec<Var> = r
+                        .schema()
+                        .iter()
+                        .map(|v| {
+                            map.iter()
+                                .find(|(from, _)| from == v)
+                                .map(|(_, to)| *to)
+                                .unwrap_or(*v)
+                        })
+                        .collect();
+                    Relation::from_rows(schema, r.iter().cloned().collect())
+                }
                 RcOp::AttachConst { input, var, value } => {
                     let r = &vals[*input];
                     let mut schema = r.schema().to_vec();
@@ -575,11 +633,24 @@ impl RelationalCircuit {
     pub fn lower_with(&self, mode: Mode, opts: &CompileOptions) -> LoweredCircuit {
         let _span = opts.recorder.span("build");
         let pool = opts.pool;
-        let mut b = if pool.is_sequential() {
+        let b = if pool.is_sequential() {
             Builder::new(mode)
         } else {
             Builder::with_pool(mode, pool)
         };
+        self.lower_into(b)
+    }
+
+    /// Measurement baseline: the same lowering with the builder's online
+    /// hash-consing disabled, so every gate is emitted verbatim. X24 uses
+    /// this to quantify how much cross-iteration redundancy the online
+    /// CSE collapses in unrolled fixpoint circuits — do not evaluate
+    /// production circuits through it.
+    pub fn lower_without_cse(&self, mode: Mode) -> LoweredCircuit {
+        self.lower_into(Builder::without_cse(mode))
+    }
+
+    fn lower_into(&self, mut b: Builder) -> LoweredCircuit {
         let mut layout = InputLayout::new();
         // Declare inputs first (layout order = node order of Input gates).
         let mut wires: Vec<Option<RelWires>> = vec![None; self.nodes.len()];
@@ -742,6 +813,32 @@ impl RelationalCircuit {
                     let r = wires[*input].clone().expect("topological");
                     c_truncate(&mut b, &r, *capacity as usize)
                 }
+                RcOp::Rename { input, map } => {
+                    let r = wires[*input].clone().expect("topological");
+                    let schema = self.nodes[id].schema.to_vec();
+                    // pure per-slot wire permutation: new sorted column v
+                    // reads the old column it was renamed from
+                    let old_of = |v: Var| {
+                        map.iter()
+                            .find(|(_, to)| *to == v)
+                            .map(|(from, _)| *from)
+                            .unwrap_or(v)
+                    };
+                    RelWires {
+                        schema: schema.clone(),
+                        slots: r
+                            .slots
+                            .iter()
+                            .map(|s| SlotWires {
+                                fields: schema
+                                    .iter()
+                                    .map(|v| s.fields[r.col(old_of(*v)).expect("renamed")])
+                                    .collect(),
+                                valid: s.valid,
+                            })
+                            .collect(),
+                    }
+                }
                 RcOp::AttachConst { input, var, value } => {
                     let r = wires[*input].clone().expect("topological");
                     let schema = self.nodes[id].schema.to_vec();
@@ -787,6 +884,14 @@ impl RelationalCircuit {
                                 let prod = match op {
                                     MapBinOp::Mul => b.mul(fa, fbw),
                                     MapBinOp::Add => b.add(fa, fbw),
+                                    MapBinOp::SatAdd => {
+                                        // unsigned wrap-add overflows iff
+                                        // the sum is below either operand
+                                        let s = b.add(fa, fbw);
+                                        let ovf = b.lt(s, fa);
+                                        let maxw = b.constant(u64::MAX);
+                                        b.mux(ovf, maxw, s)
+                                    }
                                     MapBinOp::Min => {
                                         let lt = b.lt(fa, fbw);
                                         b.mux(lt, fa, fbw)
@@ -905,6 +1010,7 @@ impl RelationalCircuit {
                 RcOp::Decompose { part, .. } => (format!("decomp #{part}"), "hexagon"),
                 RcOp::Order { by, .. } => (format!("τ {by}"), "ellipse"),
                 RcOp::Truncate { capacity, .. } => (format!("trunc {capacity}"), "ellipse"),
+                RcOp::Rename { .. } => (format!("ρ\\n{}", n.schema), "ellipse"),
                 RcOp::AttachConst { var, value, .. } => (format!("{var} := {value}"), "ellipse"),
                 RcOp::MapMul { out, op, .. } => (format!("map {op:?} → {out}"), "ellipse"),
             };
@@ -933,6 +1039,7 @@ fn node_inputs(op: &RcOp) -> Vec<NodeId> {
         | RcOp::Decompose { input, .. }
         | RcOp::Order { input, .. }
         | RcOp::Truncate { input, .. }
+        | RcOp::Rename { input, .. }
         | RcOp::AttachConst { input, .. }
         | RcOp::MapMul { input, .. } => vec![*input],
         RcOp::Union { a, b }
@@ -978,6 +1085,10 @@ impl std::fmt::Display for RelationalCircuit {
                 }
                 RcOp::Order { input, by, out } => format!("Order(n{input} by {by} → {out})"),
                 RcOp::Truncate { input, capacity } => format!("Truncate(n{input} → {capacity})"),
+                RcOp::Rename { input, map } => {
+                    let pairs: Vec<String> = map.iter().map(|(a, b)| format!("{a}→{b}")).collect();
+                    format!("Rename(n{input}, {})", pairs.join(", "))
+                }
                 RcOp::AttachConst { input, var, value } => {
                     format!("Attach(n{input}, {var} := {value})")
                 }
@@ -1208,6 +1319,58 @@ mod tests {
         );
         let ram = rc.evaluate_ram(&db).unwrap();
         let expect = Relation::from_rows(vec![Var(0), Var(7)], vec![vec![1, 21], vec![2, 21]]);
+        assert_eq!(ram[0], expect);
+        let lowered = rc.lower(Mode::Build);
+        assert_eq!(lowered.run(&db).unwrap()[0], expect);
+    }
+
+    #[test]
+    fn rename_is_pure_rewiring() {
+        let mut rc = RelationalCircuit::new();
+        let r = rc.input("R", vs(&[0, 1]), 6);
+        // swap the two columns, then rename one out of the way
+        let swapped = rc.rename(r, &[(Var(0), Var(1)), (Var(1), Var(0))]);
+        let m = rc.rename(swapped, &[(Var(1), Var(7))]);
+        rc.mark_output(swapped);
+        rc.mark_output(m);
+        let mut db = Database::new();
+        let rel = Relation::from_rows(vec![Var(0), Var(1)], vec![vec![1, 2], vec![3, 4]]);
+        db.insert("R", rel.clone());
+        let ram = rc.evaluate_ram(&db).unwrap();
+        assert_eq!(
+            ram[0],
+            rel.rename(Var(0), Var(9))
+                .rename(Var(1), Var(0))
+                .rename(Var(9), Var(1))
+        );
+        let lowered = rc.lower(Mode::Build);
+        let circ = lowered.run(&db).unwrap();
+        assert_eq!(circ, ram);
+        // an identity rename adds no node
+        let mut rc2 = RelationalCircuit::new();
+        let r2 = rc2.input("R", vs(&[0, 1]), 6);
+        assert_eq!(rc2.rename(r2, &[(Var(0), Var(0))]), r2);
+        assert_eq!(rc2.nodes.len(), 1);
+    }
+
+    #[test]
+    fn sat_add_map_saturates_in_both_evaluators() {
+        let mut rc = RelationalCircuit::new();
+        let r = rc.input("R", vs(&[0, 1]), 4);
+        let m = rc.map_bin(r, Var(0), Var(1), Var(2), MapBinOp::SatAdd);
+        rc.mark_output(m);
+        let mut db = Database::new();
+        // u64::MAX is the circuit dummy sentinel, so drive the boundary
+        // from just below it: (MAX-1) + 5 must clamp, not wrap.
+        db.insert(
+            "R",
+            Relation::from_rows(
+                vec![Var(0), Var(1)],
+                vec![vec![u64::MAX - 1, 5], vec![3, 4]],
+            ),
+        );
+        let ram = rc.evaluate_ram(&db).unwrap();
+        let expect = Relation::from_rows(vec![Var(2)], vec![vec![u64::MAX], vec![7]]);
         assert_eq!(ram[0], expect);
         let lowered = rc.lower(Mode::Build);
         assert_eq!(lowered.run(&db).unwrap()[0], expect);

@@ -22,6 +22,13 @@ pub const ANNOT: Var = Var(62);
 const TMP: Var = Var(61);
 
 /// Commutative semirings with a word-level implementation.
+///
+/// Elements are `u64` words. `MinTropical`'s `∞` is [`Semiring::INF`]
+/// (`u64::MAX`): it is the additive identity (`min(∞, x) = x`) and `⊗`
+/// saturates so that `∞ ⊗ x = ∞`. `Natural` arithmetic saturates at
+/// `u64::MAX` instead of wrapping — the axioms survive saturation
+/// because `sat(x) = min(x, MAX)` commutes with `+`/`×`/`min`/`max`
+/// chains, so results are exact whenever the true value fits in a word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Semiring {
     /// `(ℕ, +, ×)` — counting; all-one annotations count derivations.
@@ -35,6 +42,12 @@ pub enum Semiring {
 }
 
 impl Semiring {
+    /// The `∞` element of [`Semiring::MinTropical`]. Reference-semantics
+    /// only: stored relations never materialize `∞` (it coincides with
+    /// the circuit layer's dummy-slot sentinel), they encode it as tuple
+    /// absence.
+    pub const INF: u64 = u64::MAX;
+
     /// Multiplicative identity.
     pub fn one(self) -> u64 {
         match self {
@@ -43,7 +56,24 @@ impl Semiring {
         }
     }
 
-    fn plus_agg(self, v: Var) -> AggKind {
+    /// Additive identity: the annotation of an absent tuple. For
+    /// `MinTropical` this is `∞` ([`Semiring::INF`]); for the others, 0.
+    pub fn zero(self) -> u64 {
+        match self {
+            Semiring::Natural | Semiring::Boolean | Semiring::MaxTropical => 0,
+            Semiring::MinTropical => Self::INF,
+        }
+    }
+
+    /// Whether `zero() ⊗ x = zero()` holds (true semiring annihilation).
+    /// `MaxTropical` over `ℕ` lacks a `-∞`, so its `zero()` is only the
+    /// `⊕`-identity, not absorbing for `⊗`.
+    pub fn has_absorbing_zero(self) -> bool {
+        !matches!(self, Semiring::MaxTropical)
+    }
+
+    /// The `⊕`-fold as a grouped aggregation over column `v`.
+    pub fn plus_agg(self, v: Var) -> AggKind {
         match self {
             Semiring::Natural => AggKind::Sum(v),
             Semiring::Boolean | Semiring::MaxTropical => AggKind::Max(v),
@@ -51,27 +81,32 @@ impl Semiring {
         }
     }
 
-    fn times_op(self) -> MapBinOp {
+    /// The word-level `⊗` gate. Tropical `⊗` lowers to a *saturating*
+    /// add so `∞ ⊗ x = ∞` holds bit-for-bit with the reference
+    /// semantics.
+    pub fn times_op(self) -> MapBinOp {
         match self {
             Semiring::Natural | Semiring::Boolean => MapBinOp::Mul,
-            Semiring::MinTropical | Semiring::MaxTropical => MapBinOp::Add,
+            Semiring::MinTropical | Semiring::MaxTropical => MapBinOp::SatAdd,
         }
     }
 
-    /// `a ⊕ b` (reference semantics).
+    /// `a ⊕ b` (reference semantics). Saturating: never wraps, and
+    /// `MinTropical`'s `∞` behaves as the identity.
     pub fn plus(self, a: u64, b: u64) -> u64 {
         match self {
-            Semiring::Natural => a + b,
+            Semiring::Natural => a.saturating_add(b),
             Semiring::Boolean | Semiring::MaxTropical => a.max(b),
             Semiring::MinTropical => a.min(b),
         }
     }
 
-    /// `a ⊗ b` (reference semantics).
+    /// `a ⊗ b` (reference semantics). Saturating: never wraps, and
+    /// `MinTropical`'s `∞` is absorbing (`∞ ⊗ x = ∞`).
     pub fn times(self, a: u64, b: u64) -> u64 {
         match self {
-            Semiring::Natural | Semiring::Boolean => a * b,
-            Semiring::MinTropical | Semiring::MaxTropical => a + b,
+            Semiring::Natural | Semiring::Boolean => a.saturating_mul(b),
+            Semiring::MinTropical | Semiring::MaxTropical => a.saturating_add(b),
         }
     }
 }
@@ -105,11 +140,21 @@ impl AggregateQuery {
             cq.atoms.len(),
             "one annotation slot per atom"
         );
+        // The circuit hardcodes TMP = Var(61) / ANNOT = Var(62) as scratch
+        // columns; a query (or annotation) actually using them would
+        // silently collide — reject with a typed error instead. `all_vars`
+        // only covers named variables, so also scan the atoms themselves
+        // (a programmatic Cq can use sparse indices without names).
+        let used: VarSet = cq.atoms.iter().fold(cq.free, |acc, a| acc.union(a.vars));
+        for v in [TMP, ANNOT] {
+            if used.contains(v) {
+                return Err(YannakakisError::ReservedVariable(v));
+            }
+        }
         for a in annotations.iter().flatten() {
-            assert!(
-                !cq.all_vars().contains(*a) && a.0 < 61,
-                "annotation column must be a fresh variable below 61"
-            );
+            if used.contains(*a) || cq.all_vars().contains(*a) || a.0 >= TMP.0 {
+                return Err(YannakakisError::BadAnnotation(*a));
+            }
         }
         let (ghd, width) = da_fhtw(cq, dc, ghd_limit)?;
         Ok(AggregateQuery {
@@ -379,6 +424,85 @@ mod tests {
             })
             .collect();
         Relation::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn min_tropical_has_a_real_infinity() {
+        let sr = Semiring::MinTropical;
+        let inf = Semiring::INF;
+        assert_eq!(sr.zero(), inf);
+        // ∞ is the ⊕-identity ...
+        assert_eq!(sr.plus(inf, 17), 17);
+        assert_eq!(sr.plus(17, inf), 17);
+        assert_eq!(sr.plus(inf, inf), inf);
+        // ... and absorbing for ⊗ (no wrap-around back into ℕ)
+        assert_eq!(sr.times(inf, 17), inf);
+        assert_eq!(sr.times(17, inf), inf);
+        assert_eq!(sr.times(inf, inf), inf);
+        assert_eq!(sr.times(inf, sr.one()), inf);
+        // near-boundary sums saturate instead of wrapping
+        assert_eq!(sr.times(inf - 1, 2), inf);
+        assert_eq!(sr.times(inf - 1, 1), inf);
+    }
+
+    #[test]
+    fn natural_saturates_instead_of_wrapping() {
+        let sr = Semiring::Natural;
+        let max = u64::MAX;
+        // release-mode wrapping would give 0 / small values here
+        assert_eq!(sr.plus(max, 1), max);
+        assert_eq!(sr.plus(max, max), max);
+        assert_eq!(sr.times(max, 2), max);
+        assert_eq!(sr.times(1 << 32, 1 << 32), max);
+        // exact below the boundary
+        assert_eq!(sr.plus(max - 1, 1), max);
+        assert_eq!(sr.times(1 << 31, 1 << 31), 1 << 62);
+        assert_eq!(sr.times(sr.zero(), max), 0);
+    }
+
+    #[test]
+    fn max_tropical_saturates() {
+        let sr = Semiring::MaxTropical;
+        assert_eq!(sr.times(u64::MAX - 1, 5), u64::MAX);
+        assert_eq!(sr.plus(sr.zero(), 9), 9);
+        assert!(!sr.has_absorbing_zero());
+    }
+
+    #[test]
+    fn reserved_variable_collision_is_a_typed_error() {
+        // A CQ that actually uses Var(61)/Var(62) must be rejected, not
+        // silently collide with the TMP/ANNOT scratch columns.
+        for reserved in [61, 62] {
+            let cq = Cq {
+                var_names: Vec::new(),
+                free: vs(&[reserved]),
+                atoms: vec![qec_query::Atom {
+                    name: "R".into(),
+                    vars: vs(&[reserved, 1]),
+                }],
+            };
+            let dc = dc_for(&cq, 8);
+            let err = AggregateQuery::new(&cq, &dc, Semiring::Natural, vec![None], 400)
+                .err()
+                .expect("reserved variable must be rejected");
+            assert!(
+                matches!(err, YannakakisError::ReservedVariable(v) if v.0 == reserved),
+                "{err}"
+            );
+        }
+        // ... and an annotation column inside the query's variables (or in
+        // the reserved range) is equally typed, not an assert.
+        let cq = parse_cq("Q(a) :- R(a, b)").unwrap();
+        let dc = dc_for(&cq, 8);
+        for bad in [Var(1), Var(61), Var(62)] {
+            let err = AggregateQuery::new(&cq, &dc, Semiring::Natural, vec![Some(bad)], 400)
+                .err()
+                .expect("bad annotation must be rejected");
+            assert!(
+                matches!(err, YannakakisError::BadAnnotation(v) if v == bad),
+                "{err}"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum YannakakisError {
     Bound(BoundError),
     /// RAM evaluation failed.
     Eval(RcError),
+    /// The query (or an annotation column) uses a variable that collides
+    /// with the reserved internal scratch columns `Var(61)`/`Var(62)`.
+    ReservedVariable(Var),
+    /// An annotation column is not a fresh variable (it appears among the
+    /// query's variables or is not below the reserved range).
+    BadAnnotation(Var),
 }
 
 impl std::fmt::Display for YannakakisError {
@@ -45,6 +51,14 @@ impl std::fmt::Display for YannakakisError {
             YannakakisError::Compile(e) => write!(f, "bag compilation failed: {e}"),
             YannakakisError::Bound(e) => write!(f, "bag bound failed: {e}"),
             YannakakisError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            YannakakisError::ReservedVariable(v) => write!(
+                f,
+                "query variable {v} collides with the reserved internal scratch columns (variables 61/62)"
+            ),
+            YannakakisError::BadAnnotation(v) => write!(
+                f,
+                "annotation column {v} must be a fresh variable below 61"
+            ),
         }
     }
 }

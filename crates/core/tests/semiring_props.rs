@@ -1,0 +1,124 @@
+//! Property tests: the commutative-semiring axioms for every
+//! [`Semiring`], driven across ∞/overflow boundary values.
+//!
+//! Saturating word arithmetic keeps the axioms intact because
+//! `sat(x) = min(x, u64::MAX)` commutes with `+`/`×`/`min`/`max`
+//! chains: every law below holds exactly, not just below the boundary.
+//! The one structural exception is `MaxTropical`, whose carrier ℕ has no
+//! `-∞`; its `zero()` is the `⊕`-identity but not `⊗`-absorbing, which
+//! `has_absorbing_zero()` records.
+
+use proptest::prelude::*;
+use qec_core::Semiring;
+
+const ALL: [Semiring; 4] = [
+    Semiring::Natural,
+    Semiring::Boolean,
+    Semiring::MinTropical,
+    Semiring::MaxTropical,
+];
+
+/// Values biased toward the interesting edges: identities, small
+/// naturals, powers of two, and the saturation boundary (∞ = u64::MAX).
+fn boundary_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..8,
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        Just(u64::MAX / 2),
+        Just(1u64 << 32),
+        Just(1u64 << 63),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn plus_is_commutative_and_associative(
+        a in boundary_value(),
+        b in boundary_value(),
+        c in boundary_value(),
+    ) {
+        for sr in ALL {
+            prop_assert_eq!(sr.plus(a, b), sr.plus(b, a), "{:?} ⊕ comm", sr);
+            prop_assert_eq!(
+                sr.plus(sr.plus(a, b), c),
+                sr.plus(a, sr.plus(b, c)),
+                "{:?} ⊕ assoc", sr
+            );
+        }
+    }
+
+    #[test]
+    fn times_is_commutative_and_associative(
+        a in boundary_value(),
+        b in boundary_value(),
+        c in boundary_value(),
+    ) {
+        for sr in ALL {
+            prop_assert_eq!(sr.times(a, b), sr.times(b, a), "{:?} ⊗ comm", sr);
+            prop_assert_eq!(
+                sr.times(sr.times(a, b), c),
+                sr.times(a, sr.times(b, c)),
+                "{:?} ⊗ assoc", sr
+            );
+        }
+    }
+
+    #[test]
+    fn identities(a in boundary_value()) {
+        for sr in ALL {
+            prop_assert_eq!(sr.plus(sr.zero(), a), a, "{:?} 0̄ ⊕ a", sr);
+            prop_assert_eq!(sr.plus(a, sr.zero()), a, "{:?} a ⊕ 0̄", sr);
+            prop_assert_eq!(sr.times(sr.one(), a), a, "{:?} 1̄ ⊗ a", sr);
+            prop_assert_eq!(sr.times(a, sr.one()), a, "{:?} a ⊗ 1̄", sr);
+        }
+    }
+
+    #[test]
+    fn times_distributes_over_plus(
+        a in boundary_value(),
+        b in boundary_value(),
+        c in boundary_value(),
+    ) {
+        for sr in ALL {
+            prop_assert_eq!(
+                sr.times(a, sr.plus(b, c)),
+                sr.plus(sr.times(a, b), sr.times(a, c)),
+                "{:?} distributivity", sr
+            );
+            prop_assert_eq!(
+                sr.times(sr.plus(b, c), a),
+                sr.plus(sr.times(b, a), sr.times(c, a)),
+                "{:?} right distributivity", sr
+            );
+        }
+    }
+
+    #[test]
+    fn zero_annihilates(a in boundary_value()) {
+        for sr in ALL {
+            if sr.has_absorbing_zero() {
+                prop_assert_eq!(sr.times(sr.zero(), a), sr.zero(), "{:?} 0̄ ⊗ a", sr);
+                prop_assert_eq!(sr.times(a, sr.zero()), sr.zero(), "{:?} a ⊗ 0̄", sr);
+            } else {
+                // MaxTropical: zero() is still the ⊗-identity (0 + a = a)
+                prop_assert_eq!(sr.times(sr.zero(), a), a, "{:?} 0 ⊗ a", sr);
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_never_wraps(a in boundary_value(), b in boundary_value()) {
+        // The release-mode wrap this replaces: a ⊕ b / a ⊗ b must never
+        // come out *smaller* than both operands under Natural, and
+        // MinTropical's ∞ must be a fixed point of ⊗.
+        let n = Semiring::Natural;
+        prop_assert!(n.plus(a, b) >= a.max(b));
+        if a >= 1 && b >= 1 {
+            prop_assert!(n.times(a, b) >= a.max(b));
+        }
+        let t = Semiring::MinTropical;
+        prop_assert_eq!(t.times(Semiring::INF, a), Semiring::INF);
+        prop_assert!(t.times(a, b) >= a.max(b));
+    }
+}

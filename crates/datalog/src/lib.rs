@@ -1,0 +1,144 @@
+//! Recursive Datalog over semirings, compiled to bounded-fixpoint
+//! circuits.
+//!
+//! A Datalog program (parsed by `qec-query`'s [`qec_query::parse_program`])
+//! is evaluated to its `N`-bounded fixpoint by **unrolling semi-naive
+//! evaluation**: iteration 0 fires the non-recursive rules, and each
+//! subsequent round fires, for every recursive rule and every IDB body
+//! position, one *delta instance* of the rule — the chosen position reads
+//! the previous round's delta, the other IDB positions read the
+//! accumulated relation. Each round's contributions are `⊕`-merged per
+//! head predicate and capped at the trivial output bound `d^arity` over a
+//! domain of size `d`.
+//!
+//! Three consumers share that one scheme, so they agree tuple-for-tuple:
+//!
+//! * [`compile`] emits it as a [`qec_core::RelationalCircuit`] — every
+//!   round is ordinary operator gates (`rename`/`join_degree`/
+//!   `aggregate`/`union`/`truncate`), so the existing lowering and its
+//!   online hash-consing collapse the cross-iteration redundancy;
+//! * [`seminaive`] runs it directly on RAM relations (the reference the
+//!   differ compares circuits against);
+//! * [`provenance`] runs it in the *free* semiring, recording each output
+//!   tuple's derivation polynomial as a hash-consed
+//!   [`qec_circuit::ProvCircuit`] DAG (the factorised representation).
+//!
+//! Fixpoint semantics require an **idempotent** `⊕` (the delta scheme
+//! re-derives facts freely, and `x ⊕ x = x` makes that harmless):
+//! Boolean and the two tropical semirings qualify; recursion under the
+//! counting semiring `ℕ` is rejected with a typed error — with cycles it
+//! has no finite fixpoint at all.
+
+mod compile;
+mod program;
+mod seminaive;
+pub mod workloads;
+
+pub use compile::{compile, FixpointBounds, FixpointCircuit, ANNOT, MAX_SLOTS};
+pub use program::{DatalogProgram, PredInfo};
+pub use seminaive::{
+    database, eval_provenance, provenance, result_relation, seminaive, FixpointResult, ProvResult,
+};
+
+use qec_core::Semiring;
+use qec_query::CqError;
+use qec_relation::Var;
+
+/// Everything that can go wrong between program text and fixpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatalogError {
+    /// The program text failed to parse.
+    Parse(CqError),
+    /// Two rules name different semirings.
+    ConflictingSemirings(&'static str, &'static str),
+    /// Recursion under a non-idempotent `⊕` (the counting semiring):
+    /// the delta scheme is unsound and cyclic programs have no finite
+    /// fixpoint.
+    NonIdempotent(Semiring),
+    /// A `*`-annotated EDB atom in a Boolean program — there is no
+    /// annotation column to read.
+    AnnotatedEdbInBoolean(String),
+    /// An IDB predicate with no non-recursive rule: its fixpoint starts
+    /// empty and the unrolling has no base relation to seed it with.
+    NoBaseCase(String),
+    /// A rule with more annotated body atoms than the scratch columns
+    /// (`Var(48..=60)`) can hold.
+    TooManyAnnotated(String),
+    /// A circuit wire would exceed [`MAX_SLOTS`] slots; shrink the
+    /// domain or the rule bodies.
+    TooLarge {
+        /// The offending capacity.
+        capacity: u64,
+        /// The limit it exceeded.
+        limit: u64,
+    },
+    /// The database lacks a relation for this EDB predicate.
+    MissingRelation(String),
+    /// A stored relation's schema does not match the predicate's
+    /// canonical schema.
+    SchemaMismatch {
+        /// The predicate.
+        name: String,
+        /// What the program requires.
+        expected: Vec<Var>,
+    },
+    /// A tuple carries a key value outside `0..domain` (or the reserved
+    /// `u64::MAX` as an annotation weight).
+    BadValue {
+        /// The predicate holding the tuple.
+        name: String,
+        /// The offending field value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatalogError::Parse(e) => write!(f, "parse error: {e}"),
+            DatalogError::ConflictingSemirings(a, b) => {
+                write!(f, "rules name conflicting semirings @{a} and @{b}")
+            }
+            DatalogError::NonIdempotent(sr) => write!(
+                f,
+                "recursion under {sr:?} is unsupported: its ⊕ is not idempotent, \
+                 so cyclic programs have no finite fixpoint"
+            ),
+            DatalogError::AnnotatedEdbInBoolean(p) => write!(
+                f,
+                "EDB predicate {p} is *-annotated but the program is Boolean \
+                 (no @min/@max rule annotation)"
+            ),
+            DatalogError::NoBaseCase(p) => {
+                write!(f, "IDB predicate {p} has no non-recursive rule")
+            }
+            DatalogError::TooManyAnnotated(r) => write!(
+                f,
+                "rule {r} has more annotated body atoms than scratch columns (13)"
+            ),
+            DatalogError::TooLarge { capacity, limit } => write!(
+                f,
+                "a circuit wire would need {capacity} slots (limit {limit}); \
+                 shrink the domain or the rule bodies"
+            ),
+            DatalogError::MissingRelation(p) => write!(f, "no relation for EDB predicate {p}"),
+            DatalogError::SchemaMismatch { name, expected } => {
+                write!(
+                    f,
+                    "relation {name} does not match canonical schema {expected:?}"
+                )
+            }
+            DatalogError::BadValue { name, value } => {
+                write!(f, "relation {name} holds out-of-range value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<CqError> for DatalogError {
+    fn from(e: CqError) -> Self {
+        DatalogError::Parse(e)
+    }
+}

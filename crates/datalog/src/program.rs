@@ -1,0 +1,268 @@
+//! Program analysis: IDB/EDB split, semiring resolution, and the
+//! canonical per-predicate schemas shared by the compiler, the RAM
+//! reference, and the database builder.
+
+use crate::DatalogError;
+use qec_core::Semiring;
+use qec_query::{parse_program, Program, SemiringAnnot};
+use qec_relation::{Var, VarSet};
+
+use crate::compile::ANNOT;
+
+/// The number of annotation scratch columns available per rule
+/// (`Var(48..=60)`; 61/62 are the core's reserved `TMP`/`ANNOT`).
+pub(crate) const MAX_ANNOTATED_ATOMS: usize = 13;
+
+/// One predicate of an analyzed program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PredInfo {
+    /// Predicate name.
+    pub name: String,
+    /// Number of key columns.
+    pub arity: usize,
+    /// `true` when the predicate appears in some rule head.
+    pub is_idb: bool,
+    /// `true` when the stored relation carries an annotation column:
+    /// `*`-marked EDBs, and every IDB of a non-Boolean program.
+    pub annotated: bool,
+}
+
+impl PredInfo {
+    /// Canonical key columns `Var(0..arity)`.
+    pub fn keys(&self) -> VarSet {
+        VarSet::full(self.arity as u32)
+    }
+
+    /// Canonical stored schema: keys plus [`ANNOT`] when annotated.
+    pub fn schema(&self) -> VarSet {
+        if self.annotated {
+            self.keys().with(ANNOT)
+        } else {
+            self.keys()
+        }
+    }
+}
+
+/// An analyzed Datalog program: the parsed rules plus the derived facts
+/// every consumer needs (predicate table, resolved semiring, output
+/// predicate).
+#[derive(Clone, Debug)]
+pub struct DatalogProgram {
+    /// The parsed rules.
+    pub program: Program,
+    /// All predicates, IDBs first in first-head order, then EDBs in
+    /// first-use order.
+    pub preds: Vec<PredInfo>,
+    /// The single semiring every rule is evaluated under (`Boolean`
+    /// when no rule is annotated).
+    pub semiring: Semiring,
+    /// The output predicate: the head of the first rule.
+    pub output: String,
+}
+
+fn resolve_semiring(p: &Program) -> Result<Semiring, DatalogError> {
+    let mut chosen: Option<SemiringAnnot> = None;
+    for r in &p.rules {
+        if let Some(sr) = r.semiring {
+            match chosen {
+                None => chosen = Some(sr),
+                Some(prev) if prev != sr => {
+                    return Err(DatalogError::ConflictingSemirings(
+                        annot_name(prev),
+                        annot_name(sr),
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(match chosen {
+        None | Some(SemiringAnnot::Boolean) => Semiring::Boolean,
+        Some(SemiringAnnot::Natural) => Semiring::Natural,
+        Some(SemiringAnnot::MinTropical) => Semiring::MinTropical,
+        Some(SemiringAnnot::MaxTropical) => Semiring::MaxTropical,
+    })
+}
+
+fn annot_name(a: SemiringAnnot) -> &'static str {
+    match a {
+        SemiringAnnot::Boolean => "bool",
+        SemiringAnnot::Natural => "nat",
+        SemiringAnnot::MinTropical => "min",
+        SemiringAnnot::MaxTropical => "max",
+    }
+}
+
+impl DatalogProgram {
+    /// Parses and [`analyze`](Self::analyze)s `src` in one step.
+    pub fn parse(src: &str) -> Result<DatalogProgram, DatalogError> {
+        Self::analyze(parse_program(src)?)
+    }
+
+    /// Analyzes a parsed program: splits IDB/EDB, resolves the single
+    /// program semiring, and rejects the combinations the fixpoint
+    /// compiler cannot handle (recursion under `ℕ`, annotated EDBs in a
+    /// Boolean program, IDBs without a base case, rules with more
+    /// annotated atoms than scratch columns).
+    pub fn analyze(program: Program) -> Result<DatalogProgram, DatalogError> {
+        let semiring = resolve_semiring(&program)?;
+        let idbs: Vec<String> = program
+            .idb_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let is_idb = |n: &str| idbs.iter().any(|i| i == n);
+
+        let mut preds: Vec<PredInfo> = idbs
+            .iter()
+            .map(|n| {
+                let arity = program
+                    .rules
+                    .iter()
+                    .find(|r| &r.head.name == n)
+                    .expect("idb has a head")
+                    .head
+                    .vars
+                    .len();
+                PredInfo {
+                    name: n.clone(),
+                    arity,
+                    is_idb: true,
+                    annotated: semiring != Semiring::Boolean,
+                }
+            })
+            .collect();
+        for r in &program.rules {
+            for a in &r.body {
+                if !is_idb(&a.name) && !preds.iter().any(|p| p.name == a.name) {
+                    if a.annotated && semiring == Semiring::Boolean {
+                        return Err(DatalogError::AnnotatedEdbInBoolean(a.name.clone()));
+                    }
+                    preds.push(PredInfo {
+                        name: a.name.clone(),
+                        arity: a.vars.len(),
+                        is_idb: false,
+                        annotated: a.annotated,
+                    });
+                }
+            }
+        }
+
+        let recursive = program
+            .rules
+            .iter()
+            .any(|r| r.body.iter().any(|a| is_idb(&a.name)));
+        if recursive && semiring == Semiring::Natural {
+            return Err(DatalogError::NonIdempotent(semiring));
+        }
+
+        for idb in &idbs {
+            let has_base = program
+                .rules
+                .iter()
+                .any(|r| &r.head.name == idb && !r.body.iter().any(|a| is_idb(&a.name)));
+            if !has_base {
+                return Err(DatalogError::NoBaseCase(idb.clone()));
+            }
+        }
+
+        if semiring != Semiring::Boolean {
+            for r in &program.rules {
+                let annotated = r
+                    .body
+                    .iter()
+                    .filter(|a| a.annotated || is_idb(&a.name))
+                    .count();
+                if annotated > MAX_ANNOTATED_ATOMS {
+                    return Err(DatalogError::TooManyAnnotated(r.head.name.clone()));
+                }
+            }
+        }
+
+        let output = program.rules[0].head.name.clone();
+        Ok(DatalogProgram {
+            program,
+            preds,
+            semiring,
+            output,
+        })
+    }
+
+    /// Looks up a predicate.
+    pub fn pred(&self, name: &str) -> Option<&PredInfo> {
+        self.preds.iter().find(|p| p.name == name)
+    }
+
+    /// The EDB predicates, in first-use order.
+    pub fn edbs(&self) -> impl Iterator<Item = &PredInfo> {
+        self.preds.iter().filter(|p| !p.is_idb)
+    }
+
+    /// Whether `name` appears in some rule head.
+    pub fn is_idb(&self, name: &str) -> bool {
+        self.pred(name).is_some_and(|p| p.is_idb)
+    }
+
+    /// Whether a body atom reads an annotation: `*`-marked EDBs and
+    /// (in non-Boolean programs) every IDB atom.
+    pub(crate) fn atom_annotated(&self, atom: &qec_query::ProgramAtom) -> bool {
+        self.pred(&atom.name).is_some_and(|p| p.annotated)
+    }
+}
+
+/// Scratch column for the `j`-th body atom's annotation during rule
+/// compilation (and the `Var` a derived annotation is folded into).
+pub(crate) fn scratch(j: usize) -> Var {
+    debug_assert!(j < MAX_ANNOTATED_ATOMS);
+    Var(48 + j as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn analyzes_transitive_closure() {
+        let dp = DatalogProgram::parse(workloads::TRANSITIVE_CLOSURE).unwrap();
+        assert_eq!(dp.semiring, Semiring::Boolean);
+        assert_eq!(dp.output, "path");
+        let path = dp.pred("path").unwrap();
+        assert!(path.is_idb && !path.annotated && path.arity == 2);
+        let edge = dp.pred("edge").unwrap();
+        assert!(!edge.is_idb && !edge.annotated);
+        assert_eq!(edge.schema().to_vec(), vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn analyzes_shortest_path() {
+        let dp = DatalogProgram::parse(workloads::SHORTEST_PATH).unwrap();
+        assert_eq!(dp.semiring, Semiring::MinTropical);
+        let dist = dp.pred("dist").unwrap();
+        assert!(dist.is_idb && dist.annotated);
+        assert_eq!(dist.schema().to_vec(), vec![Var(0), Var(1), ANNOT]);
+        let edge = dp.pred("edge").unwrap();
+        assert!(edge.annotated, "starred EDB carries a weight column");
+    }
+
+    #[test]
+    fn rejects_unsupported_programs() {
+        // counting semiring + recursion: no finite fixpoint
+        let e = DatalogProgram::parse("p(x) :- e(x). p(x) :- p(y), e2(y, x) @nat.")
+            .expect_err("nat recursion rejected");
+        assert_eq!(e, DatalogError::NonIdempotent(Semiring::Natural));
+        // non-recursive counting is fine
+        assert!(DatalogProgram::parse("p(x) :- e(x, y) @nat.").is_ok());
+        // conflicting annotations
+        let e = DatalogProgram::parse("p(x) :- e(x) @min. q(x) :- e(x) @max.")
+            .expect_err("conflict rejected");
+        assert_eq!(e, DatalogError::ConflictingSemirings("min", "max"));
+        // starred EDB without a semiring
+        let e = DatalogProgram::parse("p(x) :- e*(x, y).").expect_err("boolean star rejected");
+        assert_eq!(e, DatalogError::AnnotatedEdbInBoolean("e".into()));
+        // IDB with only recursive rules
+        let e = DatalogProgram::parse("p(x) :- q(x). q(x) :- p(x). p(x) :- e(x).")
+            .expect_err("no base case rejected");
+        assert_eq!(e, DatalogError::NoBaseCase("q".into()));
+    }
+}

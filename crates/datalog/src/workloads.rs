@@ -1,0 +1,78 @@
+//! The three graph workloads of X24, plus deterministic random-graph
+//! generators (a local splitmix64; no external RNG).
+
+/// Transitive closure under the Boolean semiring: which pairs are
+/// connected by a directed path?
+pub const TRANSITIVE_CLOSURE: &str =
+    "path(x, y) :- edge(x, y). path(x, z) :- path(x, y), edge(y, z).";
+
+/// Single-source reachability under the Boolean semiring (`start` holds
+/// the source vertices).
+pub const REACHABILITY: &str = "reach(y) :- start(y). reach(z) :- reach(y), edge(y, z).";
+
+/// All-pairs shortest path under the min-tropical semiring: `edge*`
+/// carries a weight column, `⊗` adds along a path, `⊕` keeps the
+/// minimum over paths.
+pub const SHORTEST_PATH: &str =
+    "dist(x, y) :- edge*(x, y) @min. dist(x, z) :- dist(x, y), edge*(y, z) @min.";
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Up to `m` distinct directed edges (no self-loops) over vertices
+/// `0..domain`, deterministically from `seed`.
+pub fn random_edges(domain: u64, m: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut state = seed ^ 0xd1a70c0de;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for _ in 0..8 * m.max(1) {
+        if out.len() >= m {
+            break;
+        }
+        let a = splitmix64(&mut state) % domain;
+        let b = splitmix64(&mut state) % domain;
+        if a != b && seen.insert((a, b)) {
+            out.push(vec![a, b]);
+        }
+    }
+    out
+}
+
+/// Like [`random_edges`], with a weight column in `1..=max_w`.
+pub fn random_weighted_edges(domain: u64, m: usize, max_w: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut state = seed ^ 0x77e19;
+    random_edges(domain, m, seed)
+        .into_iter()
+        .map(|mut e| {
+            e.push(1 + splitmix64(&mut state) % max_w.max(1));
+            e
+        })
+        .collect()
+}
+
+/// Vertices `0..k` as unary rows — the `start` relation of
+/// [`REACHABILITY`].
+pub fn start_rows(k: u64) -> Vec<Vec<u64>> {
+    (0..k).map(|v| vec![v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_in_range() {
+        let a = random_edges(8, 12, 42);
+        let b = random_edges(8, 12, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|e| e[0] < 8 && e[1] < 8 && e[0] != e[1]));
+        let w = random_weighted_edges(8, 12, 5, 42);
+        assert!(w.iter().all(|e| (1..=5).contains(&e[2])));
+        assert_ne!(random_edges(8, 12, 43), a, "seed matters");
+    }
+}

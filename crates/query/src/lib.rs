@@ -28,4 +28,4 @@ pub use corpus::{bowtie, full_star, k_cycle, k_path, k_star, loomis_whitney, sno
 pub use cover::{fractional_cover_of, fractional_edge_cover, CoverError, EdgeCover};
 pub use cq::{Atom, Cq, CqError, Hypergraph};
 pub use ghd::{enumerate_ghds, Ghd, GhdNode};
-pub use parser::parse_cq;
+pub use parser::{parse_cq, parse_program, Program, ProgramAtom, ProgramRule, SemiringAnnot};

@@ -1,6 +1,7 @@
-//! A small datalog-style parser for conjunctive queries.
+//! A small datalog-style parser for conjunctive queries and (recursive)
+//! Datalog programs.
 //!
-//! Grammar (whitespace-insensitive):
+//! CQ grammar (whitespace-insensitive):
 //!
 //! ```text
 //! query  := head ":-" body "."?
@@ -12,6 +13,21 @@
 //!
 //! Example: `Q(a, c) :- R(a, b), S(b, c)` — `b` is existentially
 //! quantified because it does not appear in the head.
+//!
+//! Program grammar ([`parse_program`]) — a sequence of rules, possibly
+//! recursive, with optional per-rule semiring annotations and annotated
+//! EDB atoms:
+//!
+//! ```text
+//! program := rule+
+//! rule    := head ":-" atom ("," atom)* ("@" semiring)? "."
+//! atom    := ident "*"? "(" varlist ")"
+//! semiring:= "bool" | "nat" | "min" | "max"
+//! ```
+//!
+//! `edge*(x, y)` marks an annotated EDB atom: its stored relation
+//! carries one extra annotation column after the listed key variables.
+//! The final rule's `.` may be omitted.
 
 use qec_relation::{Var, VarSet};
 
@@ -30,6 +46,8 @@ enum Tok {
     Comma,
     Turnstile,
     Dot,
+    At,
+    Star,
     Eof,
 }
 
@@ -63,6 +81,14 @@ impl<'a> Lexer<'a> {
             b'.' => {
                 self.pos += 1;
                 Ok(Tok::Dot)
+            }
+            b'@' => {
+                self.pos += 1;
+                Ok(Tok::At)
+            }
+            b'*' => {
+                self.pos += 1;
+                Ok(Tok::Star)
             }
             b':' => {
                 if bytes.get(self.pos + 1) == Some(&b'-') {
@@ -234,6 +260,315 @@ pub fn parse_cq(src: &str) -> Result<Cq, CqError> {
     Cq::new(var_names, atoms, free)
 }
 
+/// The semiring named by a rule annotation (`@bool` / `@nat` / `@min` /
+/// `@max`). The query layer only records the name; `qec-core` owns the
+/// arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SemiringAnnot {
+    /// `@bool` — Boolean provenance (the default when unannotated).
+    Boolean,
+    /// `@nat` — counting.
+    Natural,
+    /// `@min` — min-tropical (shortest derivations).
+    MinTropical,
+    /// `@max` — max-tropical (heaviest derivations).
+    MaxTropical,
+}
+
+impl SemiringAnnot {
+    fn from_name(name: &str) -> Option<SemiringAnnot> {
+        match name {
+            "bool" => Some(SemiringAnnot::Boolean),
+            "nat" => Some(SemiringAnnot::Natural),
+            "min" => Some(SemiringAnnot::MinTropical),
+            "max" => Some(SemiringAnnot::MaxTropical),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SemiringAnnot::Boolean => "bool",
+            SemiringAnnot::Natural => "nat",
+            SemiringAnnot::MinTropical => "min",
+            SemiringAnnot::MaxTropical => "max",
+        }
+    }
+}
+
+/// One atom of a Datalog rule: a predicate applied to named variables,
+/// optionally `*`-marked as carrying a stored annotation column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramAtom {
+    /// Predicate name.
+    pub name: String,
+    /// Argument variable names, positionally.
+    pub vars: Vec<String>,
+    /// `true` for `name*(...)`: the stored EDB relation has one extra
+    /// annotation column after the key columns.
+    pub annotated: bool,
+}
+
+/// One rule `head :- body [@semiring].` of a Datalog program. Variable
+/// scope is per-rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramRule {
+    /// Head atom (never `*`-annotated; IDB annotations are implicit).
+    pub head: ProgramAtom,
+    /// Body atoms, in source order.
+    pub body: Vec<ProgramAtom>,
+    /// The rule's semiring annotation, if written.
+    pub semiring: Option<SemiringAnnot>,
+}
+
+/// A parsed (possibly recursive) Datalog program: rules in source order.
+/// Predicates that appear in some head are IDBs; the rest are EDBs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<ProgramRule>,
+}
+
+impl Program {
+    /// Predicate names appearing in some head (IDB), in first-head order.
+    pub fn idb_names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.rules {
+            if !out.contains(&r.head.name.as_str()) {
+                out.push(&r.head.name);
+            }
+        }
+        out
+    }
+
+    /// Alpha-canonical source text: per-rule variables renamed to
+    /// `v0, v1, ...` in order of first occurrence (head first), rules in
+    /// source order, one trailing `.` each. Two programs differing only
+    /// in variable spelling or whitespace canonicalize identically —
+    /// this is the plan-cache key text for served Datalog programs.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        fn pos_of(n: &str, order: &mut Vec<String>) -> usize {
+            if let Some(i) = order.iter().position(|x| x == n) {
+                i
+            } else {
+                order.push(n.to_string());
+                order.len() - 1
+            }
+        }
+        fn fmt_atom(a: &ProgramAtom, order: &mut Vec<String>) -> String {
+            let vars: Vec<String> = a
+                .vars
+                .iter()
+                .map(|v| format!("v{}", pos_of(v, order)))
+                .collect();
+            format!(
+                "{}{}({})",
+                a.name,
+                if a.annotated { "*" } else { "" },
+                vars.join(", ")
+            )
+        }
+        for r in &self.rules {
+            let mut order: Vec<String> = Vec::new();
+            let head = fmt_atom(&r.head, &mut order);
+            let body: Vec<String> = r.body.iter().map(|a| fmt_atom(a, &mut order)).collect();
+            let _ = write!(out, "{} :- {}", head, body.join(", "));
+            if let Some(sr) = r.semiring {
+                let _ = write!(out, " @{}", sr.name());
+            }
+            out.push_str(". ");
+        }
+        out.trim_end().to_string()
+    }
+}
+
+/// Parses a recursive Datalog program; see the module docs for the
+/// grammar. Validates, per rule, that atoms are non-empty, no atom
+/// repeats a variable, every head variable occurs in the body (range
+/// restriction), and at most 48 distinct variables appear (columns 48+
+/// are reserved for the fixpoint compiler's annotation scratch space);
+/// and, across rules, that each predicate keeps one arity, that `*`
+/// marks are consistent per predicate, and that IDB predicates (those
+/// appearing in a head) are never `*`-marked — their annotations are
+/// implicit in the semiring.
+///
+/// ```
+/// use qec_query::parse_program;
+/// let p = parse_program(
+///     "path(x, y) :- edge(x, y). path(x, z) :- path(x, y), edge(y, z).",
+/// )
+/// .unwrap();
+/// assert_eq!(p.rules.len(), 2);
+/// assert_eq!(p.idb_names(), vec!["path"]);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, CqError> {
+    let mut p = Parser {
+        lexer: Lexer::new(src),
+        peeked: None,
+    };
+    let mut rules = Vec::new();
+    loop {
+        if p.peek()? == &Tok::Eof {
+            break;
+        }
+        rules.push(parse_rule(&mut p)?);
+    }
+    if rules.is_empty() {
+        return Err(CqError::Parse("empty program".into()));
+    }
+    validate_program(&rules)?;
+    Ok(Program { rules })
+}
+
+fn parse_atom(p: &mut Parser<'_>) -> Result<ProgramAtom, CqError> {
+    let name = p.ident()?;
+    let annotated = if p.peek()? == &Tok::Star {
+        p.bump()?;
+        true
+    } else {
+        false
+    };
+    p.expect(Tok::LParen)?;
+    let vars = p.varlist()?;
+    p.expect(Tok::RParen)?;
+    if vars.is_empty() {
+        return Err(CqError::MalformedAtom(name));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for v in &vars {
+        if !seen.insert(v.clone()) {
+            return Err(CqError::MalformedAtom(format!(
+                "{name} repeats variable {v}"
+            )));
+        }
+    }
+    Ok(ProgramAtom {
+        name,
+        vars,
+        annotated,
+    })
+}
+
+fn parse_rule(p: &mut Parser<'_>) -> Result<ProgramRule, CqError> {
+    let head = parse_atom(p)?;
+    if head.annotated {
+        return Err(CqError::Parse(format!(
+            "head atom {} cannot be '*'-annotated (IDB annotations are implicit)",
+            head.name
+        )));
+    }
+    p.expect(Tok::Turnstile)?;
+    let mut body = vec![parse_atom(p)?];
+    while p.peek()? == &Tok::Comma {
+        p.bump()?;
+        body.push(parse_atom(p)?);
+    }
+    let semiring = if p.peek()? == &Tok::At {
+        p.bump()?;
+        let name = p.ident()?;
+        Some(SemiringAnnot::from_name(&name).ok_or_else(|| {
+            CqError::Parse(format!(
+                "unknown semiring annotation @{name} (expected bool, nat, min, or max)"
+            ))
+        })?)
+    } else {
+        None
+    };
+    match p.bump()? {
+        Tok::Dot => {}
+        Tok::Eof => {
+            // final '.' is optional, but only at the very end
+            p.peeked = Some(Tok::Eof);
+        }
+        got => {
+            return Err(CqError::Parse(format!(
+                "expected '.' after rule, found {got:?}"
+            )))
+        }
+    }
+    // range restriction + per-rule variable budget
+    let mut rule_vars: Vec<&String> = Vec::new();
+    for a in std::iter::once(&head).chain(body.iter()) {
+        for v in &a.vars {
+            if !rule_vars.contains(&v) {
+                rule_vars.push(v);
+            }
+        }
+    }
+    if rule_vars.len() > 48 {
+        return Err(CqError::Parse(format!(
+            "rule {} uses {} variables; at most 48 are supported (columns 48+ \
+             are reserved for annotation scratch space)",
+            head.name,
+            rule_vars.len()
+        )));
+    }
+    for v in &head.vars {
+        if !body.iter().any(|a| a.vars.contains(v)) {
+            return Err(CqError::Parse(format!(
+                "head variable {v} of {} does not occur in the rule body",
+                head.name
+            )));
+        }
+    }
+    Ok(ProgramRule {
+        head,
+        body,
+        semiring,
+    })
+}
+
+fn validate_program(rules: &[ProgramRule]) -> Result<(), CqError> {
+    use std::collections::HashMap;
+    let idb: std::collections::HashSet<&str> = rules.iter().map(|r| r.head.name.as_str()).collect();
+    let mut arity: HashMap<&str, usize> = HashMap::new();
+    let mut starred: HashMap<&str, bool> = HashMap::new();
+    for r in rules {
+        for a in std::iter::once(&r.head).chain(r.body.iter()) {
+            match arity.entry(a.name.as_str()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != a.vars.len() {
+                        return Err(CqError::Parse(format!(
+                            "predicate {} used with arities {} and {}",
+                            a.name,
+                            e.get(),
+                            a.vars.len()
+                        )));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(a.vars.len());
+                }
+            }
+            if a.annotated && idb.contains(a.name.as_str()) {
+                return Err(CqError::Parse(format!(
+                    "IDB predicate {} cannot be '*'-annotated",
+                    a.name
+                )));
+            }
+            match starred.entry(a.name.as_str()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // heads are never starred; only compare body uses
+                    if !idb.contains(a.name.as_str()) && *e.get() != a.annotated {
+                        return Err(CqError::Parse(format!(
+                            "predicate {} is '*'-annotated in some atoms but not others",
+                            a.name
+                        )));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    if !idb.contains(a.name.as_str()) {
+                        e.insert(a.annotated);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +613,77 @@ mod tests {
     #[test]
     fn parse_unicode_rejected_cleanly() {
         assert!(parse_cq("Q(α) :- R(α)").is_err());
+    }
+
+    #[test]
+    fn parse_transitive_closure_program() {
+        let p = parse_program("path(x, y) :- edge(x, y). path(x, z) :- path(x, y), edge(y, z).")
+            .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.idb_names(), vec!["path"]);
+        assert!(p.rules.iter().all(|r| r.semiring.is_none()));
+        assert_eq!(p.rules[1].body[0].name, "path");
+    }
+
+    #[test]
+    fn parse_annotated_shortest_path_program() {
+        let p = parse_program(
+            "dist(x, y) :- edge*(x, y) @min.\n\
+             dist(x, z) :- dist(x, y), edge*(y, z) @min.",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].body[0].annotated);
+        assert_eq!(p.rules[0].semiring, Some(SemiringAnnot::MinTropical));
+        // final '.' optional
+        let q = parse_program("reach(y) :- source(y) @bool").unwrap();
+        assert_eq!(q.rules[0].semiring, Some(SemiringAnnot::Boolean));
+    }
+
+    #[test]
+    fn canonical_text_is_alpha_invariant() {
+        let a = parse_program("path(x, y) :- edge(x, y). path(x, z) :- path(x, y), edge(y, z).")
+            .unwrap();
+        let b = parse_program(
+            "path(src, dst)   :- edge(src, dst).\n\
+             path(src, far)   :- path(src, mid), edge(mid, far).",
+        )
+        .unwrap();
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert_eq!(
+            a.canonical_text(),
+            "path(v0, v1) :- edge(v0, v1). path(v0, v1) :- path(v0, v2), edge(v2, v1)."
+        );
+    }
+
+    #[test]
+    fn program_parse_errors() {
+        // facts (empty bodies) are not supported
+        assert!(parse_program("path(x, y) :- .").is_err());
+        // head variable missing from the body (range restriction)
+        assert!(parse_program("p(x, z) :- e(x, y)").is_err());
+        // inconsistent arity
+        assert!(parse_program("p(x) :- e(x, y). p(x, y) :- e(x, y).").is_err());
+        // starred head
+        assert!(parse_program("p*(x, y) :- e(x, y)").is_err());
+        // starred IDB in a body
+        assert!(parse_program("p(x, y) :- e(x, y). q(x, z) :- p*(x, z).").is_err());
+        // inconsistent star marks on an EDB
+        assert!(parse_program("p(x, y) :- e*(x, y). q(x, y) :- e(x, y).").is_err());
+        // unknown semiring annotation
+        assert!(parse_program("p(x, y) :- e(x, y) @tropical.").is_err());
+        // repeated variable within an atom
+        assert!(parse_program("p(x) :- e(x, x)").is_err());
+        // empty program
+        assert!(parse_program("").is_err());
+        // trailing garbage
+        assert!(parse_program("p(x, y) :- e(x, y). extra").is_err());
+    }
+
+    #[test]
+    fn cq_parser_rejects_program_tokens() {
+        // '*' and '@' lex now, but stay invalid in plain CQ syntax
+        assert!(parse_cq("Q(a) :- R*(a, b)").is_err());
+        assert!(parse_cq("Q(a) :- R(a, b) @min").is_err());
     }
 }

@@ -342,6 +342,7 @@ impl PlanCache {
         meta.push_str(&format!("query {}\n", plan.key.query));
         meta.push_str(&format!("dcsig {}\n", plan.key.dc_sig));
         meta.push_str(&format!("nbucket {}\n", plan.key.n_bucket));
+        meta.push_str(&format!("depth {}\n", plan.key.fixpoint_depth));
         for (name, schema, cap) in plan.layout.entries() {
             let vars: Vec<String> = schema.iter().map(|v| v.index().to_string()).collect();
             meta.push_str(&format!("layout {name} {cap} {}\n", vars.join(",")));
@@ -436,6 +437,8 @@ fn parse_meta(meta: &str) -> Option<PlanMeta> {
     let mut query = None;
     let mut dc_sig = None;
     let mut n_bucket = None;
+    // Absent in metas written before Datalog plans existed: a plain CQ.
+    let mut fixpoint_depth = 0;
     let mut layout = Vec::new();
     let mut outputs = Vec::new();
     for line in lines {
@@ -444,6 +447,7 @@ fn parse_meta(meta: &str) -> Option<PlanMeta> {
             "query" => query = Some(rest.to_string()),
             "dcsig" => dc_sig = Some(rest.to_string()),
             "nbucket" => n_bucket = Some(rest.parse::<u64>().ok()?),
+            "depth" => fixpoint_depth = rest.parse::<u64>().ok()?,
             "layout" => {
                 let mut parts = rest.splitn(3, ' ');
                 let name = parts.next()?.to_string();
@@ -466,6 +470,7 @@ fn parse_meta(meta: &str) -> Option<PlanMeta> {
             query: query?,
             dc_sig: dc_sig?,
             n_bucket: n_bucket?,
+            fixpoint_depth,
         },
         layout: InputLayout::from_entries(layout),
         outputs,

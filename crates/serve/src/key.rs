@@ -25,12 +25,21 @@ use qec_relation::{DcSet, DegreeConstraint};
 /// same compiled circuit.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    /// Canonical query text ([`CanonicalCq::text`]).
+    /// Canonical query text ([`CanonicalCq::text`] for conjunctive
+    /// queries, [`qec_query::Program::canonical_text`] for Datalog
+    /// programs).
     pub query: String,
-    /// Canonical degree-constraint signature ([`dc_signature`]).
+    /// Canonical degree-constraint signature ([`dc_signature`]; empty
+    /// for Datalog programs, whose capacities are a function of the
+    /// depth alone).
     pub dc_sig: String,
     /// Capacity bucket ([`bucket_n`]).
     pub n_bucket: u64,
+    /// Bounded-fixpoint unrolling depth for recursive Datalog plans;
+    /// `0` marks a plain conjunctive query. Two Datalog requests share
+    /// a circuit only at equal depth — the unrolling is part of the
+    /// netlist, not of the input encoding.
+    pub fixpoint_depth: u64,
 }
 
 impl PlanKey {
@@ -50,6 +59,7 @@ impl PlanKey {
         eat(self.dc_sig.as_bytes());
         eat(&[0xff]);
         eat(&self.n_bucket.to_le_bytes());
+        eat(&self.fixpoint_depth.to_le_bytes());
         h
     }
 }
@@ -132,6 +142,7 @@ mod tests {
                 query: canon.text.clone(),
                 dc_sig: dc_signature(&dcs),
                 n_bucket: 8,
+                fixpoint_depth: 0,
             }
         };
         let a = mk("Q(x, z) :- R(x, y), S(y, z)");
@@ -140,6 +151,12 @@ mod tests {
         assert_eq!(a.fnv64(), b.fnv64());
         let c = mk("Q(x, z) :- R(x, y), T(y, z)");
         assert_ne!(a, c);
+        // Depth is part of the key: the same program unrolled to a
+        // different bound is a different circuit.
+        let mut d4 = mk("Q(x, z) :- R(x, y), S(y, z)");
+        d4.fixpoint_depth = 4;
+        assert_ne!(a, d4);
+        assert_ne!(a.fnv64(), d4.fnv64());
     }
 
     #[test]

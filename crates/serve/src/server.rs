@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use qec_circuit::{decode_relation, CompileOptions, CompiledCircuit, Mode, WordTape};
 use qec_core::naive_circuit;
+use qec_datalog::{DatalogProgram, FixpointBounds};
 use qec_obs::Recorder;
 use qec_query::{canonicalize, parse_cq, CanonicalCq};
 use qec_relation::{Database, DcSet, DegreeConstraint, Relation, Var};
@@ -158,12 +159,28 @@ impl Ticket {
     }
 }
 
+/// What a job compiles when its key misses the cache, plus how its
+/// outputs map back to the caller's space.
+#[derive(Clone)]
+enum JobPlan {
+    /// A conjunctive query: outputs are translated back into the
+    /// request's own variable space via `from_canon`.
+    Cq { canon: Arc<CanonicalCq>, dcs: DcSet },
+    /// A recursive Datalog program, unrolled to `depth` delta rounds.
+    /// Outputs stay in the canonical key space (`Var(0..arity)`, plus
+    /// the annotation column for non-Boolean semirings) — Datalog heads
+    /// have no per-request variable spelling to restore.
+    Datalog {
+        program: Arc<DatalogProgram>,
+        depth: u64,
+    },
+}
+
 /// One queued job: the request translated into canonical space.
 struct Job {
     key: PlanKey,
-    canon: Arc<CanonicalCq>,
+    plan: JobPlan,
     db: Database,
-    dcs: DcSet,
     tenant: String,
     enqueued: Instant,
     reply: mpsc::Sender<Result<Response, ServeError>>,
@@ -228,39 +245,10 @@ impl Server {
             return Err(ServeError::ShuttingDown);
         }
         let cfg = &self.shared.cfg;
-        let cq = parse_cq(&req.query).map_err(|e| ServeError::Parse(e.to_string()))?;
-        let canon = Arc::new(canonicalize(&cq));
-
-        // Translate relations into canonical variable space. Columns
-        // arrive in the atom's sorted original-variable order; mapping
-        // each column's variable and letting `Relation::from_rows`
-        // re-sort yields the canonical-space relation.
-        let mut db = Database::new();
-        for (name, rows) in &req.rels {
-            let Some(atom) = cq.atoms.iter().find(|a| a.name == *name) else {
-                continue; // let the layout report the mismatch
-            };
-            let schema: Vec<Var> = atom
-                .vars
-                .iter()
-                .map(|v| canon.to_canon[v.index()])
-                .collect();
-            db.insert(name.clone(), Relation::from_rows(schema, rows.clone()));
-        }
-
-        let n_bucket = bucket_n(req.n);
-        let dcs = DcSet::from_vec(
-            canon
-                .cq
-                .atoms
-                .iter()
-                .map(|a| DegreeConstraint::cardinality(a.vars, n_bucket))
-                .collect(),
-        );
-        let key = PlanKey {
-            query: canon.text.clone(),
-            dc_sig: dc_signature(&dcs),
-            n_bucket,
+        let (key, plan, db) = if is_datalog(&req.query) {
+            admit_datalog(&req)?
+        } else {
+            admit_cq(&req)?
         };
 
         // Tenant quota, charged until the response is sent.
@@ -280,9 +268,8 @@ impl Server {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             key,
-            canon,
+            plan,
             db,
-            dcs,
             tenant: req.tenant.clone(),
             enqueued: Instant::now(),
             reply: tx,
@@ -339,6 +326,84 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// A request is a Datalog program when it has at least two rules — a
+/// single `:-` is a plain conjunctive query (`parse_cq` syntax), and a
+/// single-rule program has no recursion to unroll.
+fn is_datalog(query: &str) -> bool {
+    query.matches(":-").count() >= 2
+}
+
+/// Admission for a conjunctive query: parse, canonicalize, translate
+/// the relations into canonical variable space, derive the key.
+fn admit_cq(req: &Request) -> Result<(PlanKey, JobPlan, Database), ServeError> {
+    let cq = parse_cq(&req.query).map_err(|e| ServeError::Parse(e.to_string()))?;
+    let canon = Arc::new(canonicalize(&cq));
+
+    // Translate relations into canonical variable space. Columns
+    // arrive in the atom's sorted original-variable order; mapping
+    // each column's variable and letting `Relation::from_rows`
+    // re-sort yields the canonical-space relation.
+    let mut db = Database::new();
+    for (name, rows) in &req.rels {
+        let Some(atom) = cq.atoms.iter().find(|a| a.name == *name) else {
+            continue; // let the layout report the mismatch
+        };
+        let schema: Vec<Var> = atom
+            .vars
+            .iter()
+            .map(|v| canon.to_canon[v.index()])
+            .collect();
+        db.insert(name.clone(), Relation::from_rows(schema, rows.clone()));
+    }
+
+    let n_bucket = bucket_n(req.n);
+    let dcs = DcSet::from_vec(
+        canon
+            .cq
+            .atoms
+            .iter()
+            .map(|a| DegreeConstraint::cardinality(a.vars, n_bucket))
+            .collect(),
+    );
+    let key = PlanKey {
+        query: canon.text.clone(),
+        dc_sig: dc_signature(&dcs),
+        n_bucket,
+        fixpoint_depth: 0,
+    };
+    Ok((key, JobPlan::Cq { canon, dcs }, db))
+}
+
+/// Admission for a Datalog program. `req.n` bounds both the active
+/// domain (key values range over `0..bucket`) and each EDB's
+/// cardinality; the bucket doubles as the unrolling depth, which makes
+/// Boolean and min-tropical fixpoints exact and keeps the plan a pure
+/// function of the key.
+fn admit_datalog(req: &Request) -> Result<(PlanKey, JobPlan, Database), ServeError> {
+    let dp = DatalogProgram::parse(&req.query).map_err(|e| ServeError::Parse(e.to_string()))?;
+    let rels: Vec<(&str, Vec<Vec<u64>>)> = req
+        .rels
+        .iter()
+        .map(|(n, r)| (n.as_str(), r.clone()))
+        .collect();
+    let db = qec_datalog::database(&dp, &rels).map_err(|e| ServeError::Layout(e.to_string()))?;
+    let depth = bucket_n(req.n);
+    let key = PlanKey {
+        query: dp.program.canonical_text(),
+        dc_sig: String::new(),
+        n_bucket: depth,
+        fixpoint_depth: depth,
+    };
+    Ok((
+        key,
+        JobPlan::Datalog {
+            program: Arc::new(dp),
+            depth,
+        },
+        db,
+    ))
 }
 
 fn release_tenant(shared: &Shared, tenant: &str) {
@@ -418,8 +483,7 @@ fn process_batch(shared: &Shared, mut batch: Vec<Job>) {
     let cfg = &shared.cfg;
     let t0 = Instant::now();
     let key = batch[0].key.clone();
-    let canon = batch[0].canon.clone();
-    let dcs = batch[0].dcs.clone();
+    let spec = batch[0].plan.clone();
     cfg.recorder.add("serve.batches", 1);
     cfg.recorder.add("serve.batch.jobs", batch.len() as u64);
     cfg.recorder
@@ -428,9 +492,19 @@ fn process_batch(shared: &Shared, mut batch: Vec<Job>) {
     let built = shared.cache.get_or_compile(&key, || {
         let _span = cfg.recorder.span("serve.compile");
         let t = Instant::now();
-        let (rc, _root) =
-            naive_circuit(&canon.cq, &dcs).map_err(|e| ServeError::Compile(e.to_string()))?;
-        let lowered = rc.lower_with(Mode::Build, &cfg.compile);
+        let lowered = match &spec {
+            JobPlan::Cq { canon, dcs } => {
+                let (rc, _root) = naive_circuit(&canon.cq, dcs)
+                    .map_err(|e| ServeError::Compile(e.to_string()))?;
+                rc.lower_with(Mode::Build, &cfg.compile)
+            }
+            JobPlan::Datalog { program, depth } => {
+                let bounds = FixpointBounds::for_domain(*depth, *depth);
+                let fx = qec_datalog::compile(program, &bounds)
+                    .map_err(|e| ServeError::Compile(e.to_string()))?;
+                fx.rc.lower_with(Mode::Build, &cfg.compile)
+            }
+        };
         let tape =
             WordTape::encode(&lowered.circuit).map_err(|e| ServeError::Compile(e.to_string()))?;
         let (engine, _report) = CompiledCircuit::compile_with(&lowered.circuit, &cfg.compile)
@@ -487,14 +561,23 @@ fn process_batch(shared: &Shared, mut batch: Vec<Job>) {
                     .iter()
                     .map(|(schema, start, len)| {
                         let canon_rel = decode_relation(schema, &raw[*start..*start + *len]);
-                        // Translate back into the request's variable
-                        // space; `from_rows` re-sorts the schema.
-                        let orig_schema: Vec<Var> = canon_rel
-                            .schema()
-                            .iter()
-                            .map(|v| job.canon.from_canon[v.index()])
-                            .collect();
-                        Relation::from_rows(orig_schema, canon_rel.rows().to_vec())
+                        match &job.plan {
+                            // Translate back into the request's
+                            // variable space; `from_rows` re-sorts the
+                            // schema.
+                            JobPlan::Cq { canon, .. } => {
+                                let orig_schema: Vec<Var> = canon_rel
+                                    .schema()
+                                    .iter()
+                                    .map(|v| canon.from_canon[v.index()])
+                                    .collect();
+                                Relation::from_rows(orig_schema, canon_rel.rows().to_vec())
+                            }
+                            // Datalog outputs are already in their
+                            // only space: keys `Var(0..arity)` (plus
+                            // the annotation column).
+                            JobPlan::Datalog { .. } => canon_rel,
+                        }
                     })
                     .collect();
                 Response {
@@ -778,6 +861,96 @@ mod tests {
             }
         };
         assert_eq!(resp.relations[0], expect, "server healthy after stress");
+    }
+
+    #[test]
+    fn serves_datalog_fixpoints_and_caches_by_program_and_depth() {
+        use qec_datalog::{database, result_relation, seminaive, workloads};
+        let mut server = Server::start(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]];
+        let req = Request {
+            tenant: "t".into(),
+            query: workloads::TRANSITIVE_CLOSURE.into(),
+            n: 4,
+            rels: vec![("edge".into(), edges.clone())],
+        };
+        let dp = DatalogProgram::parse(workloads::TRANSITIVE_CLOSURE).unwrap();
+        let db = database(&dp, &[("edge", edges)]).unwrap();
+        let expect = result_relation(&dp, &seminaive(&dp, &db, 4).unwrap());
+        let r1 = server.query(req.clone()).unwrap();
+        assert_eq!(r1.relations.len(), 1);
+        assert_eq!(r1.relations[0], expect);
+        assert!(!r1.cache_hit);
+        // An alpha/whitespace variant of the same program shares the
+        // plan via `canonical_text` — no second compile.
+        let mut variant = req.clone();
+        variant.query = "path(a,b) :- edge(a,b).  path(a,c) :- path(a,b), edge(b,c).".into();
+        let r2 = server.query(variant).unwrap();
+        assert_eq!(r2.relations[0], expect);
+        assert!(r2.cache_hit);
+        assert_eq!(server.cache_stats().misses, 1);
+        // A different capacity bucket is a different unrolling depth,
+        // hence a fresh plan — with the same (converged) fixpoint.
+        let mut deeper = req;
+        deeper.n = 8;
+        let r3 = server.query(deeper).unwrap();
+        assert_eq!(r3.relations[0], expect);
+        assert!(!r3.cache_hit);
+        assert_eq!(server.cache_stats().misses, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_min_tropical_shortest_paths() {
+        use qec_datalog::{database, result_relation, seminaive, workloads};
+        let mut server = Server::start(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        // The direct edge 0->2 (weight 9) must lose to 0->1->2 (3).
+        let edges = vec![vec![0, 1, 2], vec![1, 2, 1], vec![0, 2, 9], vec![2, 3, 1]];
+        let req = Request {
+            tenant: "t".into(),
+            query: workloads::SHORTEST_PATH.into(),
+            n: 4,
+            rels: vec![("edge".into(), edges.clone())],
+        };
+        let dp = DatalogProgram::parse(workloads::SHORTEST_PATH).unwrap();
+        let db = database(&dp, &[("edge", edges)]).unwrap();
+        let expect = result_relation(&dp, &seminaive(&dp, &db, 4).unwrap());
+        let resp = server.query(req).unwrap();
+        assert_eq!(resp.relations[0], expect);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejected_datalog_programs_are_typed_admission_errors() {
+        let server = Server::start(ServerConfig::default());
+        // Recursive under a non-idempotent semiring: no finite
+        // unrolling computes the fixpoint, so admission rejects it.
+        let err = server
+            .submit(Request {
+                tenant: "t".into(),
+                query: "p(x, y) :- e*(x, y) @nat. p(x, z) :- p(x, y), e*(y, z) @nat.".into(),
+                n: 2,
+                rels: vec![("e".into(), vec![vec![0, 1, 1]])],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Parse(_)), "{err}");
+        // A malformed instance (wrong arity) fails the layout at
+        // admission, before any queue slot is taken.
+        let err = server
+            .submit(Request {
+                tenant: "t".into(),
+                query: "p(x, y) :- e(x, y). p(x, z) :- p(x, y), e(y, z).".into(),
+                n: 2,
+                rels: vec![("e".into(), vec![vec![0, 1, 7]])],
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Layout(_)), "{err}");
     }
 
     #[test]

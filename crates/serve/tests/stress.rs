@@ -20,6 +20,7 @@ fn key(i: usize) -> PlanKey {
         query: format!("Q(v0) :- R{i}(v0, v1)"),
         dc_sig: format!("|0.1|{i}"),
         n_bucket: 8,
+        fixpoint_depth: 0,
     }
 }
 

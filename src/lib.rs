@@ -40,6 +40,7 @@
 pub use qec_bignum as bignum;
 pub use qec_circuit as circuit;
 pub use qec_core as core;
+pub use qec_datalog as datalog;
 pub use qec_entropy as entropy;
 pub use qec_lp as lp;
 pub use qec_mpc as mpc;
